@@ -1,0 +1,25 @@
+//! Ablation: block size of the blocked family member (FLAME blocked
+//! derivation). All sizes compute the same count; the sweep shows the
+//! locality effect of the re-associated loop.
+
+use bfly_core::family::count_blocked;
+use bfly_graph::{Side, StandIn};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_blocked(c: &mut Criterion) {
+    let g = StandIn::ArxivCondMat.generate_scaled(0.2);
+    let mut group = c.benchmark_group("ablation_blocked");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bs in [1usize, 8, 64, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("block_size", bs), &bs, |b, &bs| {
+            b.iter(|| black_box(count_blocked(&g, Side::V2, bs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocked);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation E4: the paper's §V dataset-selection rule — at equal edge
+//! counts, the family that partitions the *smaller* vertex set wins.
+//! Benchmarks a representative of each half (Inv. 2 partitions V2, Inv. 7
+//! partitions V1) on "wide" (|V1| ≪ |V2|) and "tall" (|V1| ≫ |V2|)
+//! graphs.
+
+use bfly_core::{count, Invariant};
+use bfly_graph::generators::chung_lu;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_partition_side(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let wide = chung_lu(1_000, 20_000, 50_000, 0.7, 0.7, &mut rng);
+    let tall = chung_lu(20_000, 1_000, 50_000, 0.7, 0.7, &mut rng);
+    let mut group = c.benchmark_group("ablation_partition_side");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (shape, g) in [("wide", &wide), ("tall", &tall)] {
+        for inv in [Invariant::Inv2, Invariant::Inv7] {
+            group.bench_with_input(
+                BenchmarkId::new(shape, format!("inv{}", inv.number())),
+                &(g, inv),
+                |b, (g, inv)| b.iter(|| black_box(count(g, *inv))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_side);
+criterion_main!(benches);

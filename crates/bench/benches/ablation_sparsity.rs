@@ -1,0 +1,37 @@
+//! Ablation E5: the paper's §V sparsity finding — at fixed vertex counts,
+//! more edges mean superlinearly more counting work (their GitHub vs
+//! Producers comparison). Edge count sweeps ×1/×2/×4 at fixed (m, n).
+
+use bfly_core::{count, Invariant};
+use bfly_graph::generators::uniform_exact;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sparsity(c: &mut Criterion) {
+    let (m, n) = (5_000, 12_000);
+    let mut group = c.benchmark_group("ablation_sparsity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for factor in [1usize, 2, 4] {
+        let edges = 20_000 * factor;
+        let mut rng = StdRng::seed_from_u64(0xE5);
+        let g = uniform_exact(m, n, edges, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("inv2", format!("{edges}e")),
+            &g,
+            |b, g| b.iter(|| black_box(count(g, Invariant::Inv2))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inv7", format!("{edges}e")),
+            &g,
+            |b, g| b.iter(|| black_box(count(g, Invariant::Inv7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsity);
+criterion_main!(benches);

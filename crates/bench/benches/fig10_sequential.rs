@@ -1,0 +1,30 @@
+//! Criterion bench for **Fig. 10**: sequential timing of all eight
+//! invariants on each KONECT stand-in (`BFLY_SCALE` controls size;
+//! default 0.1).
+
+use bfly_bench::{load_datasets, scale_from_env};
+use bfly_core::{count, Invariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let datasets = load_datasets(scale_from_env());
+    let mut group = c.benchmark_group("fig10_sequential");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (d, g) in &datasets {
+        let name = d.spec().name;
+        for inv in Invariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(name, inv.number()),
+                &(g, inv),
+                |b, (g, inv)| b.iter(|| black_box(count(g, *inv))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for **Fig. 11**: parallel timing of all eight
+//! invariants on each stand-in, inside a pinned thread pool
+//! (`BFLY_THREADS`, default 6 to match the paper's machine).
+
+use bfly_bench::{load_datasets, scale_from_env, threads_from_env};
+use bfly_core::{count_parallel, Invariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let datasets = load_datasets(scale_from_env());
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads_from_env())
+        .build()
+        .expect("thread pool");
+    let mut group = c.benchmark_group("fig11_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (d, g) in &datasets {
+        let name = d.spec().name;
+        for inv in Invariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(name, inv.number()),
+                &(g, inv),
+                |b, (g, inv)| b.iter(|| pool.install(|| black_box(count_parallel(g, *inv)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Substrate bench: the SpGEMM kernel (`B = A·Aᵀ`) that powers the
+//! specification counter and the matrix-formulation peeling, sequential vs
+//! parallel, on a stand-in biadjacency matrix.
+
+use bfly_graph::StandIn;
+use bfly_sparse::ops::{spgemm, spgemm_parallel};
+use bfly_sparse::CsrMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_spgemm(c: &mut Criterion) {
+    let g = StandIn::ArxivCondMat.generate_scaled(0.2);
+    let a: CsrMatrix<u64> = g.to_csr();
+    let at = a.transpose();
+    let mut group = c.benchmark_group("spgemm_aat");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(spgemm(&a, &at).unwrap().nnz()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(spgemm_parallel(&a, &at).unwrap().nnz()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

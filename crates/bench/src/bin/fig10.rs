@@ -1,0 +1,58 @@
+//! Reproduce **Fig. 10**: sequential wall-clock of each of the eight
+//! invariants on each dataset. The paper's qualitative findings to look
+//! for in the output (§V):
+//!
+//! 1. invariants 1–4 (partitioning V2) win when `|V1| < |V2|` *fails* —
+//!    i.e. pick the family that partitions the smaller vertex set;
+//! 2. denser graphs at equal vertex counts run slower;
+//! 3. per-dataset, the look-ahead members tend to edge out their
+//!    counterparts.
+//!
+//! Absolute times are not comparable to the paper's C/i7-8750H numbers;
+//! shapes are.
+
+use bfly_bench::{best_of, load_datasets, print_invariant_table, scale_from_env};
+use bfly_core::{count, Invariant};
+use bfly_graph::Side;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Fig. 10 reproduction — sequential timings in seconds (scale = {scale})");
+    let datasets = load_datasets(scale);
+    let mut rows = Vec::new();
+    let mut reference = Vec::new();
+    for (d, g) in &datasets {
+        let spec = d.spec();
+        let mut times = [0f64; 8];
+        let mut counts = [0u64; 8];
+        for (i, inv) in Invariant::ALL.into_iter().enumerate() {
+            let (t, xi) = best_of(2, || count(g, inv));
+            times[i] = t;
+            counts[i] = xi;
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
+        reference.push((spec.name, counts[0]));
+        rows.push((spec.name.to_string(), times));
+    }
+    print_invariant_table("Sequential (best of 2):", &rows);
+    println!("\nButterfly counts (all invariants agree):");
+    for (name, xi) in reference {
+        println!("  {name:<16} {xi}");
+    }
+    // Directional finding 1: compare the V2-family best vs V1-family best.
+    println!("\nPartition-side check (smaller side should win):");
+    for ((d, g), (_, times)) in datasets.iter().zip(&rows) {
+        let best_v2: f64 = times[..4].iter().cloned().fold(f64::INFINITY, f64::min);
+        let best_v1: f64 = times[4..].iter().cloned().fold(f64::INFINITY, f64::min);
+        let smaller = if g.nv1() < g.nv2() { Side::V1 } else { Side::V2 };
+        let winner = if best_v2 < best_v1 { Side::V2 } else { Side::V1 };
+        println!(
+            "  {:<16} smaller side {:?}, faster family partitions {:?} (V2 fam {:.3}s, V1 fam {:.3}s)",
+            d.spec().name,
+            smaller,
+            winner,
+            best_v2,
+            best_v1
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproduce **Fig. 11**: parallel (default 6-thread, matching the paper's
+//! CPU) wall-clock of each invariant on each dataset, plus the speedup over
+//! the sequential numbers.
+
+use bfly_bench::{best_of, load_datasets, print_invariant_table, scale_from_env, threads_from_env};
+use bfly_core::{count, count_parallel, Invariant};
+
+fn main() {
+    let scale = scale_from_env();
+    let threads = threads_from_env();
+    println!(
+        "Fig. 11 reproduction — parallel timings in seconds (scale = {scale}, {threads} threads)"
+    );
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let datasets = load_datasets(scale);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (d, g) in &datasets {
+        let spec = d.spec();
+        let mut times = [0f64; 8];
+        let mut counts = [0u64; 8];
+        let mut seq_best = f64::INFINITY;
+        for (i, inv) in Invariant::ALL.into_iter().enumerate() {
+            let (t, xi) = best_of(2, || pool.install(|| count_parallel(g, inv)));
+            times[i] = t;
+            counts[i] = xi;
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
+        // One sequential reference point for the speedup column.
+        let (ts, xs) = best_of(2, || count(g, Invariant::Inv2));
+        assert_eq!(xs, counts[0]);
+        seq_best = seq_best.min(ts);
+        let par_best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        speedups.push((spec.name, seq_best / par_best));
+        rows.push((spec.name.to_string(), times));
+    }
+    print_invariant_table(&format!("Parallel, {threads} threads (best of 2):"), &rows);
+    println!("\nSpeedup of best parallel member vs sequential Inv. 2:");
+    for (name, s) in speedups {
+        println!("  {name:<16} {s:.2}x");
+    }
+}

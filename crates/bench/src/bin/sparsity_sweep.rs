@@ -1,0 +1,38 @@
+//! Reproduce the §V **sparsity finding** (experiment E5): at fixed vertex
+//! counts, denser graphs cost more per invariant — the paper's GitHub vs
+//! Producers comparison ("about half the number of [edges] … slow down as
+//! much as two times").
+//!
+//! We sweep the edge count at fixed `(|V1|, |V2|)` and report the timing of
+//! one representative from each family half.
+
+use bfly_bench::{best_of, scale_from_env};
+use bfly_core::{count, Invariant};
+use bfly_graph::generators::uniform_exact;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = scale_from_env();
+    let m = (50_000.0 * scale) as usize;
+    let n = (120_000.0 * scale) as usize;
+    println!("Sparsity sweep — |V1| = {m}, |V2| = {n} fixed, |E| varies");
+    println!(
+        "{:>10}{:>12}{:>12}{:>12}{:>14}",
+        "|E|", "Inv.2 (s)", "Inv.7 (s)", "density", "butterflies"
+    );
+    let base = (200_000.0 * scale) as usize;
+    for factor in [1usize, 2, 4, 8] {
+        let edges = base * factor;
+        let mut rng = StdRng::seed_from_u64(0xE5);
+        let g = uniform_exact(m, n, edges, &mut rng);
+        let (t2, xi2) = best_of(2, || count(&g, Invariant::Inv2));
+        let (t7, xi7) = best_of(2, || count(&g, Invariant::Inv7));
+        assert_eq!(xi2, xi7);
+        println!(
+            "{edges:>10}{t2:>12.3}{t7:>12.3}{:>12.2e}{xi2:>14}",
+            edges as f64 / (m as f64 * n as f64)
+        );
+    }
+    println!("\nExpected shape: superlinear time growth with |E| at fixed vertex counts.");
+}

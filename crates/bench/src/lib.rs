@@ -1,0 +1,105 @@
+//! Shared harness utilities for the reproduction binaries and Criterion
+//! benches: dataset loading at a configurable scale, timing helpers, and
+//! table formatting that mirrors the paper's figures.
+
+use bfly_core::Invariant;
+use bfly_graph::{BipartiteGraph, StandIn};
+use std::time::Instant;
+
+/// Scale factor for the KONECT stand-ins, read from `BFLY_SCALE`
+/// (default 0.1 — large enough to show every effect, small enough for CI).
+/// Set `BFLY_SCALE=1.0` to regenerate the tables at the paper's full sizes.
+pub fn scale_from_env() -> f64 {
+    std::env::var("BFLY_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(0.1)
+}
+
+/// Thread count for the Fig. 11 reproduction, read from `BFLY_THREADS`
+/// (default 6, matching the paper's i7-8750H configuration).
+pub fn threads_from_env() -> usize {
+    std::env::var("BFLY_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(6)
+}
+
+/// Generate every stand-in at the given scale, paired with its spec.
+pub fn load_datasets(scale: f64) -> Vec<(StandIn, BipartiteGraph)> {
+    StandIn::ALL
+        .iter()
+        .map(|&d| (d, d.generate_scaled(scale)))
+        .collect()
+}
+
+/// Wall-clock one invocation, returning `(seconds, result)`.
+pub fn time_one<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Best-of-`reps` wall-clock for a counting closure.
+pub fn best_of<T: PartialEq + std::fmt::Debug>(reps: usize, f: impl Fn() -> T) -> (f64, T) {
+    assert!(reps > 0);
+    let (mut best, first) = time_one(&f);
+    for _ in 1..reps {
+        let (t, v) = time_one(&f);
+        assert_eq!(v, first, "non-deterministic benchmark result");
+        if t < best {
+            best = t;
+        }
+    }
+    (best, first)
+}
+
+/// Render a paper-style table: one row per dataset, one column per
+/// invariant, seconds with three decimals.
+pub fn print_invariant_table(title: &str, rows: &[(String, [f64; 8])]) {
+    println!("\n{title}");
+    print!("{:<16}", "Dataset");
+    for inv in Invariant::ALL {
+        print!("{:>10}", format!("{inv}"));
+    }
+    println!();
+    for (name, times) in rows {
+        print!("{name:<16}");
+        for t in times {
+            print!("{t:>10.3}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Not setting the variables yields the documented defaults.
+        std::env::remove_var("BFLY_SCALE");
+        std::env::remove_var("BFLY_THREADS");
+        assert_eq!(scale_from_env(), 0.1);
+        assert_eq!(threads_from_env(), 6);
+    }
+
+    #[test]
+    fn load_datasets_produces_all_five() {
+        let ds = load_datasets(0.005);
+        assert_eq!(ds.len(), 5);
+        for (d, g) in &ds {
+            assert!(g.nedges() > 0, "{d:?} generated empty");
+        }
+    }
+
+    #[test]
+    fn best_of_checks_determinism() {
+        let (t, v) = best_of(3, || 42u64);
+        assert!(t >= 0.0);
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,1082 @@
+//! Implementation of the `bfly` command-line tool.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! bfly stats    <file> [--format konect|edgelist|mtx]
+//! bfly count    <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
+//!                      [--parallel] [--threads N]
+//! bfly tip      <file> --k K [--side v1|v2]
+//! bfly wing     <file> --k K
+//! bfly tip-numbers <file> [--side v1|v2] [--top N]
+//! bfly enumerate   <file> [--limit N]
+//! bfly generate --kind uniform|chunglu|standin --m M --n N --edges E
+//!               [--exp1 X --exp2 Y] [--name <standin>] [--scale S]
+//!               [--seed S] --out FILE
+//! bfly metrics     <file>
+//! bfly pairs       <file> [--side v1|v2] [--top N]
+//! bfly components  <file>
+//! bfly core        <file> --k K --l L
+//! bfly convert     <file> --out FILE
+//! ```
+//!
+//! The file format is inferred from content/extension and can be forced
+//! with `--format`. All analysis follows the paper's §V guidance by
+//! default (`--algorithm auto` partitions the smaller vertex set).
+
+use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
+use bfly_core::peel::{k_tip, k_wing, tip_numbers};
+use bfly_core::{
+    count, count_auto, count_by_enumeration, count_parallel, count_via_spgemm,
+    enumerate_butterflies, Invariant,
+};
+use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list};
+use bfly_graph::matrix_market::read_matrix_market_file;
+use bfly_graph::{BipartiteGraph, GraphStats, Side, StandIn};
+use std::path::Path;
+
+/// A parsed command, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bfly stats`.
+    Stats {
+        /// Input path.
+        file: String,
+        /// Forced format, if any.
+        format: Option<Format>,
+    },
+    /// `bfly count`.
+    Count {
+        /// Input path.
+        file: String,
+        /// Forced format, if any.
+        format: Option<Format>,
+        /// Which counter to run.
+        algorithm: Algorithm,
+        /// Use the rayon-parallel family member.
+        parallel: bool,
+        /// Pinned thread count (0 = rayon default).
+        threads: usize,
+    },
+    /// `bfly tip`.
+    Tip {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// Peeling threshold.
+        k: u64,
+        /// Side to peel.
+        side: Side,
+    },
+    /// `bfly wing`.
+    Wing {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// Peeling threshold.
+        k: u64,
+    },
+    /// `bfly tip-numbers`.
+    TipNumbers {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// Side to decompose.
+        side: Side,
+        /// How many top vertices to print.
+        top: usize,
+    },
+    /// `bfly enumerate`.
+    Enumerate {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// Maximum butterflies to list.
+        limit: usize,
+    },
+    /// `bfly generate`.
+    Generate {
+        /// Generator kind.
+        kind: GenKind,
+        /// Output path (0-based edge list).
+        out: String,
+    },
+    /// `bfly metrics` — butterflies, wedges, caterpillars, clustering.
+    Metrics {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+    },
+    /// `bfly pairs` — heaviest butterfly pairs.
+    Pairs {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// Side to pair.
+        side: Side,
+        /// How many pairs to print.
+        top: usize,
+    },
+    /// `bfly components` — connected-component summary.
+    Components {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+    },
+    /// `bfly core` — (k, l)-core reduction.
+    Core {
+        /// Input path.
+        file: String,
+        /// Forced format.
+        format: Option<Format>,
+        /// V1 degree threshold.
+        k: usize,
+        /// V2 degree threshold.
+        l: usize,
+    },
+    /// `bfly convert` — rewrite in another format.
+    Convert {
+        /// Input path.
+        file: String,
+        /// Forced input format.
+        format: Option<Format>,
+        /// Output path; format from extension (`.mtx` → MatrixMarket,
+        /// else 0-based edge list).
+        out: String,
+    },
+    /// `bfly help` / `--help`.
+    Help,
+}
+
+/// Input file formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// KONECT `out.*` (1-based, `%` comments).
+    Konect,
+    /// 0-based whitespace edge list.
+    EdgeList,
+    /// MatrixMarket coordinate.
+    MatrixMarket,
+}
+
+/// Counting algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §V rule: partition the smaller side.
+    Auto,
+    /// A specific family member.
+    Family(Invariant),
+    /// SpGEMM specification counter.
+    Spgemm,
+    /// Hash-aggregation baseline.
+    Hash,
+    /// Vertex-priority baseline.
+    VertexPriority,
+    /// Full enumeration (small graphs!).
+    Enumerate,
+}
+
+/// Generator configuration for `bfly generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenKind {
+    /// Uniform random with exact edge count.
+    Uniform {
+        /// `|V1|`.
+        m: usize,
+        /// `|V2|`.
+        n: usize,
+        /// `|E|`.
+        edges: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Bipartite Chung–Lu.
+    ChungLu {
+        /// `|V1|`.
+        m: usize,
+        /// `|V2|`.
+        n: usize,
+        /// `|E|`.
+        edges: usize,
+        /// V1 power-law exponent.
+        exp1: f64,
+        /// V2 power-law exponent.
+        exp2: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A KONECT stand-in by name.
+    StandIn {
+        /// Dataset name (case-insensitive prefix match).
+        name: String,
+        /// Scale in (0, 1].
+        scale: f64,
+    },
+}
+
+/// Errors from parsing or execution.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bfly — butterfly counting and peeling for bipartite graphs
+
+USAGE:
+  bfly stats       <file> [--format konect|edgelist|mtx]
+  bfly count       <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
+                          [--parallel] [--threads N] [--format ...]
+  bfly tip         <file> --k K [--side v1|v2] [--format ...]
+  bfly wing        <file> --k K [--format ...]
+  bfly tip-numbers <file> [--side v1|v2] [--top N] [--format ...]
+  bfly enumerate   <file> [--limit N] [--format ...]
+  bfly generate    --kind uniform|chunglu|standin --out FILE
+                   [--m M --n N --edges E] [--exp1 X --exp2 Y]
+                   [--name NAME --scale S] [--seed S]
+  bfly metrics     <file> [--format ...]
+  bfly pairs       <file> [--side v1|v2] [--top N] [--format ...]
+  bfly components  <file> [--format ...]
+  bfly core        <file> --k K --l L [--format ...]
+  bfly convert     <file> --out FILE [--format ...]
+  bfly help
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+fn split_args(args: &[String]) -> Result<Args, CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; everything else consumes one.
+            if matches!(name, "parallel" | "help") {
+                flags.push((name.to_string(), None));
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+                flags.push((name.to_string(), Some(v.clone())));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args { positional, flags })
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+    fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("bad value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+fn parse_format(s: &str) -> Result<Format, CliError> {
+    match s {
+        "konect" => Ok(Format::Konect),
+        "edgelist" | "tsv" => Ok(Format::EdgeList),
+        "mtx" | "matrixmarket" => Ok(Format::MatrixMarket),
+        _ => Err(err(format!("unknown format {s:?}"))),
+    }
+}
+
+fn parse_side(s: &str) -> Result<Side, CliError> {
+    match s {
+        "v1" | "V1" => Ok(Side::V1),
+        "v2" | "V2" => Ok(Side::V2),
+        _ => Err(err(format!("unknown side {s:?} (use v1 or v2)"))),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
+    match s {
+        "auto" => Ok(Algorithm::Auto),
+        "spgemm" => Ok(Algorithm::Spgemm),
+        "hash" => Ok(Algorithm::Hash),
+        "vp" | "vertex-priority" => Ok(Algorithm::VertexPriority),
+        "enum" | "enumerate" => Ok(Algorithm::Enumerate),
+        _ => {
+            if let Some(nstr) = s.strip_prefix("inv") {
+                let n: usize = nstr
+                    .parse()
+                    .map_err(|_| err(format!("bad invariant {s:?}")))?;
+                Invariant::ALL
+                    .into_iter()
+                    .find(|i| i.number() == n)
+                    .map(Algorithm::Family)
+                    .ok_or_else(|| err(format!("invariant number out of range: {n}")))
+            } else {
+                Err(err(format!("unknown algorithm {s:?}")))
+            }
+        }
+    }
+}
+
+/// Parse a full argv (excluding the program name) into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    if argv.is_empty() {
+        return Ok(Command::Help);
+    }
+    let sub = argv[0].as_str();
+    let rest = split_args(&argv[1..])?;
+    if rest.has("help") {
+        return Ok(Command::Help);
+    }
+    let format = match rest.flag("format") {
+        Some(f) => Some(parse_format(f)?),
+        None => None,
+    };
+    let file = || -> Result<String, CliError> {
+        rest.positional
+            .first()
+            .cloned()
+            .ok_or_else(|| err("missing <file> argument"))
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => Ok(Command::Stats {
+            file: file()?,
+            format,
+        }),
+        "count" => Ok(Command::Count {
+            file: file()?,
+            format,
+            algorithm: match rest.flag("algorithm") {
+                Some(a) => parse_algorithm(a)?,
+                None => Algorithm::Auto,
+            },
+            parallel: rest.has("parallel"),
+            threads: rest.parse_flag("threads", 0usize)?,
+        }),
+        "tip" => Ok(Command::Tip {
+            file: file()?,
+            format,
+            k: rest
+                .flag("k")
+                .ok_or_else(|| err("tip requires --k"))?
+                .parse()
+                .map_err(|_| err("bad --k"))?,
+            side: match rest.flag("side") {
+                Some(s) => parse_side(s)?,
+                None => Side::V1,
+            },
+        }),
+        "wing" => Ok(Command::Wing {
+            file: file()?,
+            format,
+            k: rest
+                .flag("k")
+                .ok_or_else(|| err("wing requires --k"))?
+                .parse()
+                .map_err(|_| err("bad --k"))?,
+        }),
+        "tip-numbers" => Ok(Command::TipNumbers {
+            file: file()?,
+            format,
+            side: match rest.flag("side") {
+                Some(s) => parse_side(s)?,
+                None => Side::V1,
+            },
+            top: rest.parse_flag("top", 10usize)?,
+        }),
+        "enumerate" => Ok(Command::Enumerate {
+            file: file()?,
+            format,
+            limit: rest.parse_flag("limit", 100usize)?,
+        }),
+        "generate" => {
+            let out = rest
+                .flag("out")
+                .ok_or_else(|| err("generate requires --out"))?
+                .to_string();
+            let kind = match rest.flag("kind") {
+                Some("uniform") => GenKind::Uniform {
+                    m: rest.parse_flag("m", 1000usize)?,
+                    n: rest.parse_flag("n", 1000usize)?,
+                    edges: rest.parse_flag("edges", 5000usize)?,
+                    seed: rest.parse_flag("seed", 42u64)?,
+                },
+                Some("chunglu") => GenKind::ChungLu {
+                    m: rest.parse_flag("m", 1000usize)?,
+                    n: rest.parse_flag("n", 1000usize)?,
+                    edges: rest.parse_flag("edges", 5000usize)?,
+                    exp1: rest.parse_flag("exp1", 0.7f64)?,
+                    exp2: rest.parse_flag("exp2", 0.7f64)?,
+                    seed: rest.parse_flag("seed", 42u64)?,
+                },
+                Some("standin") => GenKind::StandIn {
+                    name: rest
+                        .flag("name")
+                        .ok_or_else(|| err("standin requires --name"))?
+                        .to_string(),
+                    scale: rest.parse_flag("scale", 0.1f64)?,
+                },
+                Some(other) => return Err(err(format!("unknown generator kind {other:?}"))),
+                None => return Err(err("generate requires --kind")),
+            };
+            Ok(Command::Generate { kind, out })
+        }
+        "metrics" => Ok(Command::Metrics {
+            file: file()?,
+            format,
+        }),
+        "pairs" => Ok(Command::Pairs {
+            file: file()?,
+            format,
+            side: match rest.flag("side") {
+                Some(s) => parse_side(s)?,
+                None => Side::V1,
+            },
+            top: rest.parse_flag("top", 10usize)?,
+        }),
+        "components" => Ok(Command::Components {
+            file: file()?,
+            format,
+        }),
+        "core" => Ok(Command::Core {
+            file: file()?,
+            format,
+            k: rest.parse_flag("k", 2usize)?,
+            l: rest.parse_flag("l", 2usize)?,
+        }),
+        "convert" => Ok(Command::Convert {
+            file: file()?,
+            format,
+            out: rest
+                .flag("out")
+                .ok_or_else(|| err("convert requires --out"))?
+                .to_string(),
+        }),
+        other => Err(err(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Load a graph, sniffing the format when not forced.
+pub fn load_graph(path: &str, format: Option<Format>) -> Result<BipartiteGraph, CliError> {
+    let fmt = match format {
+        Some(f) => f,
+        None => sniff_format(path)?,
+    };
+    let res = match fmt {
+        Format::Konect => read_konect_file(path),
+        Format::EdgeList => read_edge_list_file(path),
+        Format::MatrixMarket => read_matrix_market_file(path),
+    };
+    res.map_err(|e| err(format!("failed to load {path}: {e}")))
+}
+
+fn sniff_format(path: &str) -> Result<Format, CliError> {
+    let p = Path::new(path);
+    if p.extension().and_then(|e| e.to_str()) == Some("mtx") {
+        return Ok(Format::MatrixMarket);
+    }
+    let head = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?
+        .chars()
+        .take(64)
+        .collect::<String>();
+    if head.starts_with("%%MatrixMarket") {
+        Ok(Format::MatrixMarket)
+    } else if p
+        .file_name()
+        .and_then(|f| f.to_str())
+        .map(|f| f.starts_with("out."))
+        .unwrap_or(false)
+    {
+        Ok(Format::Konect)
+    } else {
+        Ok(Format::EdgeList)
+    }
+}
+
+/// Execute a command, writing human-readable output to `out`.
+pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let w = |out: &mut dyn std::io::Write, s: String| -> Result<(), CliError> {
+        writeln!(out, "{s}").map_err(|e| err(format!("write error: {e}")))
+    };
+    match cmd {
+        Command::Help => w(out, USAGE.to_string()),
+        Command::Stats { file, format } => {
+            let g = load_graph(&file, format)?;
+            let s = GraphStats::compute(&g);
+            w(out, format!("|V1| = {}", s.nv1))?;
+            w(out, format!("|V2| = {}", s.nv2))?;
+            w(out, format!("|E|  = {}", s.nedges))?;
+            w(out, format!("density = {:.3e}", s.density))?;
+            w(
+                out,
+                format!("max degree: V1 = {}, V2 = {}", s.max_deg_v1, s.max_deg_v2),
+            )?;
+            w(
+                out,
+                format!(
+                    "wedges: through V2 = {}, through V1 = {}",
+                    s.wedges_through_v2, s.wedges_through_v1
+                ),
+            )
+        }
+        Command::Count {
+            file,
+            format,
+            algorithm,
+            parallel,
+            threads,
+        } => {
+            let g = load_graph(&file, format)?;
+            let run_count = |g: &BipartiteGraph| -> (u64, String) {
+                match algorithm {
+                    Algorithm::Auto => {
+                        if parallel {
+                            let (_, inv) = (0, pick_auto(g));
+                            (count_parallel(g, inv), format!("{inv} (auto, parallel)"))
+                        } else {
+                            let (xi, inv) = count_auto(g);
+                            (xi, format!("{inv} (auto)"))
+                        }
+                    }
+                    Algorithm::Family(inv) => {
+                        if parallel {
+                            (count_parallel(g, inv), format!("{inv} (parallel)"))
+                        } else {
+                            (count(g, inv), format!("{inv}"))
+                        }
+                    }
+                    Algorithm::Spgemm => (count_via_spgemm(g), "spgemm".to_string()),
+                    Algorithm::Hash => (count_hash_aggregation(g), "hash".to_string()),
+                    Algorithm::VertexPriority => {
+                        (count_vertex_priority(g), "vertex-priority".to_string())
+                    }
+                    Algorithm::Enumerate => (count_by_enumeration(g), "enumeration".to_string()),
+                }
+            };
+            let (xi, label) = if threads > 0 {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .map_err(|e| err(format!("thread pool: {e}")))?;
+                pool.install(|| run_count(&g))
+            } else {
+                run_count(&g)
+            };
+            w(out, format!("butterflies = {xi}  [{label}]"))
+        }
+        Command::Tip {
+            file,
+            format,
+            k,
+            side,
+        } => {
+            let g = load_graph(&file, format)?;
+            let r = k_tip(&g, side, k);
+            let survivors = r.keep.iter().filter(|&&b| b).count();
+            w(
+                out,
+                format!(
+                    "{k}-tip on {side:?}: {survivors} of {} vertices survive ({} rounds), {} edges remain",
+                    g.nvertices(side),
+                    r.rounds,
+                    r.subgraph.nedges()
+                ),
+            )
+        }
+        Command::Wing { file, format, k } => {
+            let g = load_graph(&file, format)?;
+            let r = k_wing(&g, k);
+            w(
+                out,
+                format!(
+                    "{k}-wing: {} of {} edges survive ({} rounds)",
+                    r.subgraph.nedges(),
+                    g.nedges(),
+                    r.rounds
+                ),
+            )
+        }
+        Command::TipNumbers {
+            file,
+            format,
+            side,
+            top,
+        } => {
+            let g = load_graph(&file, format)?;
+            let tn = tip_numbers(&g, side);
+            let mut ranked: Vec<(usize, u64)> = tn.iter().copied().enumerate().collect();
+            ranked.sort_by_key(|&(i, t)| (std::cmp::Reverse(t), i));
+            w(out, format!("top {top} vertices on {side:?} by tip number:"))?;
+            for (v, t) in ranked.into_iter().take(top) {
+                w(out, format!("  {v}\t{t}"))?;
+            }
+            Ok(())
+        }
+        Command::Enumerate {
+            file,
+            format,
+            limit,
+        } => {
+            let g = load_graph(&file, format)?;
+            let list = enumerate_butterflies(&g, limit);
+            for b in &list {
+                w(out, format!("({}, {}) x ({}, {})", b.u, b.w, b.x, b.y))?;
+            }
+            w(out, format!("{} butterflies listed (limit {limit})", list.len()))
+        }
+        Command::Metrics { file, format } => {
+            let g = load_graph(&file, format)?;
+            let m = bfly_core::metrics::metrics(&g);
+            w(out, format!("butterflies             = {}", m.butterflies))?;
+            w(
+                out,
+                format!("wedges (V1 endpoints)   = {}", m.wedges_v1_endpoints),
+            )?;
+            w(
+                out,
+                format!("wedges (V2 endpoints)   = {}", m.wedges_v2_endpoints),
+            )?;
+            w(out, format!("caterpillars            = {}", m.caterpillars))?;
+            w(
+                out,
+                format!(
+                    "clustering coefficient  = {}",
+                    m.clustering_coefficient
+                        .map_or("n/a".to_string(), |c| format!("{c:.6}"))
+                ),
+            )
+        }
+        Command::Pairs {
+            file,
+            format,
+            side,
+            top,
+        } => {
+            let g = load_graph(&file, format)?;
+            let pm = bfly_core::PairMatrix::build(&g, side);
+            w(
+                out,
+                format!("top {top} {side:?} pairs by butterflies (total {}):", pm.total()),
+            )?;
+            for (i, j, b) in pm.top_pairs(top) {
+                w(out, format!("  ({i}, {j})\t{b}"))?;
+            }
+            Ok(())
+        }
+        Command::Components { file, format } => {
+            let g = load_graph(&file, format)?;
+            let c = bfly_graph::connected_components(&g);
+            // Component sizes (vertices on both sides).
+            let mut sizes = vec![0usize; c.count];
+            for &id in c.v1.iter().chain(c.v2.iter()) {
+                sizes[id as usize] += 1;
+            }
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            w(out, format!("{} components", c.count))?;
+            w(
+                out,
+                format!(
+                    "largest sizes: {:?}",
+                    &sizes[..sizes.len().min(10)]
+                ),
+            )
+        }
+        Command::Core {
+            file,
+            format,
+            k,
+            l,
+        } => {
+            let g = load_graph(&file, format)?;
+            let r = bfly_graph::kl_core(&g, k, l);
+            let kept1 = r.keep_v1.iter().filter(|&&b| b).count();
+            let kept2 = r.keep_v2.iter().filter(|&&b| b).count();
+            w(
+                out,
+                format!(
+                    "({k}, {l})-core: {kept1}/{} V1 vertices, {kept2}/{} V2 vertices, {} of {} edges",
+                    g.nv1(),
+                    g.nv2(),
+                    r.subgraph.nedges(),
+                    g.nedges()
+                ),
+            )
+        }
+        Command::Convert {
+            file,
+            format,
+            out: path,
+        } => {
+            let g = load_graph(&file, format)?;
+            let mut buf = Vec::new();
+            if path.ends_with(".mtx") {
+                bfly_graph::matrix_market::write_matrix_market(&g, &mut buf)
+                    .map_err(|e| err(format!("serialise: {e}")))?;
+            } else {
+                write_edge_list(&g, &mut buf).map_err(|e| err(format!("serialise: {e}")))?;
+            }
+            std::fs::write(&path, buf).map_err(|e| err(format!("write {path}: {e}")))?;
+            w(
+                out,
+                format!("wrote {} edges to {path}", g.nedges()),
+            )
+        }
+        Command::Generate { kind, out: path } => {
+            use bfly_graph::generators::{chung_lu, uniform_exact};
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let g = match kind {
+                GenKind::Uniform { m, n, edges, seed } => {
+                    uniform_exact(m, n, edges, &mut StdRng::seed_from_u64(seed))
+                }
+                GenKind::ChungLu {
+                    m,
+                    n,
+                    edges,
+                    exp1,
+                    exp2,
+                    seed,
+                } => chung_lu(m, n, edges, exp1, exp2, &mut StdRng::seed_from_u64(seed)),
+                GenKind::StandIn { name, scale } => {
+                    let lower = name.to_lowercase();
+                    let d = StandIn::ALL
+                        .into_iter()
+                        .find(|d| d.spec().name.to_lowercase().contains(&lower))
+                        .ok_or_else(|| err(format!("unknown stand-in {name:?}")))?;
+                    d.generate_scaled(scale)
+                }
+            };
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).map_err(|e| err(format!("serialise: {e}")))?;
+            std::fs::write(&path, buf).map_err(|e| err(format!("write {path}: {e}")))?;
+            w(
+                out,
+                format!(
+                    "wrote {}x{} graph with {} edges to {path}",
+                    g.nv1(),
+                    g.nv2(),
+                    g.nedges()
+                ),
+            )
+        }
+    }
+}
+
+fn pick_auto(g: &BipartiteGraph) -> Invariant {
+    if g.nv2() <= g.nv1() {
+        Invariant::Inv2
+    } else {
+        Invariant::Inv6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_count_with_flags() {
+        let cmd = parse(&sv(&[
+            "count",
+            "graph.tsv",
+            "--algorithm",
+            "inv3",
+            "--parallel",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Count {
+                file: "graph.tsv".into(),
+                format: None,
+                algorithm: Algorithm::Family(Invariant::Inv3),
+                parallel: true,
+                threads: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_algorithm_names() {
+        for (s, want) in [
+            ("auto", Algorithm::Auto),
+            ("spgemm", Algorithm::Spgemm),
+            ("hash", Algorithm::Hash),
+            ("vp", Algorithm::VertexPriority),
+            ("enum", Algorithm::Enumerate),
+            ("inv8", Algorithm::Family(Invariant::Inv8)),
+        ] {
+            assert_eq!(parse_algorithm(s).unwrap(), want, "{s}");
+        }
+        assert!(parse_algorithm("inv9").is_err());
+        assert!(parse_algorithm("magic").is_err());
+    }
+
+    #[test]
+    fn parses_tip_and_wing() {
+        let cmd = parse(&sv(&["tip", "g.tsv", "--k", "5", "--side", "v2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Tip {
+                file: "g.tsv".into(),
+                format: None,
+                k: 5,
+                side: Side::V2
+            }
+        );
+        assert!(parse(&sv(&["tip", "g.tsv"])).is_err()); // missing --k
+        let cmd = parse(&sv(&["wing", "g.tsv", "--k", "2"])).unwrap();
+        assert!(matches!(cmd, Command::Wing { k: 2, .. }));
+    }
+
+    #[test]
+    fn parses_generate_variants() {
+        let cmd = parse(&sv(&[
+            "generate", "--kind", "chunglu", "--m", "10", "--n", "20", "--edges", "30", "--exp1",
+            "0.5", "--exp2", "0.6", "--seed", "9", "--out", "x.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                kind:
+                    GenKind::ChungLu {
+                        m: 10,
+                        n: 20,
+                        edges: 30,
+                        exp1,
+                        exp2,
+                        seed: 9,
+                    },
+                out,
+            } => {
+                assert_eq!(out, "x.tsv");
+                assert!((exp1 - 0.5).abs() < 1e-12);
+                assert!((exp2 - 0.6).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&sv(&["generate", "--kind", "uniform"])).is_err()); // no --out
+        assert!(parse(&sv(&["generate", "--out", "x"])).is_err()); // no --kind
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["count"])).is_err()); // missing file
+        assert!(parse(&sv(&["count", "f", "--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join("bfly-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        // Generate a small Chung-Lu graph.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "uniform", "--m", "30", "--n", "30", "--edges", "200",
+                "--seed", "5", "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        // stats
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["stats", gpath.to_str().unwrap()])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("|E|  = 200"), "{text}");
+        // count with several algorithms agrees
+        let mut counts = Vec::new();
+        for alg in ["auto", "inv1", "inv7", "spgemm", "hash", "vp", "enum"] {
+            let mut sink = Vec::new();
+            run(
+                parse(&sv(&[
+                    "count",
+                    gpath.to_str().unwrap(),
+                    "--algorithm",
+                    alg,
+                ]))
+                .unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+            let text = String::from_utf8(sink).unwrap();
+            let xi: u64 = text
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            counts.push(xi);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        // tip and wing run
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["tip", gpath.to_str().unwrap(), "--k", "1"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["wing", gpath.to_str().unwrap(), "--k", "1"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        // enumerate respects limit
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "enumerate",
+                gpath.to_str().unwrap(),
+                "--limit",
+                "3",
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("limit 3"), "{text}");
+    }
+
+    #[test]
+    fn new_subcommands_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-new");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g2.tsv");
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "uniform", "--m", "25", "--n", "25", "--edges", "150",
+                "--seed", "7", "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // metrics
+        let mut sink = Vec::new();
+        run(parse(&sv(&["metrics", gpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("butterflies"), "{text}");
+        assert!(text.contains("caterpillars"), "{text}");
+
+        // pairs
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["pairs", gpath.to_str().unwrap(), "--top", "5", "--side", "v2"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("V2 pairs"));
+
+        // components
+        let mut sink = Vec::new();
+        run(parse(&sv(&["components", gpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("components"));
+
+        // core
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["core", gpath.to_str().unwrap(), "--k", "2", "--l", "2"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("(2, 2)-core"));
+
+        // convert to MatrixMarket and reload.
+        let mpath = dir.join("g2.mtx");
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "convert",
+                gpath.to_str().unwrap(),
+                "--out",
+                mpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let mut sink = Vec::new();
+        run(parse(&sv(&["stats", mpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("|E|  = 150"));
+    }
+
+    #[test]
+    fn standin_generation_by_name() {
+        let dir = std::env::temp_dir().join("bfly-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("standin.tsv");
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "standin", "--name", "github", "--scale", "0.01", "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("wrote"), "{text}");
+        assert!(parse(&sv(&[
+            "generate", "--kind", "standin", "--name", "nope", "--out", "x"
+        ]))
+        .map(|c| run(c, &mut Vec::new()))
+        .unwrap()
+        .is_err());
+    }
+}

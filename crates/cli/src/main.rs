@@ -1,0 +1,17 @@
+//! `bfly` — butterfly counting and peeling for bipartite graphs.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match bfly_cli::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = bfly_cli::run(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

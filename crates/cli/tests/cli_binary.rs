@@ -1,0 +1,155 @@
+//! End-to-end tests of the compiled `bfly` binary (spawned as a real
+//! process via `CARGO_BIN_EXE_bfly`).
+
+use std::process::Command;
+
+fn bfly() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bfly"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfly-bin-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_is_printed_and_succeeds() {
+    let out = bfly().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("tip-numbers"));
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero() {
+    let out = bfly().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"), "{err}");
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = bfly()
+        .args(["count", "/nonexistent/definitely-not-here.tsv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_count_tip_wing_pipeline() {
+    let dir = tempdir();
+    let path = dir.join("pipeline.tsv");
+    let path_s = path.to_str().unwrap();
+
+    let out = bfly()
+        .args([
+            "generate", "--kind", "chunglu", "--m", "200", "--n", "150", "--edges", "1200",
+            "--exp1", "0.7", "--exp2", "0.7", "--seed", "3", "--out", path_s,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Counting with two algorithms agrees.
+    let mut counts = Vec::new();
+    for alg in ["inv2", "vp"] {
+        let out = bfly()
+            .args(["count", path_s, "--algorithm", alg])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        let xi: u64 = text
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        counts.push(xi);
+    }
+    assert_eq!(counts[0], counts[1]);
+
+    let out = bfly()
+        .args(["tip", path_s, "--k", "2", "--side", "v1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("2-tip on V1"), "{text}");
+
+    let out = bfly().args(["wing", path_s, "--k", "1"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("1-wing"));
+
+    let out = bfly()
+        .args(["tip-numbers", path_s, "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 4); // header + 3 rows
+}
+
+#[test]
+fn count_parallel_flag_works() {
+    let dir = tempdir();
+    let path = dir.join("par.tsv");
+    let path_s = path.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "100", "--n", "100", "--edges", "500",
+            "--seed", "1", "--out", path_s,
+        ])
+        .output()
+        .unwrap();
+    let seq = bfly().args(["count", path_s]).output().unwrap();
+    let par = bfly()
+        .args(["count", path_s, "--parallel", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(seq.status.success() && par.status.success());
+    let get = |o: &std::process::Output| {
+        String::from_utf8_lossy(&o.stdout)
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert_eq!(get(&seq), get(&par));
+}
+
+#[test]
+fn stats_on_matrix_market_input() {
+    let dir = tempdir();
+    let path = dir.join("g.mtx");
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate pattern general\n3 3 4\n1 1\n1 2\n2 1\n2 2\n",
+    )
+    .unwrap();
+    let out = bfly()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("|E|  = 4"), "{text}");
+
+    let out = bfly()
+        .args(["count", path.to_str().unwrap(), "--algorithm", "enum"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("butterflies = 1"), "{text}");
+}

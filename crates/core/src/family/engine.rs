@@ -1,0 +1,169 @@
+//! The shared loop engine behind all eight derived algorithms.
+//!
+//! Every member of the family is the same computation parameterised three
+//! ways (see the table in [`crate::family`]): which adjacency orientation
+//! is iterated, in which direction, and whether the rank-1 update reads
+//! `A₀` (indices before the exposed vertex) or `A₂` (indices after it).
+//!
+//! The update of eq. 18, `½a₁ᵀAₚAₚᵀa₁ − ½Γ(a₁a₁ᵀ ∘ AₚAₚᵀ)`, is evaluated
+//! as a wedge expansion: walk every length-2 path from the exposed vertex
+//! `k` through an opposite-side vertex `j` to a same-side vertex `c` in the
+//! chosen part, accumulate multiplicities `cnt[c] = |N(k) ∩ N(c)|` in a
+//! sparse accumulator, and add `Σ_c C(cnt[c], 2)`. Because `C(x, 2)`
+//! already excludes the repeated-wedge paths, the subtraction term of
+//! eq. 18 never needs to be formed — the "careful implementation" remark
+//! closing §III-C.
+
+use bfly_sparse::{choose2, Pattern, Spa};
+
+/// Direction in which the partitioned vertex set is traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// L→R over columns (invariants 1–2) / T→B over rows (5–6).
+    Forward,
+    /// R→L over columns (invariants 3–4) / B→T over rows (7–8).
+    Backward,
+}
+
+/// Which part of the repartitioning the update statement reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartFilter {
+    /// `A₀`: vertices with index *below* the exposed vertex.
+    Before,
+    /// `A₂`: vertices with index *above* the exposed vertex.
+    After,
+}
+
+/// Per-vertex update of eq. 18: butterflies whose wedge-point pair is
+/// `{k, c}` with `c` restricted to one side of `k`. `part_adj.row(k)` must
+/// list the opposite-side neighbours of `k`; `other_adj.row(j)` the
+/// partitioned-side neighbours of `j`.
+#[inline]
+pub(crate) fn update_for_vertex(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    filter: PartFilter,
+    k: usize,
+    spa: &mut Spa<u64>,
+) -> u64 {
+    let k32 = k as u32;
+    for &j in part_adj.row(k) {
+        let row = other_adj.row(j as usize);
+        // Sorted rows let the A₀/A₂ restriction become a prefix/suffix.
+        let slice = match filter {
+            PartFilter::Before => {
+                let cut = row.partition_point(|&c| c < k32);
+                &row[..cut]
+            }
+            PartFilter::After => {
+                let cut = row.partition_point(|&c| c <= k32);
+                &row[cut..]
+            }
+        };
+        for &c in slice {
+            spa.scatter(c, 1);
+        }
+    }
+    let mut acc = 0u64;
+    for (_, cnt) in spa.entries() {
+        acc += choose2(cnt);
+    }
+    spa.clear();
+    acc
+}
+
+/// Run one family member over a partitioned side.
+///
+/// * `part_adj` — adjacency of the partitioned side (row `k` = sorted
+///   opposite-side neighbours of partitioned vertex `k`). For invariants
+///   1–4 this is `Aᵀ` (the CSC view of `A`); for 5–8 it is `A`.
+/// * `other_adj` — the transpose of `part_adj`.
+pub fn count_partitioned(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+) -> u64 {
+    debug_assert_eq!(part_adj.nrows(), other_adj.ncols());
+    debug_assert_eq!(part_adj.ncols(), other_adj.nrows());
+    let nverts = part_adj.nrows();
+    let mut spa = Spa::<u64>::new(nverts);
+    let mut total = 0u64;
+    match traversal {
+        Traversal::Forward => {
+            for k in 0..nverts {
+                total += update_for_vertex(part_adj, other_adj, filter, k, &mut spa);
+            }
+        }
+        Traversal::Backward => {
+            for k in (0..nverts).rev() {
+                total += update_for_vertex(part_adj, other_adj, filter, k, &mut spa);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_graph::BipartiteGraph;
+
+    fn k23() -> BipartiteGraph {
+        BipartiteGraph::complete(2, 3)
+    }
+
+    #[test]
+    fn before_and_after_partition_the_pairs() {
+        // K_{2,3}: 3 butterflies (V2 wedge-point pairs: C(3,2)).
+        let g = k23();
+        let at = g.biadjacency_t();
+        let a = g.biadjacency();
+        let mut spa = Spa::<u64>::new(g.nv2());
+        // Vertex 1 of V2: pairs {1,0} before, {1,2} after → 1 butterfly each.
+        assert_eq!(update_for_vertex(at, a, PartFilter::Before, 1, &mut spa), 1);
+        assert_eq!(update_for_vertex(at, a, PartFilter::After, 1, &mut spa), 1);
+        // Vertex 0: nothing before, pairs {0,1},{0,2} after.
+        assert_eq!(update_for_vertex(at, a, PartFilter::Before, 0, &mut spa), 0);
+        assert_eq!(update_for_vertex(at, a, PartFilter::After, 0, &mut spa), 2);
+    }
+
+    #[test]
+    fn every_parameterisation_totals_the_same() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 0),
+                (3, 3),
+            ],
+        )
+        .unwrap();
+        let want = crate::spec::count_brute_force(&g);
+        let (a, at) = (g.biadjacency(), g.biadjacency_t());
+        for traversal in [Traversal::Forward, Traversal::Backward] {
+            for filter in [PartFilter::Before, PartFilter::After] {
+                assert_eq!(count_partitioned(at, a, traversal, filter), want);
+                assert_eq!(count_partitioned(a, at, traversal, filter), want);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_contribute_nothing() {
+        let g = BipartiteGraph::from_edges(5, 5, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let (a, at) = (g.biadjacency(), g.biadjacency_t());
+        assert_eq!(
+            count_partitioned(at, a, Traversal::Forward, PartFilter::After),
+            1
+        );
+    }
+}

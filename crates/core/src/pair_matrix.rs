@@ -1,0 +1,150 @@
+//! The per-pair butterfly matrix `C` (paper §II-A).
+//!
+//! `C = ½·B ∘ (B − J)` with `B = A·Aᵀ`: entry `(i, j)` is the number of
+//! butterflies whose V1 wedge-endpoint pair is `{i, j}` (i.e. `C(B_ij, 2)`
+//! — the ½ and the `−J` implement the binomial). The strictly-upper part
+//! sums to `Ξ_G` (eq. 1). Beyond re-deriving the total, `C` is directly
+//! useful: `butterflies_between(i, j)` answers pairwise similarity
+//! queries, and the top-k heaviest pairs locate the strongest 2×2
+//! co-engagement in the network.
+
+use bfly_graph::{BipartiteGraph, Side};
+use bfly_sparse::ops::spgemm;
+use bfly_sparse::{choose2, CsrMatrix};
+
+/// Symmetric per-pair butterfly counts on one side of the bipartition.
+#[derive(Debug, Clone)]
+pub struct PairMatrix {
+    side: Side,
+    /// `C(B_ij, 2)` stored sparsely; diagonal omitted.
+    c: CsrMatrix<u64>,
+}
+
+impl PairMatrix {
+    /// Build `C` for the given side (`Side::V1` pairs vertices of V1 with
+    /// wedge points in V2, and vice versa).
+    pub fn build(g: &BipartiteGraph, side: Side) -> Self {
+        let a: CsrMatrix<u64> = match side {
+            Side::V1 => g.to_csr(),
+            Side::V2 => g.biadjacency_t().to_csr(),
+        };
+        let b = spgemm(&a, &a.transpose()).expect("A·Aᵀ shapes conform");
+        // Map B ↦ ½ B∘(B−J) entry-wise, dropping the diagonal and pairs
+        // with fewer than two shared wedges.
+        let mut rowptr = Vec::with_capacity(b.nrows() + 1);
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        rowptr.push(0usize);
+        for i in 0..b.nrows() {
+            let (cols, vals) = b.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j as usize != i {
+                    let pairs = choose2(v);
+                    if pairs > 0 {
+                        colind.push(j);
+                        values.push(pairs);
+                    }
+                }
+            }
+            rowptr.push(colind.len());
+        }
+        let n = b.nrows();
+        let c = CsrMatrix::try_from_raw_parts(n, n, rowptr, colind, values)
+            .expect("filtered rows stay sorted");
+        Self { side, c }
+    }
+
+    /// Which side the pairs live on.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Butterflies whose endpoint pair is `{i, j}`.
+    pub fn butterflies_between(&self, i: u32, j: u32) -> u64 {
+        self.c.get(i as usize, j)
+    }
+
+    /// Total butterflies: half the sum (the matrix is symmetric and the
+    /// diagonal is dropped) — eq. 1/eq. 2 of the paper.
+    pub fn total(&self) -> u64 {
+        self.c.sum() / 2
+    }
+
+    /// The `k` heaviest pairs `(i, j, butterflies)` with `i < j`, sorted
+    /// descending.
+    pub fn top_pairs(&self, k: usize) -> Vec<(u32, u32, u64)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.c.nrows() {
+            let (cols, vals) = self.c.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if (i as u32) < j {
+                    pairs.push((i as u32, j, v));
+                }
+            }
+        }
+        pairs.sort_by_key(|&(i, j, v)| (std::cmp::Reverse(v), i, j));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Number of stored (ordered) pairs.
+    pub fn nnz(&self) -> usize {
+        self.c.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_spec_on_both_sides() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2), (3, 3)],
+        )
+        .unwrap();
+        let want = crate::spec::count_brute_force(&g);
+        assert_eq!(PairMatrix::build(&g, Side::V1).total(), want);
+        assert_eq!(PairMatrix::build(&g, Side::V2).total(), want);
+    }
+
+    #[test]
+    fn pairwise_queries() {
+        let g = BipartiteGraph::complete(3, 3);
+        let pm = PairMatrix::build(&g, Side::V1);
+        // Every V1 pair shares 3 wedges → C(3,2) = 3 butterflies.
+        assert_eq!(pm.butterflies_between(0, 1), 3);
+        assert_eq!(pm.butterflies_between(2, 0), 3);
+        assert_eq!(pm.butterflies_between(1, 1), 0); // diagonal dropped
+        assert_eq!(pm.total(), 9);
+    }
+
+    #[test]
+    fn top_pairs_ranks_by_count() {
+        // Pair {0,1} shares 3 items; pair {2,3} shares 2.
+        let g = BipartiteGraph::from_edges(
+            4,
+            5,
+            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 3), (2, 4), (3, 3), (3, 4)],
+        )
+        .unwrap();
+        let pm = PairMatrix::build(&g, Side::V1);
+        let top = pm.top_pairs(2);
+        assert_eq!(top[0], (0, 1, 3));
+        assert_eq!(top[1], (2, 3, 1));
+        // Asking for more pairs than exist just returns all.
+        assert_eq!(pm.top_pairs(100).len(), 2);
+    }
+
+    #[test]
+    fn butterfly_free_graph_is_empty() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let pm = PairMatrix::build(&g, Side::V1);
+        assert_eq!(pm.nnz(), 0);
+        assert_eq!(pm.total(), 0);
+        assert!(pm.top_pairs(5).is_empty());
+        assert_eq!(pm.side(), Side::V1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The partitioned specification itself (paper §III-A/§III-B).
+//!
+//! Splitting `V2` into `L | R` (or `V1` into `T / B`) classifies every
+//! butterfly by where its two wedge points fall: `Ξ_G = Ξ_L + Ξ_LR + Ξ_R`
+//! (eq. 8), with each category given in closed matrix form by eq. 10.
+//! This module computes the three categories directly — both by wedge
+//! expansion ([`count_categories`]) and by transliterating the ten-trace
+//! expansion of eq. 9 over dense matrices ([`count_dense_partitioned`]) —
+//! so the identity at the root of the whole derivation is executable and
+//! tested, not just asserted on paper. The loop invariants of Figs. 4–5
+//! are exactly partial sums of these categories.
+
+use bfly_graph::{BipartiteGraph, Side};
+use bfly_sparse::{choose2, DenseMatrix, Spa};
+
+/// The three butterfly categories induced by a 2-way partition of one
+/// vertex set (paper's categories 1–3 for V2, 4–6 for V1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// Both wedge points in the first part (`Ξ_L` / `Ξ_T`).
+    pub both_first: u64,
+    /// One wedge point in each part (`Ξ_LR` / `Ξ_TB`).
+    pub split: u64,
+    /// Both wedge points in the second part (`Ξ_R` / `Ξ_B`).
+    pub both_second: u64,
+}
+
+impl CategoryCounts {
+    /// `Ξ_G` by eq. 8/11.
+    pub fn total(&self) -> u64 {
+        self.both_first + self.split + self.both_second
+    }
+}
+
+/// Count the three categories for the partition that puts vertices
+/// `0..split` of `side` in the first part and the rest in the second.
+pub fn count_categories(g: &BipartiteGraph, side: Side, split: usize) -> CategoryCounts {
+    let (part_adj, other_adj) = match side {
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+    };
+    let n = part_adj.nrows();
+    assert!(split <= n, "split point {split} exceeds side size {n}");
+    let mut counts = CategoryCounts {
+        both_first: 0,
+        split: 0,
+        both_second: 0,
+    };
+    let mut spa = Spa::<u64>::new(n);
+    for k in 0..n {
+        let k32 = k as u32;
+        // Expand pairs (k, c) with c > k once; classify by the partition.
+        for &j in part_adj.row(k) {
+            let row = other_adj.row(j as usize);
+            let cut = row.partition_point(|&c| c <= k32);
+            for &c in &row[cut..] {
+                spa.scatter(c, 1);
+            }
+        }
+        for (c, cnt) in spa.entries() {
+            let b = choose2(cnt);
+            if b == 0 {
+                continue;
+            }
+            let k_first = k < split;
+            let c_first = (c as usize) < split;
+            match (k_first, c_first) {
+                (true, true) => counts.both_first += b,
+                (false, false) => counts.both_second += b,
+                _ => counts.split += b,
+            }
+        }
+        spa.clear();
+    }
+    counts
+}
+
+/// The ten-trace dense expansion of eq. 9 (and its eq. 10 groupings),
+/// evaluated literally: `A` is split column-wise at `split` into
+/// `(A_L | A_R)` and every trace term is formed with dense matrix algebra.
+/// Returns the three category counts; their sum is `Ξ_G`.
+///
+/// Small graphs only — this exists to make the derivation's central
+/// algebraic step executable.
+pub fn count_dense_partitioned(g: &BipartiteGraph, split: usize) -> CategoryCounts {
+    let a: DenseMatrix<i64> = g.to_dense();
+    let (m, n) = a.shape();
+    assert!(split <= n);
+    // Column split A -> (A_L | A_R).
+    let mut al = DenseMatrix::<i64>::zeros(m, split);
+    let mut ar = DenseMatrix::<i64>::zeros(m, n - split);
+    for i in 0..m {
+        for j in 0..n {
+            if j < split {
+                al.set(i, j, a.get(i, j));
+            } else {
+                ar.set(i, j - split, a.get(i, j));
+            }
+        }
+    }
+    let bl = al.matmul(&al.transpose()).expect("A_L·A_Lᵀ conforms");
+    let br = ar.matmul(&ar.transpose()).expect("A_R·A_Rᵀ conforms");
+
+    let category = |b: &DenseMatrix<i64>| -> u64 {
+        // eq. 10: ¼Γ(BB − B∘B − JB + B) with B symmetric.
+        let t1 = b.matmul(b).unwrap().trace();
+        let t2 = b.hadamard(b).unwrap().trace();
+        let t3 = b.sum(); // Γ(JB)
+        let t4 = b.trace();
+        let v = t1 - t2 - t3 + t4;
+        debug_assert!(v >= 0 && v % 4 == 0);
+        (v / 4) as u64
+    };
+    let cross = {
+        // eq. 10: Ξ_LR = ½Γ(B_L·B_R − B_L∘B_R).
+        let t1 = bl.matmul(&br).unwrap().trace();
+        let t2 = bl.hadamard(&br).unwrap().trace();
+        let v = t1 - t2;
+        debug_assert!(v >= 0 && v % 2 == 0);
+        (v / 2) as u64
+    };
+    CategoryCounts {
+        both_first: category(&bl),
+        split: cross,
+        both_second: category(&br),
+    }
+}
+
+/// The partial sums that the paper's four V2 loop invariants maintain
+/// (Fig. 4), expressed through the categories: after processing the first
+/// `split` vertices,
+///
+/// * invariant 1 has counted `Ξ_L`,
+/// * invariant 2 has counted `Ξ_L + Ξ_LR`,
+/// * invariant 3 has counted `Ξ_LR + Ξ_R`,
+/// * invariant 4 has counted `Ξ_R`.
+///
+/// Returns those four partial sums for a given split — the executable
+/// form of Fig. 4 (and, with `Side::V1`, of Fig. 5).
+pub fn loop_invariant_states(g: &BipartiteGraph, side: Side, split: usize) -> [u64; 4] {
+    let c = count_categories(g, side, split);
+    [
+        c.both_first,
+        c.both_first + c.split,
+        c.split + c.both_second,
+        c.both_second,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::count_brute_force;
+    use bfly_graph::generators::uniform_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(404);
+        uniform_exact(18, 14, 90, &mut rng)
+    }
+
+    #[test]
+    fn categories_sum_to_total_for_every_split() {
+        let g = sample();
+        let total = count_brute_force(&g);
+        for side in [Side::V1, Side::V2] {
+            let n = g.nvertices(side);
+            for split in 0..=n {
+                let c = count_categories(&g, side, split);
+                assert_eq!(c.total(), total, "side {side:?} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_splits_collapse_categories() {
+        let g = sample();
+        let total = count_brute_force(&g);
+        // split = 0: everything is "both in second part".
+        let c = count_categories(&g, Side::V2, 0);
+        assert_eq!(c.both_first, 0);
+        assert_eq!(c.split, 0);
+        assert_eq!(c.both_second, total);
+        // split = n: everything in the first.
+        let c = count_categories(&g, Side::V2, g.nv2());
+        assert_eq!(c.both_first, total);
+        assert_eq!(c.split + c.both_second, 0);
+    }
+
+    #[test]
+    fn dense_eq9_matches_wedge_expansion_categories() {
+        let g = sample();
+        for split in [0, 1, 5, 7, g.nv2()] {
+            let dense = count_dense_partitioned(&g, split);
+            let sparse = count_categories(&g, Side::V2, split);
+            assert_eq!(dense, sparse, "split {split}");
+        }
+    }
+
+    #[test]
+    fn loop_invariant_states_interpolate_between_zero_and_total() {
+        let g = sample();
+        let total = count_brute_force(&g);
+        // Before the loop (split 0): invariants 1/2 hold 0, 3/4 hold Ξ_G
+        // — matching their initialisation/termination conventions.
+        let s0 = loop_invariant_states(&g, Side::V2, 0);
+        assert_eq!(s0, [0, 0, total, total]);
+        // After the loop (split n): inverted.
+        let sn = loop_invariant_states(&g, Side::V2, g.nv2());
+        assert_eq!(sn, [total, total, 0, 0]);
+        // Mid-loop: invariant 2's partial sum dominates invariant 1's, and
+        // 3 dominates 4, at every split.
+        for split in 0..=g.nv2() {
+            let s = loop_invariant_states(&g, Side::V2, split);
+            assert!(s[1] >= s[0]);
+            assert!(s[2] >= s[3]);
+            assert_eq!(s[0] + s[2], total); // Ξ_L + (Ξ_LR + Ξ_R)
+            assert_eq!(s[1] + s[3], total); // (Ξ_L + Ξ_LR) + Ξ_R
+        }
+    }
+
+    #[test]
+    fn complete_graph_categories_are_binomial() {
+        // K_{4,4} split at 2: pairs within L = C(2,2) choices... each V2
+        // pair contributes C(4,2) = 6 butterflies; pairs: LL = 1, LR = 4,
+        // RR = 1 → 6, 24, 6.
+        let g = BipartiteGraph::complete(4, 4);
+        let c = count_categories(&g, Side::V2, 2);
+        assert_eq!(c.both_first, 6);
+        assert_eq!(c.split, 24);
+        assert_eq!(c.both_second, 6);
+        assert_eq!(c.total(), 36);
+    }
+}

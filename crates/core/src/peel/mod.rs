@@ -1,0 +1,16 @@
+//! Butterfly peeling: k-tip and k-wing subgraph extraction and the full
+//! tip/wing decompositions (paper §IV, after Sariyüce–Pinar [11]).
+
+pub mod decomposition;
+pub mod tip;
+pub mod wing;
+
+pub use decomposition::{TipDecomposition, WingDecomposition};
+
+pub use tip::{
+    k_tip, k_tip_lookahead, k_tip_matrix, k_tip_parallel, tip_numbers, tip_numbers_bucket,
+    TipResult,
+};
+pub use wing::{
+    k_wing, k_wing_masked_spgemm, k_wing_matrix, k_wing_parallel, wing_numbers, WingResult,
+};

@@ -1,0 +1,199 @@
+//! Wedge-level utilities.
+//!
+//! The wedge — a length-2 path with distinct endpoints — is the unit the
+//! whole derivation is built from: `B = A·Aᵀ` counts wedges, butterflies
+//! are wedge pairs, and every algorithm in the family is a disciplined
+//! wedge traversal. This module exposes wedges directly: totals (paper
+//! eqs. 5–6), per-vertex tallies, enumeration with a visitor, and the
+//! wedge histogram that predicts counting cost.
+
+use bfly_graph::{BipartiteGraph, Side};
+use bfly_sparse::choose2;
+
+/// One wedge: endpoints `u ≠ w` on one side, wedge point `x` on the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wedge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub w: u32,
+    /// Wedge point (opposite side).
+    pub x: u32,
+}
+
+/// Total wedges whose *wedge point* lies on `side` (endpoints on the
+/// other side): `Σ_v C(deg v, 2)` — eq. 6 evaluated by degrees.
+pub fn total_wedges(g: &BipartiteGraph, wedge_point_side: Side) -> u64 {
+    match wedge_point_side {
+        Side::V2 => g.wedges_through_v2(),
+        Side::V1 => g.wedges_through_v1(),
+    }
+}
+
+/// Wedges *centred* at each vertex of `side`: `C(deg, 2)` per vertex.
+pub fn wedges_per_wedge_point(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    match side {
+        Side::V1 => (0..g.nv1())
+            .map(|u| choose2(g.deg_v1(u) as u64))
+            .collect(),
+        Side::V2 => (0..g.nv2())
+            .map(|v| choose2(g.deg_v2(v) as u64))
+            .collect(),
+    }
+}
+
+/// Wedges *ending* at each vertex of `side` (as an endpoint): vertex `u`
+/// ends `Σ_{x ∈ N(u)} (deg(x) − 1)` wedges.
+pub fn wedges_per_endpoint(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    match side {
+        Side::V1 => (0..g.nv1())
+            .map(|u| {
+                g.neighbors_v1(u)
+                    .iter()
+                    .map(|&x| g.deg_v2(x as usize) as u64 - 1)
+                    .sum()
+            })
+            .collect(),
+        Side::V2 => (0..g.nv2())
+            .map(|v| {
+                g.neighbors_v2(v)
+                    .iter()
+                    .map(|&x| g.deg_v1(x as usize) as u64 - 1)
+                    .sum()
+            })
+            .collect(),
+    }
+}
+
+/// Visit every wedge with wedge points on `wedge_point_side` exactly once
+/// (`u < w`); return `false` from the visitor to stop early. Returns the
+/// number visited.
+pub fn for_each_wedge(
+    g: &BipartiteGraph,
+    wedge_point_side: Side,
+    mut visit: impl FnMut(Wedge) -> bool,
+) -> u64 {
+    let adj = match wedge_point_side {
+        Side::V2 => g.biadjacency_t(),
+        Side::V1 => g.biadjacency(),
+    };
+    let mut n = 0u64;
+    for x in 0..adj.nrows() {
+        let nbrs = adj.row(x);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                n += 1;
+                if !visit(Wedge {
+                    u: nbrs[i],
+                    w: nbrs[j],
+                    x: x as u32,
+                }) {
+                    return n;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// The wedge-work profile the paper's §V cost discussion turns on: total
+/// wedges through each side, which predicts the cost of the family half
+/// that iterates that side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WedgeProfile {
+    /// Work for invariants 1–4 (wedge points in V2).
+    pub through_v2: u64,
+    /// Work for invariants 5–8 (wedge points in V1).
+    pub through_v1: u64,
+}
+
+impl WedgeProfile {
+    /// Compute both totals.
+    pub fn compute(g: &BipartiteGraph) -> Self {
+        Self {
+            through_v2: g.wedges_through_v2(),
+            through_v1: g.wedges_through_v1(),
+        }
+    }
+
+    /// Which family half the profile predicts to be cheaper (the side
+    /// with fewer wedges to traverse). Ties predict V2 (invariants 1–4).
+    pub fn predicted_cheaper_half(&self) -> Side {
+        if self.through_v2 <= self.through_v1 {
+            Side::V2
+        } else {
+            Side::V1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn sample() -> BipartiteGraph {
+        BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn totals_match_degree_formulas() {
+        let g = sample();
+        // V2 degrees: 2, 3, 0 → C(2,2) + C(3,2) = 1 + 3 = 4.
+        assert_eq!(total_wedges(&g, Side::V2), 4);
+        // V1 degrees: 2, 2, 1 → 1 + 1 + 0 = 2.
+        assert_eq!(total_wedges(&g, Side::V1), 2);
+    }
+
+    #[test]
+    fn per_vertex_tallies_sum_to_totals() {
+        let g = sample();
+        for side in [Side::V1, Side::V2] {
+            let centred = wedges_per_wedge_point(&g, side);
+            assert_eq!(centred.iter().sum::<u64>(), total_wedges(&g, side));
+            // Each wedge has two endpoints on the other side.
+            let endpoints = wedges_per_endpoint(&g, side.other());
+            assert_eq!(
+                endpoints.iter().sum::<u64>(),
+                2 * total_wedges(&g, side)
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_visits_each_wedge_once() {
+        let g = sample();
+        let mut seen = HashSet::new();
+        let n = for_each_wedge(&g, Side::V2, |w| {
+            assert!(w.u < w.w);
+            assert!(g.has_edge(w.u, w.x));
+            assert!(g.has_edge(w.w, w.x));
+            assert!(seen.insert(w));
+            true
+        });
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn early_stop() {
+        let g = BipartiteGraph::complete(4, 4);
+        let mut count = 0;
+        let n = for_each_wedge(&g, Side::V2, |_| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn profile_predicts_smaller_wedge_side() {
+        // Tall graph: few V2 vertices with big degrees → many wedges
+        // through V2; the profile must steer to V1.
+        let tall = BipartiteGraph::complete(40, 2);
+        let p = WedgeProfile::compute(&tall);
+        assert!(p.through_v2 > p.through_v1);
+        assert_eq!(p.predicted_cheaper_half(), Side::V1);
+        let wide = BipartiteGraph::complete(2, 40);
+        assert_eq!(WedgeProfile::compute(&wide).predicted_cheaper_half(), Side::V2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Subgraph compaction: renumber a masked graph onto dense vertex ids.
+//!
+//! Peeling returns dimension-preserving masked graphs (matching the
+//! paper's `A ∘ M` semantics); compaction squeezes out the removed
+//! vertices for downstream consumers that want dense ids, keeping the
+//! old↔new mappings.
+
+use crate::bipartite::BipartiteGraph;
+
+/// A compacted graph plus the mapping back to the original ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactedGraph {
+    /// The renumbered graph with no gaps.
+    pub graph: BipartiteGraph,
+    /// `old_v1[new_id] = old_id` for the V1 side.
+    pub old_v1: Vec<u32>,
+    /// `old_v2[new_id] = old_id` for the V2 side.
+    pub old_v2: Vec<u32>,
+}
+
+impl CompactedGraph {
+    /// Map a new V1 id back to the original id.
+    pub fn original_v1(&self, new_id: u32) -> u32 {
+        self.old_v1[new_id as usize]
+    }
+
+    /// Map a new V2 id back to the original id.
+    pub fn original_v2(&self, new_id: u32) -> u32 {
+        self.old_v2[new_id as usize]
+    }
+}
+
+/// Drop every vertex with degree zero and renumber densely.
+pub fn compact(g: &BipartiteGraph) -> CompactedGraph {
+    compact_by(g, |u| g.deg_v1(u) > 0, |v| g.deg_v2(v) > 0)
+}
+
+/// Keep exactly the vertices selected by the two predicates (their edges
+/// to dropped vertices disappear) and renumber densely.
+pub fn compact_by(
+    g: &BipartiteGraph,
+    keep_v1: impl Fn(usize) -> bool,
+    keep_v2: impl Fn(usize) -> bool,
+) -> CompactedGraph {
+    let mut new_v1 = vec![u32::MAX; g.nv1()];
+    let mut old_v1 = Vec::new();
+    for u in 0..g.nv1() {
+        if keep_v1(u) {
+            new_v1[u] = old_v1.len() as u32;
+            old_v1.push(u as u32);
+        }
+    }
+    let mut new_v2 = vec![u32::MAX; g.nv2()];
+    let mut old_v2 = Vec::new();
+    for v in 0..g.nv2() {
+        if keep_v2(v) {
+            new_v2[v] = old_v2.len() as u32;
+            old_v2.push(v as u32);
+        }
+    }
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|&(u, v)| new_v1[u as usize] != u32::MAX && new_v2[v as usize] != u32::MAX)
+        .map(|(u, v)| (new_v1[u as usize], new_v2[v as usize]))
+        .collect();
+    let graph = BipartiteGraph::from_edges(old_v1.len(), old_v2.len(), &edges)
+        .expect("renumbered edges are dense");
+    CompactedGraph {
+        graph,
+        old_v1,
+        old_v2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_drops_isolated_vertices() {
+        let g = BipartiteGraph::from_edges(5, 5, &[(1, 2), (3, 2), (3, 4)]).unwrap();
+        let c = compact(&g);
+        assert_eq!(c.graph.nv1(), 2);
+        assert_eq!(c.graph.nv2(), 2);
+        assert_eq!(c.graph.nedges(), 3);
+        assert_eq!(c.original_v1(0), 1);
+        assert_eq!(c.original_v1(1), 3);
+        assert_eq!(c.original_v2(0), 2);
+        assert_eq!(c.original_v2(1), 4);
+        // Edge (3,4) old → (1,1) new.
+        assert!(c.graph.has_edge(1, 1));
+    }
+
+    #[test]
+    fn compact_by_predicate() {
+        let g = BipartiteGraph::complete(3, 3);
+        let c = compact_by(&g, |u| u != 1, |_| true);
+        assert_eq!(c.graph.nv1(), 2);
+        assert_eq!(c.graph.nedges(), 6);
+        assert_eq!(c.original_v1(1), 2);
+    }
+
+    #[test]
+    fn compacting_a_peeled_mask_preserves_counts() {
+        // Butterfly count must be identical before and after compaction —
+        // renumbering is an isomorphism.
+        let g = BipartiteGraph::from_edges(
+            6,
+            6,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (4, 4), (4, 5), (5, 4), (5, 5)],
+        )
+        .unwrap();
+        let c = compact(&g);
+        assert_eq!(c.graph.nv1(), 4);
+        // Two disjoint butterflies survive with renumbered ids.
+        assert!(c.graph.has_edge(0, 0));
+        assert!(c.graph.has_edge(2, 2));
+        assert!(c.graph.has_edge(3, 3));
+    }
+
+    #[test]
+    fn fully_empty_graph_compacts_to_nothing() {
+        let g = BipartiteGraph::empty(4, 4);
+        let c = compact(&g);
+        assert_eq!(c.graph.nv1(), 0);
+        assert_eq!(c.graph.nv2(), 0);
+        assert_eq!(c.graph.nedges(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Connected components of a bipartite graph.
+//!
+//! Butterflies never span components, so per-component counts sum to the
+//! total — a useful decomposition both for validation (the property suite
+//! checks additivity) and for running the counting family on one dense
+//! component at a time.
+
+use crate::bipartite::BipartiteGraph;
+
+/// Component labelling of both vertex sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component id of every V1 vertex (isolated vertices get their own).
+    pub v1: Vec<u32>,
+    /// Component id of every V2 vertex.
+    pub v2: Vec<u32>,
+    /// Number of components (including singleton isolated vertices).
+    pub count: usize,
+}
+
+/// Label connected components with an iterative BFS over both sides.
+pub fn connected_components(g: &BipartiteGraph) -> Components {
+    const UNSET: u32 = u32::MAX;
+    let mut v1 = vec![UNSET; g.nv1()];
+    let mut v2 = vec![UNSET; g.nv2()];
+    let mut next = 0u32;
+    let mut queue: Vec<(bool, u32)> = Vec::new();
+    for start in 0..g.nv1() {
+        if v1[start] != UNSET {
+            continue;
+        }
+        v1[start] = next;
+        queue.push((true, start as u32));
+        while let Some((is_v1, x)) = queue.pop() {
+            if is_v1 {
+                for &y in g.neighbors_v1(x as usize) {
+                    if v2[y as usize] == UNSET {
+                        v2[y as usize] = next;
+                        queue.push((false, y));
+                    }
+                }
+            } else {
+                for &y in g.neighbors_v2(x as usize) {
+                    if v1[y as usize] == UNSET {
+                        v1[y as usize] = next;
+                        queue.push((true, y));
+                    }
+                }
+            }
+        }
+        next += 1;
+    }
+    for c in v2.iter_mut() {
+        if *c == UNSET {
+            *c = next;
+            next += 1;
+        }
+    }
+    Components {
+        v1,
+        v2,
+        count: next as usize,
+    }
+}
+
+/// Extract component `id` as a masked (dimension-preserving) subgraph.
+pub fn component_subgraph(g: &BipartiteGraph, comps: &Components, id: u32) -> BipartiteGraph {
+    let keep1: Vec<bool> = comps.v1.iter().map(|&c| c == id).collect();
+    let keep2: Vec<bool> = comps.v2.iter().map(|&c| c == id).collect();
+    g.masked(&keep1, &keep2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_islands() {
+        // Island A: u0–v0–u1; island B: u2–v1.
+        let g = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.v1[0], c.v1[1]);
+        assert_ne!(c.v1[0], c.v1[2]);
+        assert_eq!(c.v2[0], c.v1[0]);
+        assert_eq!(c.v2[1], c.v1[2]);
+    }
+
+    #[test]
+    fn isolated_vertices_get_singleton_components() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0)]).unwrap();
+        let c = connected_components(&g);
+        // {u0, v0}, {u1}, {u2}, {v1}, {v2}.
+        assert_eq!(c.count, 5);
+        let mut ids: Vec<u32> = c.v1.iter().chain(c.v2.iter()).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn connected_graph_is_one_component() {
+        let g = BipartiteGraph::complete(4, 3);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.v1.iter().all(|&x| x == 0));
+        assert!(c.v2.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn component_subgraph_isolates_edges() {
+        let g = BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 2), (2, 3)])
+            .unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // two edge-components + isolated v1.
+        let sub = component_subgraph(&g, &c, c.v1[2]);
+        assert_eq!(sub.nedges(), 3);
+        assert!(sub.has_edge(2, 2));
+        assert!(!sub.has_edge(0, 0));
+        // Dimensions preserved for index stability.
+        assert_eq!(sub.nv1(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::empty(2, 2);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Edge-list I/O, including the KONECT `out.*` format.
+//!
+//! The paper's datasets come from the KONECT collection [5], whose files
+//! look like:
+//!
+//! ```text
+//! % bip unweighted
+//! % 58595 16726 22015
+//! 1 1
+//! 1 2
+//! ...
+//! ```
+//!
+//! Comment lines start with `%` (or `#`), data lines are whitespace-
+//! separated `u v [weight [timestamp]]` pairs with **1-based** indices.
+//! [`read_konect`] parses that; [`read_edge_list`] parses the same shape
+//! with 0-based indices and no header. If real KONECT files are available
+//! locally they can be fed straight into the same harness that runs the
+//! synthetic stand-ins.
+
+use crate::bipartite::BipartiteGraph;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised while parsing edge-list files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_pairs<R: Read>(reader: R, one_based: bool) -> Result<Vec<(u32, u32)>, IoError> {
+    let reader = BufReader::new(reader);
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (us, vs) = match (it.next(), it.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    msg: format!("expected at least two fields, got {trimmed:?}"),
+                })
+            }
+        };
+        let parse = |s: &str, lineno: usize| -> Result<u32, IoError> {
+            s.parse::<u32>().map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                msg: format!("bad vertex id {s:?}: {e}"),
+            })
+        };
+        let mut u = parse(us, lineno)?;
+        let mut v = parse(vs, lineno)?;
+        if one_based {
+            if u == 0 || v == 0 {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    msg: "vertex id 0 in a 1-based file".to_string(),
+                });
+            }
+            u -= 1;
+            v -= 1;
+        }
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+fn graph_from_pairs(edges: Vec<(u32, u32)>) -> BipartiteGraph {
+    let m = edges.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
+    let n = edges.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+    BipartiteGraph::from_edges(m, n, &edges).expect("dimensions derived from the edges")
+}
+
+/// Parse a KONECT `out.*` bipartite file (1-based indices, `%` comments)
+/// from any reader. Vertex-set sizes are inferred from the maximum indices.
+pub fn read_konect<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
+    Ok(graph_from_pairs(parse_pairs(reader, true)?))
+}
+
+/// Parse a 0-based whitespace edge list (comments `%`/`#` allowed).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
+    Ok(graph_from_pairs(parse_pairs(reader, false)?))
+}
+
+/// Load a KONECT file from disk.
+pub fn read_konect_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph, IoError> {
+    read_konect(std::fs::File::open(path)?)
+}
+
+/// Load a 0-based edge list from disk.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a 0-based edge list.
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "% bip unweighted")?;
+    writeln!(w, "% {} {} {}", g.nedges(), g.nv1(), g.nv2())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn konect_format_roundtrip_semantics() {
+        let file = "% bip unweighted\n% 3 2 2\n1 1\n1 2\n2 2\n";
+        let g = read_konect(file.as_bytes()).unwrap();
+        assert_eq!(g.nv1(), 2);
+        assert_eq!(g.nv2(), 2);
+        assert_eq!(g.nedges(), 3);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn zero_based_edge_list() {
+        let file = "# comment\n0 0\n0 1\n2 1\n";
+        let g = read_edge_list(file.as_bytes()).unwrap();
+        assert_eq!(g.nv1(), 3);
+        assert_eq!(g.nv2(), 2);
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn extra_columns_are_ignored() {
+        let file = "1 1 1.0 1234567890\n2 1 1.0 1234567891\n";
+        let g = read_konect(file.as_bytes()).unwrap();
+        assert_eq!(g.nedges(), 2);
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn konect_rejects_zero_ids() {
+        let file = "0 1\n";
+        assert!(matches!(
+            read_konect(file.as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let file = "1 1\nnot-a-number 2\n";
+        match read_edge_list(file.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let file = "1\n";
+        assert!(read_edge_list(file.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let g = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 1), (2, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("% nothing here\n".as_bytes()).unwrap();
+        assert_eq!(g.nedges(), 0);
+        assert_eq!(g.nv1(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Calibrated stand-ins for the paper's five KONECT datasets (Fig. 9).
+//!
+//! | Dataset        | \|V1\|  | \|V2\|  | \|E\|   | Ξ_G (paper) |
+//! |----------------|---------|---------|---------|-------------|
+//! | arXiv cond-mat | 16,726  | 22,015  | 58,595  | 70,549      |
+//! | Producers      | 48,833  | 138,844 | 207,268 | 266,983     |
+//! | Record Labels  | 168,337 | 18,421  | 233,286 | 1,086,886   |
+//! | Occupations    | 127,577 | 101,730 | 250,945 | 24,509,245  |
+//! | GitHub         | 56,519  | 120,867 | 440,237 | 50,894,505  |
+//!
+//! The real files are not redistributable, so each stand-in is a bipartite
+//! Chung–Lu graph with the *exact* vertex-set sizes and edge count from the
+//! paper, and per-side power-law exponents tuned so the butterfly count
+//! lands in the same order of magnitude (recorded in EXPERIMENTS.md). The
+//! phenomena the paper's evaluation measures — which vertex set is smaller,
+//! edge sparsity, degree skew — are therefore preserved. A `scale`
+//! parameter shrinks all three size parameters proportionally for cheap CI
+//! runs.
+
+use crate::bipartite::BipartiteGraph;
+use crate::generators::chung_lu;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Static description of one evaluation dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// KONECT name as printed in Fig. 9.
+    pub name: &'static str,
+    /// `|V1|`.
+    pub v1: usize,
+    /// `|V2|`.
+    pub v2: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Butterfly count the paper reports (Fig. 9) — for the real dataset,
+    /// not the stand-in; used for order-of-magnitude calibration checks.
+    pub paper_butterflies: u64,
+    /// Power-law exponent for V1 weights in the stand-in.
+    pub exponent_v1: f64,
+    /// Power-law exponent for V2 weights in the stand-in.
+    pub exponent_v2: f64,
+}
+
+/// The five evaluation datasets of the paper.
+///
+/// ```
+/// use bfly_graph::StandIn;
+///
+/// let g = StandIn::ArxivCondMat.generate_scaled(0.01);
+/// let spec = StandIn::ArxivCondMat.spec();
+/// assert_eq!(g.nv1(), (spec.v1 as f64 * 0.01) as usize);
+/// assert_eq!(g.nedges(), (spec.edges as f64 * 0.01) as usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandIn {
+    /// arXiv cond-mat authorship.
+    ArxivCondMat,
+    /// Movie producers.
+    Producers,
+    /// Record labels.
+    RecordLabels,
+    /// Occupations.
+    Occupations,
+    /// GitHub membership.
+    GitHub,
+}
+
+impl StandIn {
+    /// All five datasets in the paper's row order.
+    pub const ALL: [StandIn; 5] = [
+        StandIn::ArxivCondMat,
+        StandIn::Producers,
+        StandIn::RecordLabels,
+        StandIn::Occupations,
+        StandIn::GitHub,
+    ];
+
+    /// Shape parameters (from Fig. 9) and calibrated skew exponents.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            StandIn::ArxivCondMat => DatasetSpec {
+                name: "arXiv cond-mat",
+                v1: 16_726,
+                v2: 22_015,
+                edges: 58_595,
+                paper_butterflies: 70_549,
+                exponent_v1: 0.67,
+                exponent_v2: 0.67,
+            },
+            StandIn::Producers => DatasetSpec {
+                name: "Producers",
+                v1: 48_833,
+                v2: 138_844,
+                edges: 207_268,
+                paper_butterflies: 266_983,
+                exponent_v1: 0.68,
+                exponent_v2: 0.68,
+            },
+            StandIn::RecordLabels => DatasetSpec {
+                name: "Record Labels",
+                v1: 168_337,
+                v2: 18_421,
+                edges: 233_286,
+                paper_butterflies: 1_086_886,
+                exponent_v1: 0.69,
+                exponent_v2: 0.69,
+            },
+            StandIn::Occupations => DatasetSpec {
+                name: "Occupations",
+                v1: 127_577,
+                v2: 101_730,
+                edges: 250_945,
+                paper_butterflies: 24_509_245,
+                exponent_v1: 0.89,
+                exponent_v2: 0.89,
+            },
+            StandIn::GitHub => DatasetSpec {
+                name: "GitHub",
+                v1: 56_519,
+                v2: 120_867,
+                edges: 440_237,
+                paper_butterflies: 50_894_505,
+                exponent_v1: 0.82,
+                exponent_v2: 0.82,
+            },
+        }
+    }
+
+    /// Generate the stand-in at full size with a fixed per-dataset seed.
+    pub fn generate(self) -> BipartiteGraph {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generate at a fraction of the paper's size: vertex counts and edge
+    /// count all scale by `scale` (clamped so nothing degenerates to zero).
+    pub fn generate_scaled(self, scale: f64) -> BipartiteGraph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let spec = self.spec();
+        let m = ((spec.v1 as f64 * scale) as usize).max(4);
+        let n = ((spec.v2 as f64 * scale) as usize).max(4);
+        let e = ((spec.edges as f64 * scale) as usize)
+            .max(4)
+            .min(m * n);
+        let mut rng = StdRng::seed_from_u64(self.seed());
+        chung_lu(m, n, e, spec.exponent_v1, spec.exponent_v2, &mut rng)
+    }
+
+    /// Stable per-dataset RNG seed so every run of the harness sees the
+    /// same stand-in.
+    fn seed(self) -> u64 {
+        match self {
+            StandIn::ArxivCondMat => 0xA12B_0001,
+            StandIn::Producers => 0xA12B_0002,
+            StandIn::RecordLabels => 0xA12B_0003,
+            StandIn::Occupations => 0xA12B_0004,
+            StandIn::GitHub => 0xA12B_0005,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_fig9_shapes() {
+        let s = StandIn::ArxivCondMat.spec();
+        assert_eq!((s.v1, s.v2, s.edges), (16_726, 22_015, 58_595));
+        let s = StandIn::GitHub.spec();
+        assert_eq!((s.v1, s.v2, s.edges), (56_519, 120_867, 440_237));
+        // The partition-size split that drives the paper's §V finding:
+        // Record Labels and Occupations have |V1| > |V2|, the rest inverse.
+        for d in StandIn::ALL {
+            let s = d.spec();
+            match d {
+                StandIn::RecordLabels | StandIn::Occupations => assert!(s.v1 > s.v2),
+                _ => assert!(s.v1 < s.v2),
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_generation_matches_requested_shape() {
+        let g = StandIn::ArxivCondMat.generate_scaled(0.02);
+        let spec = StandIn::ArxivCondMat.spec();
+        assert_eq!(g.nv1(), (spec.v1 as f64 * 0.02) as usize);
+        assert_eq!(g.nv2(), (spec.v2 as f64 * 0.02) as usize);
+        assert_eq!(g.nedges(), (spec.edges as f64 * 0.02) as usize);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = StandIn::Producers.generate_scaled(0.01);
+        let g2 = StandIn::Producers.generate_scaled(0.01);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = StandIn::GitHub.generate_scaled(0.0);
+    }
+}

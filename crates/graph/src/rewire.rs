@@ -1,0 +1,116 @@
+//! Degree-preserving randomisation (null models).
+//!
+//! The introduction motivates butterfly counting as a clustering signal:
+//! a count is only meaningful against what degree structure alone would
+//! produce. Double-edge swaps `(u₁,v₁),(u₂,v₂) → (u₁,v₂),(u₂,v₁)`
+//! preserve every vertex degree on both sides while randomising the
+//! wiring; enough swaps approximate a uniform sample from the
+//! fixed-degree-sequence ensemble. `bfly_core::metrics` builds butterfly
+//! z-scores on top.
+
+use crate::bipartite::BipartiteGraph;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Apply up to `attempts` random double-edge swaps (a standard burn-in is
+/// ~10–100× the edge count). Swaps that would create a duplicate edge are
+/// rejected, so the graph stays simple and every degree is preserved
+/// exactly. Returns the rewired graph and the number of accepted swaps.
+pub fn double_edge_swaps<R: Rng>(
+    g: &BipartiteGraph,
+    attempts: usize,
+    rng: &mut R,
+) -> (BipartiteGraph, usize) {
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    if edges.len() < 2 {
+        return (g.clone(), 0);
+    }
+    let mut present: HashSet<u64> = edges
+        .iter()
+        .map(|&(u, v)| ((u as u64) << 32) | v as u64)
+        .collect();
+    let key = |u: u32, v: u32| ((u as u64) << 32) | v as u64;
+    let mut accepted = 0usize;
+    for _ in 0..attempts {
+        let i = rng.random_range(0..edges.len());
+        let j = rng.random_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (u1, v1) = edges[i];
+        let (u2, v2) = edges[j];
+        // The swap must produce two *new* simple edges.
+        if v1 == v2 || u1 == u2 {
+            continue;
+        }
+        if present.contains(&key(u1, v2)) || present.contains(&key(u2, v1)) {
+            continue;
+        }
+        present.remove(&key(u1, v1));
+        present.remove(&key(u2, v2));
+        present.insert(key(u1, v2));
+        present.insert(key(u2, v1));
+        edges[i] = (u1, v2);
+        edges[j] = (u2, v1);
+        accepted += 1;
+    }
+    let rewired = BipartiteGraph::from_edges(g.nv1(), g.nv2(), &edges)
+        .expect("swapped endpoints stay in range");
+    (rewired, accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn degrees(g: &BipartiteGraph) -> (Vec<usize>, Vec<usize>) {
+        (
+            (0..g.nv1()).map(|u| g.deg_v1(u)).collect(),
+            (0..g.nv2()).map(|v| g.deg_v2(v)).collect(),
+        )
+    }
+
+    #[test]
+    fn swaps_preserve_degrees_exactly() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = crate::generators::chung_lu(30, 25, 150, 0.7, 0.7, &mut rng);
+        let before = degrees(&g);
+        let (h, accepted) = double_edge_swaps(&g, 2000, &mut rng);
+        assert!(accepted > 0, "no swaps accepted");
+        assert_eq!(degrees(&h), before);
+        assert_eq!(h.nedges(), g.nedges());
+    }
+
+    #[test]
+    fn rewiring_changes_the_wiring() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = crate::generators::uniform_exact(40, 40, 200, &mut rng);
+        let (h, accepted) = double_edge_swaps(&g, 3000, &mut rng);
+        assert!(accepted > 100);
+        assert_ne!(h, g, "enough accepted swaps must change the graph");
+    }
+
+    #[test]
+    fn tiny_graphs_are_safe() {
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(73);
+        let (h, accepted) = double_edge_swaps(&g, 100, &mut rng);
+        assert_eq!(h, g);
+        assert_eq!(accepted, 0);
+        let e = BipartiteGraph::empty(3, 3);
+        let (h, _) = double_edge_swaps(&e, 10, &mut rng);
+        assert_eq!(h, e);
+    }
+
+    #[test]
+    fn complete_graph_cannot_be_rewired() {
+        // Every potential swap would duplicate an existing edge.
+        let g = BipartiteGraph::complete(3, 3);
+        let mut rng = StdRng::seed_from_u64(74);
+        let (h, accepted) = double_edge_swaps(&g, 500, &mut rng);
+        assert_eq!(accepted, 0);
+        assert_eq!(h, g);
+    }
+}

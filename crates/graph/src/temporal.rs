@@ -1,0 +1,216 @@
+//! Temporal edge streams.
+//!
+//! KONECT distributes many bipartite datasets with per-edge timestamps
+//! (`u v weight timestamp` lines). This module parses those streams and
+//! provides snapshot/window extraction, which together with
+//! `bfly_core::IncrementalCounter` supports butterfly counting over
+//! sliding windows — the streaming setting of the approximate-counting
+//! literature the paper builds on.
+
+use crate::bipartite::BipartiteGraph;
+use crate::io::IoError;
+use std::io::{BufRead, BufReader, Read};
+
+/// One timestamped edge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalEdge {
+    /// V1 endpoint.
+    pub u: u32,
+    /// V2 endpoint.
+    pub v: u32,
+    /// Event time (seconds or arbitrary ticks — only ordering matters).
+    pub time: i64,
+}
+
+/// A time-ordered bipartite edge stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalStream {
+    nv1: usize,
+    nv2: usize,
+    /// Events sorted by time (stable for ties).
+    events: Vec<TemporalEdge>,
+}
+
+impl TemporalStream {
+    /// Build from events; vertex-set sizes inferred, events sorted by time.
+    pub fn new(mut events: Vec<TemporalEdge>) -> Self {
+        let nv1 = events.iter().map(|e| e.u as usize + 1).max().unwrap_or(0);
+        let nv2 = events.iter().map(|e| e.v as usize + 1).max().unwrap_or(0);
+        events.sort_by_key(|e| e.time);
+        Self { nv1, nv2, events }
+    }
+
+    /// `|V1|`.
+    pub fn nv1(&self) -> usize {
+        self.nv1
+    }
+
+    /// `|V2|`.
+    pub fn nv2(&self) -> usize {
+        self.nv2
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TemporalEdge] {
+        &self.events
+    }
+
+    /// Time range `(min, max)` or `None` when empty.
+    pub fn time_range(&self) -> Option<(i64, i64)> {
+        Some((self.events.first()?.time, self.events.last()?.time))
+    }
+
+    /// The graph of all edges with `time <= t` (duplicates collapse).
+    pub fn snapshot_at(&self, t: i64) -> BipartiteGraph {
+        let cut = self.events.partition_point(|e| e.time <= t);
+        let edges: Vec<(u32, u32)> = self.events[..cut].iter().map(|e| (e.u, e.v)).collect();
+        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges)
+            .expect("stream indices are in range")
+    }
+
+    /// The graph of edges with `start < time <= end` (a sliding window).
+    pub fn window(&self, start: i64, end: i64) -> BipartiteGraph {
+        let lo = self.events.partition_point(|e| e.time <= start);
+        let hi = self.events.partition_point(|e| e.time <= end);
+        let edges: Vec<(u32, u32)> = self.events[lo..hi].iter().map(|e| (e.u, e.v)).collect();
+        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges)
+            .expect("stream indices are in range")
+    }
+
+    /// Split the stream into `k` equal-width time slices and return the
+    /// snapshot boundaries (useful for growth curves).
+    pub fn slice_boundaries(&self, k: usize) -> Vec<i64> {
+        assert!(k > 0);
+        match self.time_range() {
+            None => Vec::new(),
+            Some((lo, hi)) => (1..=k)
+                .map(|i| lo + ((hi - lo) as i128 * i as i128 / k as i128) as i64)
+                .collect(),
+        }
+    }
+}
+
+/// Parse a KONECT file with timestamps (`u v [weight [time]]`, 1-based).
+/// Events without a timestamp column get time 0.
+pub fn read_konect_temporal<R: Read>(reader: R) -> Result<TemporalStream, IoError> {
+    let reader = BufReader::new(reader);
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                msg: format!("expected at least two fields, got {t:?}"),
+            });
+        }
+        let parse_id = |s: &str| -> Result<u32, IoError> {
+            let id: u32 = s.parse().map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                msg: format!("bad vertex id {s:?}: {e}"),
+            })?;
+            if id == 0 {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    msg: "vertex id 0 in a 1-based file".to_string(),
+                });
+            }
+            Ok(id - 1)
+        };
+        let u = parse_id(fields[0])?;
+        let v = parse_id(fields[1])?;
+        let time: i64 = match fields.get(3) {
+            Some(ts) => ts.parse().map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                msg: format!("bad timestamp {ts:?}: {e}"),
+            })?,
+            None => 0,
+        };
+        events.push(TemporalEdge { u, v, time });
+    }
+    Ok(TemporalStream::new(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> TemporalStream {
+        TemporalStream::new(vec![
+            TemporalEdge { u: 0, v: 0, time: 10 },
+            TemporalEdge { u: 0, v: 1, time: 20 },
+            TemporalEdge { u: 1, v: 0, time: 30 },
+            TemporalEdge { u: 1, v: 1, time: 40 },
+        ])
+    }
+
+    #[test]
+    fn snapshots_grow_monotonically() {
+        let s = stream();
+        assert_eq!(s.snapshot_at(5).nedges(), 0);
+        assert_eq!(s.snapshot_at(10).nedges(), 1);
+        assert_eq!(s.snapshot_at(35).nedges(), 3);
+        assert_eq!(s.snapshot_at(100).nedges(), 4);
+        assert_eq!(s.time_range(), Some((10, 40)));
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let s = stream();
+        let w = s.window(10, 30); // strictly after 10, up to 30
+        assert_eq!(w.nedges(), 2);
+        assert!(w.has_edge(0, 1));
+        assert!(w.has_edge(1, 0));
+        assert!(!w.has_edge(0, 0));
+    }
+
+    #[test]
+    fn events_sorted_even_if_input_unordered() {
+        let s = TemporalStream::new(vec![
+            TemporalEdge { u: 0, v: 0, time: 50 },
+            TemporalEdge { u: 1, v: 1, time: 5 },
+        ]);
+        assert_eq!(s.events()[0].time, 5);
+        assert_eq!(s.nv1(), 2);
+        assert_eq!(s.nv2(), 2);
+    }
+
+    #[test]
+    fn parses_konect_with_timestamps() {
+        let file = "% bip\n1 1 1 100\n1 2 1 200\n2 1 1 300\n2 2 1 400\n";
+        let s = read_konect_temporal(file.as_bytes()).unwrap();
+        assert_eq!(s.events().len(), 4);
+        assert_eq!(s.snapshot_at(250).nedges(), 2);
+        // Full snapshot is the butterfly.
+        let g = s.snapshot_at(1000);
+        assert_eq!(g.nedges(), 4);
+    }
+
+    #[test]
+    fn parses_without_timestamp_column() {
+        let file = "1 1\n2 2\n";
+        let s = read_konect_temporal(file.as_bytes()).unwrap();
+        assert!(s.events().iter().all(|e| e.time == 0));
+    }
+
+    #[test]
+    fn slice_boundaries_cover_range() {
+        let s = stream();
+        let b = s.slice_boundaries(3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(*b.last().unwrap(), 40);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert!(TemporalStream::new(vec![]).slice_boundaries(3).is_empty());
+    }
+
+    #[test]
+    fn bad_lines_error() {
+        assert!(read_konect_temporal("0 1\n".as_bytes()).is_err());
+        assert!(read_konect_temporal("1\n".as_bytes()).is_err());
+        assert!(read_konect_temporal("1 1 1 notatime\n".as_bytes()).is_err());
+    }
+}

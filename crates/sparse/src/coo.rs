@@ -1,0 +1,98 @@
+//! Triplet (coordinate) format used while assembling matrices.
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// A growable triplet store. Duplicate coordinates are allowed and are summed
+/// on conversion to CSR/CSC (the usual finite-element-style convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T: Scalar> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// New empty triplet store.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no triplets are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Append a triplet.
+    pub fn push(&mut self, row: u32, col: u32, val: T) -> Result<(), SparseError> {
+        if row as usize >= self.nrows {
+            return Err(SparseError::RowOutOfBounds {
+                row: row as usize,
+                nrows: self.nrows,
+            });
+        }
+        if col as usize >= self.ncols {
+            return Err(SparseError::ColOutOfBounds {
+                col: col as usize,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Access the raw triplets as `(rows, cols, vals)` slices.
+    pub fn triplets(&self) -> (&[u32], &[u32], &[T]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut c = CooMatrix::<u64>::new(2, 2);
+        assert!(c.is_empty());
+        c.push(0, 1, 5).unwrap();
+        c.push(0, 1, 7).unwrap(); // duplicate coordinate is fine
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut c = CooMatrix::<u64>::new(2, 2);
+        assert!(c.push(2, 0, 1).is_err());
+        assert!(c.push(0, 2, 1).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Compressed sparse column storage.
+//!
+//! The column-partitioned half of the algorithm family (paper invariants
+//! 1–4) repeatedly exposes one *column* `a₁` of the biadjacency matrix, so
+//! the paper stores those implementations in CSC (§V). Internally CSC of `A`
+//! is exactly CSR of `Aᵀ` with the axes relabelled; this type keeps that
+//! duality explicit and convertible in both directions.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Sparse matrix in CSC format: column offsets, sorted row indices, values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T: Scalar> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from a triplet store, summing duplicates.
+    pub fn from_coo(coo: &crate::coo::CooMatrix<T>) -> Self {
+        let (rows, cols, vals) = coo.triplets();
+        Self::from_triplets(coo.nrows(), coo.ncols(), rows, cols, vals)
+    }
+
+    /// Build from triplets, summing duplicates.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[u32],
+        cols: &[u32],
+        vals: &[T],
+    ) -> Self {
+        // Assemble the transpose in CSR, then reinterpret.
+        let t = CsrMatrix::from_triplets(ncols, nrows, cols, rows, vals);
+        Self::from_transposed_csr(t)
+    }
+
+    /// Reinterpret a CSR matrix `T` as the CSC storage of `Tᵀ`.
+    /// (`CSR(Aᵀ)` and `CSC(A)` share identical arrays.)
+    pub fn from_transposed_csr(t: CsrMatrix<T>) -> Self {
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        let (rowptr, colind, values) = (t.rowptr().to_vec(), t.colind().to_vec(), t.values().to_vec());
+        Self {
+            nrows,
+            ncols,
+            colptr: rowptr,
+            rowind: colind,
+            values,
+        }
+    }
+
+    /// Construct from raw parts with validation.
+    pub fn try_from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowind: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate by borrowing CSR's checks on the transposed view.
+        let t = CsrMatrix::try_from_raw_parts(ncols, nrows, colptr, rowind, values)?;
+        Ok(Self::from_transposed_csr(t))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Column offsets.
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices.
+    #[inline]
+    pub fn rowind(&self) -> &[u32] {
+        &self.rowind
+    }
+
+    /// Stored values.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Sorted row indices of column `c` — the exposed column `a₁` of the
+    /// FLAME repartitioning step.
+    #[inline]
+    pub fn col_indices(&self, c: usize) -> &[u32] {
+        &self.rowind[self.colptr[c]..self.colptr[c + 1]]
+    }
+
+    /// Values of column `c`, parallel to [`Self::col_indices`].
+    #[inline]
+    pub fn col_values(&self, c: usize) -> &[T] {
+        &self.values[self.colptr[c]..self.colptr[c + 1]]
+    }
+
+    /// Value at `(r, c)`, `ZERO` when not stored.
+    pub fn get(&self, r: u32, c: usize) -> T {
+        match self.col_indices(c).binary_search(&r) {
+            Ok(k) => self.col_values(c)[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Convert to CSR storage of the same matrix.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // self's arrays are CSR of selfᵀ; transposing that CSR yields self.
+        let t = CsrMatrix::try_from_raw_parts(
+            self.ncols,
+            self.nrows,
+            self.colptr.clone(),
+            self.rowind.clone(),
+            self.values.clone(),
+        )
+        .expect("CSC invariants imply a valid transposed CSR");
+        t.transpose()
+    }
+
+    /// Densify (reference implementations / tests).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            let rows = self.col_indices(c);
+            let vals = self.col_values(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                m.set(r as usize, c, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix<u64> {
+        // 1 0 2
+        // 0 3 0
+        CscMatrix::from_triplets(2, 3, &[0, 0, 1], &[0, 2, 1], &[1, 2, 3])
+    }
+
+    #[test]
+    fn column_access() {
+        let m = sample();
+        assert_eq!(m.col_indices(0), &[0]);
+        assert_eq!(m.col_values(0), &[1]);
+        assert_eq!(m.col_indices(1), &[1]);
+        assert_eq!(m.col_indices(2), &[0]);
+        assert_eq!(m.col_values(2), &[2]);
+    }
+
+    #[test]
+    fn get_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        for r in 0..2u32 {
+            for c in 0..3usize {
+                assert_eq!(m.get(r, c), d.get(r as usize, c));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let csr = CsrMatrix::from_triplets(3, 2, &[0, 1, 2, 2], &[1, 0, 0, 1], &[7u64, 8, 9, 10]);
+        let csc = csr.to_csc();
+        assert_eq!(csc.to_dense(), csr.to_dense());
+        assert_eq!(csc.to_csr().to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let m = CscMatrix::from_triplets(2, 2, &[0, 0], &[1, 1], &[3u64, 4]);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn raw_parts_validation() {
+        assert!(CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![0, 1], vec![1, 1])
+            .is_ok());
+        assert!(CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![1, 0], vec![1, 1])
+            .is_err());
+    }
+
+    #[test]
+    fn from_coo_matches_csr_route() {
+        let mut coo = crate::coo::CooMatrix::<u64>::new(3, 2);
+        coo.push(0, 1, 2).unwrap();
+        coo.push(2, 0, 3).unwrap();
+        coo.push(2, 0, 4).unwrap();
+        let csc = CscMatrix::from_coo(&coo);
+        let csr = crate::csr::CsrMatrix::from_coo(&coo);
+        assert_eq!(csc.to_dense(), csr.to_dense());
+        assert_eq!(csc.get(2, 0), 7);
+    }
+
+    #[test]
+    fn zeros_shape() {
+        let m = CscMatrix::<u64>::zeros(4, 5);
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.col_indices(4), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for shape and structure violations.
+
+use std::fmt;
+
+/// Dimension mismatch between operands of a matrix/vector operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the operation that failed.
+    pub op: &'static str,
+    /// Shape of the left operand (rows, cols).
+    pub lhs: (usize, usize),
+    /// Shape of the right operand (rows, cols).
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Structural errors raised while assembling sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row index is outside `0..nrows`.
+    RowOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+    },
+    /// An entry's column index is outside `0..ncols`.
+    ColOutOfBounds {
+        /// Offending column index.
+        col: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Raw CSR/CSC arrays do not describe a valid matrix.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row index {row} out of bounds for {nrows} rows")
+            }
+            SparseError::ColOutOfBounds { col, ncols } => {
+                write!(f, "column index {col} out of bounds for {ncols} columns")
+            }
+            SparseError::Malformed(msg) => write!(f, "malformed sparse structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_displays_operands() {
+        let e = ShapeError {
+            op: "spgemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spgemm"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn sparse_error_displays_bounds() {
+        let e = SparseError::RowOutOfBounds { row: 7, nrows: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = SparseError::ColOutOfBounds { col: 9, ncols: 2 };
+        assert!(e.to_string().contains('9'));
+        let e = SparseError::Malformed("indptr not monotone");
+        assert!(e.to_string().contains("monotone"));
+    }
+}

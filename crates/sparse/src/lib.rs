@@ -1,0 +1,65 @@
+//! # bfly-sparse
+//!
+//! Sparse and dense linear-algebra substrate for the butterfly-counting
+//! library. The paper ("Families of Butterfly Counting Algorithms for
+//! Bipartite Graphs", IPPS 2022) expresses every algorithm in terms of a
+//! biadjacency matrix `A`, products such as `B = A·Aᵀ`, Hadamard products,
+//! traces, and element-wise masks. This crate implements exactly that
+//! vocabulary from scratch:
+//!
+//! * [`CooMatrix`] — triplet builder used while assembling matrices.
+//! * [`CsrMatrix`] / [`CscMatrix`] — compressed sparse row / column storage.
+//!   The paper stores the graph in CSC for the column-partitioned invariants
+//!   (1–4) and CSR for the row-partitioned invariants (5–8); both formats are
+//!   first-class here.
+//! * [`Pattern`] — a value-free CSR-like structure (sorted adjacency). This
+//!   doubles as the binary biadjacency matrix of a bipartite graph and as the
+//!   0/1 masks used by the peeling formulations (paper eqs. 20–22, 26–27).
+//! * [`DenseMatrix`] / [`DenseVector`] — dense reference arithmetic used by
+//!   the specification-level counters (paper eq. 7) that everything else is
+//!   validated against.
+//! * [`ops`] — SpGEMM (Gustavson's algorithm with a sparse accumulator,
+//!   sequential and rayon-parallel), SpMV, transposition, Hadamard products,
+//!   masking, and the trace identities (`Γ(XYᵀ) = Σᵢⱼ (X∘Y)ᵢⱼ`, paper eq. 3)
+//!   that let the counting update be computed without forming intermediates.
+//! * [`Spa`] — the dense-accumulator-with-touched-list workhorse shared by
+//!   SpGEMM and the wedge-expansion counters in `bfly-core`.
+//!
+//! Matrix indices are `u32` (graphs with fewer than 2³² vertices per side),
+//! offsets are `usize`, and all counting arithmetic upstream is `u64`.
+//!
+//! ```
+//! use bfly_sparse::{CsrMatrix, ops::spgemm};
+//!
+//! // The biadjacency of one butterfly (2x2 all-ones), as CSR.
+//! let a = CsrMatrix::from_triplets(2, 2, &[0, 0, 1, 1], &[0, 1, 0, 1], &[1u64, 1, 1, 1]);
+//! // B = A·Aᵀ counts length-2 paths; its off-diagonal is the wedge count.
+//! let b = spgemm(&a, &a.transpose()).unwrap();
+//! assert_eq!(b.get(0, 1), 2); // two wedges between the V1 vertices
+//! ```
+
+#![warn(missing_docs)]
+// Vertex ids index several parallel arrays at once throughout this
+// workspace; the indexed loops clippy flags are the clearer form here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod ops;
+pub mod pattern;
+pub mod scalar;
+pub mod semiring;
+pub mod spa;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::{DenseMatrix, DenseVector};
+pub use error::{ShapeError, SparseError};
+pub use pattern::Pattern;
+pub use scalar::{choose2, Scalar};
+pub use semiring::{spgemm_masked, spgemm_semiring, BoolOrAnd, MinPlus, PlusTimes, Semiring};
+pub use spa::Spa;

@@ -1,0 +1,128 @@
+//! Element-wise sparse addition and subtraction.
+//!
+//! The specification's correction terms are differences of same-shape
+//! matrices (`B − J` in `C = ½B∘(B−J)`, the `…− A₀A₀ᵀ∘A₀A₀ᵀ −…` chains in
+//! eqs. 9–10). Sparse `add`/`sub` keep those expressible without
+//! densifying when both operands are sparse.
+
+use crate::csr::CsrMatrix;
+use crate::error::ShapeError;
+use crate::scalar::Scalar;
+
+fn merge<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    op: impl Fn(T, T) -> T,
+    name: &'static str,
+) -> Result<CsrMatrix<T>, ShapeError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError {
+            op: name,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    let mut colind = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0usize);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let (col, val) = if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                let out = (ac[i], op(av[i], T::ZERO));
+                i += 1;
+                out
+            } else if i >= ac.len() || bc[j] < ac[i] {
+                let out = (bc[j], op(T::ZERO, bv[j]));
+                j += 1;
+                out
+            } else {
+                let out = (ac[i], op(av[i], bv[j]));
+                i += 1;
+                j += 1;
+                out
+            };
+            if !val.is_zero() {
+                colind.push(col);
+                values.push(val);
+            }
+        }
+        rowptr.push(colind.len());
+    }
+    Ok(CsrMatrix::from_pattern_parts(
+        a.nrows(),
+        a.ncols(),
+        rowptr,
+        colind,
+        values,
+    ))
+}
+
+/// `A + B`, dropping entries that cancel to zero.
+pub fn sparse_add<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, ShapeError> {
+    merge(a, b, |x, y| x + y, "sparse_add")
+}
+
+/// `A − B`, dropping entries that cancel to zero.
+pub fn sparse_sub<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, ShapeError> {
+    merge(a, b, |x, y| x - y, "sparse_sub")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> CsrMatrix<i64> {
+        CsrMatrix::from_triplets(2, 3, &[0, 0, 1], &[0, 2, 1], &[2, 3, 4])
+    }
+
+    fn y() -> CsrMatrix<i64> {
+        CsrMatrix::from_triplets(2, 3, &[0, 1, 1], &[2, 1, 2], &[5, -4, 7])
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let s = sparse_add(&x(), &y()).unwrap();
+        assert_eq!(s.to_dense(), x().to_dense().add(&y().to_dense()).unwrap());
+        // (1,1): 4 + (−4) cancels and is dropped.
+        assert_eq!(s.get(1, 1), 0);
+        assert!(!s.pattern().contains(1, 1));
+    }
+
+    #[test]
+    fn sub_matches_dense() {
+        let s = sparse_sub(&x(), &y()).unwrap();
+        assert_eq!(s.to_dense(), x().to_dense().sub(&y().to_dense()).unwrap());
+        assert_eq!(s.get(0, 2), -2);
+        assert_eq!(s.get(1, 2), -7);
+    }
+
+    #[test]
+    fn self_subtraction_is_empty() {
+        let s = sparse_sub(&x(), &x()).unwrap();
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let bad = CsrMatrix::<i64>::zeros(3, 3);
+        assert!(sparse_add(&x(), &bad).is_err());
+        assert!(sparse_sub(&x(), &bad).is_err());
+    }
+
+    #[test]
+    fn add_with_empty_is_identity() {
+        let e = CsrMatrix::<i64>::zeros(2, 3);
+        assert_eq!(sparse_add(&x(), &e).unwrap().to_dense(), x().to_dense());
+        assert_eq!(sparse_add(&e, &x()).unwrap().to_dense(), x().to_dense());
+    }
+}

@@ -1,0 +1,139 @@
+//! Sparse Hadamard (element-wise) products and the Frobenius inner product.
+//!
+//! The paper's correction terms are all Hadamard-shaped: `B ∘ B` removes
+//! line-pairs, `A_LA_Lᵀ ∘ A_RA_Rᵀ` removes cross-partition line pairs, and
+//! identity (3) — `Σᵢⱼ(X ∘ Y) = Γ(XYᵀ)` — converts between the two views.
+
+use crate::csr::CsrMatrix;
+use crate::error::ShapeError;
+use crate::scalar::Scalar;
+
+/// Element-wise product `A ∘ B` of two CSR matrices.
+pub fn hadamard<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, ShapeError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError {
+            op: "hadamard",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    let mut colind = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0usize);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    colind.push(ac[i]);
+                    values.push(av[i] * bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        rowptr.push(colind.len());
+    }
+    Ok(CsrMatrix::from_pattern_parts(
+        a.nrows(),
+        a.ncols(),
+        rowptr,
+        colind,
+        values,
+    ))
+}
+
+/// Frobenius inner product `Σᵢⱼ (A ∘ B)ᵢⱼ = Γ(A·Bᵀ)` (paper eq. 3),
+/// computed without materialising either side.
+pub fn frobenius_inner<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<T, ShapeError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError {
+            op: "frobenius_inner",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut acc = T::ZERO;
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += av[i] * bv[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spgemm::spgemm;
+
+    fn x() -> CsrMatrix<u64> {
+        CsrMatrix::from_triplets(2, 3, &[0, 0, 1], &[0, 2, 1], &[2, 3, 4])
+    }
+
+    fn y() -> CsrMatrix<u64> {
+        CsrMatrix::from_triplets(2, 3, &[0, 1, 1], &[2, 1, 2], &[5, 6, 7])
+    }
+
+    #[test]
+    fn hadamard_matches_dense() {
+        let h = hadamard(&x(), &y()).unwrap();
+        let d = x().to_dense().hadamard(&y().to_dense()).unwrap();
+        assert_eq!(h.to_dense(), d);
+        assert_eq!(h.get(0, 2), 15);
+        assert_eq!(h.get(1, 1), 24);
+        assert_eq!(h.nnz(), 2);
+    }
+
+    #[test]
+    fn frobenius_equals_trace_of_product_with_transpose() {
+        // Paper identity (3): Σ (X∘Y) = Γ(XYᵀ).
+        let lhs = frobenius_inner(&x(), &y()).unwrap();
+        let xyt = spgemm(&x(), &y().transpose()).unwrap();
+        assert_eq!(lhs, xyt.trace());
+        assert_eq!(lhs, 39);
+    }
+
+    #[test]
+    fn hadamard_with_self_squares_entries() {
+        let h = hadamard(&x(), &x()).unwrap();
+        assert_eq!(h.get(0, 0), 4);
+        assert_eq!(h.get(0, 2), 9);
+        assert_eq!(h.get(1, 1), 16);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = CsrMatrix::<u64>::zeros(2, 2);
+        let b = CsrMatrix::<u64>::zeros(3, 2);
+        assert!(hadamard(&a, &b).is_err());
+        assert!(frobenius_inner(&a, &b).is_err());
+    }
+
+    #[test]
+    fn disjoint_support_is_empty() {
+        let a = CsrMatrix::from_triplets(1, 4, &[0, 0], &[0, 2], &[1u64, 1]);
+        let b = CsrMatrix::from_triplets(1, 4, &[0, 0], &[1, 3], &[1u64, 1]);
+        assert_eq!(hadamard(&a, &b).unwrap().nnz(), 0);
+        assert_eq!(frobenius_inner(&a, &b).unwrap(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Matrix operations: SpGEMM, SpMV, Hadamard products, traces, and masks.
+//!
+//! These are the operations the paper's specification is written in:
+//! `B = A·Aᵀ` (SpGEMM), `B ∘ B` (Hadamard), `Γ(·)` (trace), `Σᵢⱼ(·)`
+//! (sums), `DIAG(·)`, and threshold masks `m = s ≥ k` for peeling.
+
+pub mod add;
+pub mod hadamard;
+pub mod mask;
+pub mod reduce;
+pub mod slice;
+pub mod spgemm;
+pub mod spmv;
+pub mod trace;
+
+pub use add::{sparse_add, sparse_sub};
+pub use reduce::{col_sums, row_max, row_nnz, row_sums};
+pub use slice::{col_slice, row_slice};
+pub use hadamard::{frobenius_inner, hadamard};
+pub use mask::{entry_threshold_pattern, threshold_mask, zero_rows};
+pub use spgemm::{spgemm, spgemm_parallel};
+pub use spmv::{spmv, spmv_transpose};
+pub use trace::{sum_entries, trace_of_product, trace_of_product_with_self_transpose};

@@ -1,0 +1,106 @@
+//! Row/column reductions.
+//!
+//! The degree vectors the peeling formulas need — `diag(AAᵀ)` is the V1
+//! degree vector, `diag(AᵀA)` the V2 one (paper eq. 25) — are just row and
+//! column sums of the 0/1 biadjacency. These reductions compute them (and
+//! general row/column aggregates) in one sweep without any product.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Row sums: `A·1⃗`. For a 0/1 matrix this is the row-degree vector
+/// (`diag(AAᵀ)`).
+pub fn row_sums<T: Scalar>(a: &CsrMatrix<T>) -> Vec<T> {
+    (0..a.nrows())
+        .map(|r| {
+            let mut s = T::ZERO;
+            for &v in a.row_values(r) {
+                s += v;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Column sums: `Aᵀ·1⃗`. For a 0/1 matrix this is the column-degree vector
+/// (`diag(AᵀA)`).
+pub fn col_sums<T: Scalar>(a: &CsrMatrix<T>) -> Vec<T> {
+    let mut out = vec![T::ZERO; a.ncols()];
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            out[c as usize] += v;
+        }
+    }
+    out
+}
+
+/// Per-row maximum of the stored values (`ZERO` for empty rows).
+pub fn row_max<T: Scalar>(a: &CsrMatrix<T>) -> Vec<T> {
+    (0..a.nrows())
+        .map(|r| {
+            let mut m = T::ZERO;
+            let mut first = true;
+            for &v in a.row_values(r) {
+                if first || v > m {
+                    m = v;
+                    first = false;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Number of stored entries per row (structural degree, independent of
+/// values).
+pub fn row_nnz<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
+    (0..a.nrows()).map(|r| a.row_indices(r).len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spgemm::spgemm;
+
+    fn a() -> CsrMatrix<u64> {
+        // 1 0 2
+        // 0 3 0
+        // 0 0 0
+        CsrMatrix::from_triplets(3, 3, &[0, 0, 1], &[0, 2, 1], &[1, 2, 3])
+    }
+
+    #[test]
+    fn sums_match_manual() {
+        assert_eq!(row_sums(&a()), vec![3, 3, 0]);
+        assert_eq!(col_sums(&a()), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn degree_vectors_equal_product_diagonals() {
+        // For a 0/1 matrix: row_sums = diag(AAᵀ), col_sums = diag(AᵀA)
+        // (the identity used in eq. 25).
+        let a: CsrMatrix<u64> =
+            crate::pattern::Pattern::from_edges(3, 4, &[(0, 0), (0, 2), (1, 1), (1, 2), (2, 3)])
+                .unwrap()
+                .to_csr();
+        let aat = spgemm(&a, &a.transpose()).unwrap();
+        let ata = spgemm(&a.transpose(), &a).unwrap();
+        assert_eq!(row_sums(&a), aat.diag());
+        assert_eq!(col_sums(&a), ata.diag());
+    }
+
+    #[test]
+    fn row_max_and_nnz() {
+        assert_eq!(row_max(&a()), vec![2, 3, 0]);
+        assert_eq!(row_nnz(&a()), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = CsrMatrix::<u64>::zeros(2, 3);
+        assert_eq!(row_sums(&e), vec![0, 0]);
+        assert_eq!(col_sums(&e), vec![0, 0, 0]);
+        assert_eq!(row_max(&e), vec![0, 0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Contiguous submatrix extraction — the FLAME partitioning operators.
+//!
+//! The derivations repartition `A → (A_L | A_R)` (column split) and
+//! `A → (A_T / A_B)` (row split), exposing single columns/rows at the
+//! boundary. These helpers extract such slices as standalone matrices so
+//! the Fig. 6/7 algorithms can be executed *literally*, with the update
+//! evaluated by real matrix products (see `bfly_core::family::literal`).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// Rows `range` of `a` as a new `(range.len() × ncols)` matrix
+/// (the `A_T`/`A_B` extraction).
+pub fn row_slice<T: Scalar>(a: &CsrMatrix<T>, range: Range<usize>) -> CsrMatrix<T> {
+    assert!(range.end <= a.nrows(), "row slice out of bounds");
+    let mut rowptr = Vec::with_capacity(range.len() + 1);
+    let mut colind = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0usize);
+    for r in range.clone() {
+        let (cols, vals) = a.row(r);
+        colind.extend_from_slice(cols);
+        values.extend_from_slice(vals);
+        rowptr.push(colind.len());
+    }
+    CsrMatrix::try_from_raw_parts(range.len(), a.ncols(), rowptr, colind, values)
+        .expect("sliced rows preserve CSR invariants")
+}
+
+/// Columns `range` of `a` as a new `(nrows × range.len())` matrix with
+/// column indices rebased to the slice (the `A_L`/`A_R` extraction).
+pub fn col_slice<T: Scalar>(a: &CsrMatrix<T>, range: Range<usize>) -> CsrMatrix<T> {
+    assert!(range.end <= a.ncols(), "column slice out of bounds");
+    let (lo, hi) = (range.start as u32, range.end as u32);
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    let mut colind = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0usize);
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let s = cols.partition_point(|&c| c < lo);
+        let e = cols.partition_point(|&c| c < hi);
+        for (&c, &v) in cols[s..e].iter().zip(&vals[s..e]) {
+            colind.push(c - lo);
+            values.push(v);
+        }
+        rowptr.push(colind.len());
+    }
+    CsrMatrix::try_from_raw_parts(a.nrows(), range.len(), rowptr, colind, values)
+        .expect("sliced columns preserve CSR invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> CsrMatrix<u64> {
+        // 1 2 0 3
+        // 0 4 5 0
+        // 6 0 0 7
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[0, 0, 0, 1, 1, 2, 2],
+            &[0, 1, 3, 1, 2, 0, 3],
+            &[1, 2, 3, 4, 5, 6, 7],
+        )
+    }
+
+    #[test]
+    fn row_slice_matches_dense() {
+        let m = a();
+        let s = row_slice(&m, 1..3);
+        assert_eq!(s.shape(), (2, 4));
+        assert_eq!(s.get(0, 2), 5);
+        assert_eq!(s.get(1, 0), 6);
+        // Empty slice.
+        let e = row_slice(&m, 1..1);
+        assert_eq!(e.shape(), (0, 4));
+    }
+
+    #[test]
+    fn col_slice_rebases_indices() {
+        let m = a();
+        let s = col_slice(&m, 1..3);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.get(0, 0), 2); // old column 1
+        assert_eq!(s.get(1, 1), 5); // old column 2
+        assert_eq!(s.get(2, 0), 0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn slices_reassemble() {
+        // (A_L | A_R) recovers A entry-wise.
+        let m = a();
+        let l = col_slice(&m, 0..2);
+        let r = col_slice(&m, 2..4);
+        for i in 0..3 {
+            for j in 0..4u32 {
+                let want = m.get(i, j);
+                let got = if j < 2 { l.get(i, j) } else { r.get(i, j - 2) };
+                assert_eq!(got, want, "({i},{j})");
+            }
+        }
+        // (A_T / A_B) likewise.
+        let t = row_slice(&m, 0..1);
+        let b = row_slice(&m, 1..3);
+        assert_eq!(t.nnz() + b.nnz(), m.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_slice_panics() {
+        let _ = col_slice(&a(), 2..9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sparse matrix–vector products.
+//!
+//! The peeling formulations multiply by all-ones vectors and masks:
+//! `mᵀA` extends a V1 mask to V2 (paper eq. 21), and `A·e_v` /
+//! `e_uᵀ·A` extract neighbourhoods in the k-wing derivation (§IV-C).
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseVector;
+use crate::error::ShapeError;
+use crate::scalar::Scalar;
+
+/// `y = A · x`.
+pub fn spmv<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseVector<T>,
+) -> Result<DenseVector<T>, ShapeError> {
+    if a.ncols() != x.len() {
+        return Err(ShapeError {
+            op: "spmv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let xs = x.as_slice();
+    let mut out = DenseVector::zeros(a.nrows());
+    let os = out.as_mut_slice();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * xs[c as usize];
+        }
+        os[i] = acc;
+    }
+    Ok(out)
+}
+
+/// `y = Aᵀ · x` without materialising the transpose.
+pub fn spmv_transpose<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseVector<T>,
+) -> Result<DenseVector<T>, ShapeError> {
+    if a.nrows() != x.len() {
+        return Err(ShapeError {
+            op: "spmv_transpose",
+            lhs: (a.ncols(), a.nrows()),
+            rhs: (x.len(), 1),
+        });
+    }
+    let xs = x.as_slice();
+    let mut out = DenseVector::zeros(a.ncols());
+    let os = out.as_mut_slice();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let xi = xs[i];
+        if xi.is_zero() {
+            continue;
+        }
+        for (&c, &v) in cols.iter().zip(vals) {
+            os[c as usize] += v * xi;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> CsrMatrix<u64> {
+        // 1 2 0
+        // 0 0 3
+        CsrMatrix::from_triplets(2, 3, &[0, 0, 1], &[0, 1, 2], &[1, 2, 3])
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = a();
+        let x = DenseVector::from_vec(vec![1u64, 10, 100]);
+        let y = spmv(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[21, 300]);
+        assert_eq!(
+            a.to_dense().matvec(&x).unwrap().as_slice(),
+            y.as_slice()
+        );
+    }
+
+    #[test]
+    fn spmv_transpose_matches_explicit_transpose() {
+        let a = a();
+        let x = DenseVector::from_vec(vec![2u64, 5]);
+        let y1 = spmv_transpose(&a, &x).unwrap();
+        let y2 = spmv(&a.transpose(), &x).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        assert_eq!(y1.as_slice(), &[2, 4, 15]);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let a = a();
+        let short = DenseVector::from_vec(vec![1u64]);
+        assert!(spmv(&a, &short).is_err());
+        assert!(spmv_transpose(&a, &short).is_err());
+    }
+
+    #[test]
+    fn ones_vector_gives_row_and_column_sums() {
+        let a = a();
+        let ones3 = DenseVector::ones(3);
+        let ones2 = DenseVector::ones(2);
+        assert_eq!(spmv(&a, &ones3).unwrap().as_slice(), &[3, 3]); // row sums
+        assert_eq!(spmv_transpose(&a, &ones2).unwrap().as_slice(), &[1, 2, 3]); // col sums
+    }
+}

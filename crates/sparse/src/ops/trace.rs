@@ -1,0 +1,110 @@
+//! Trace computations that avoid materialising matrix products.
+//!
+//! The specification (paper eq. 7) is a sum of traces:
+//! `Ξ_G = ¼Γ(AAᵀAAᵀ) − ¼Γ(AAᵀ∘AAᵀ) − (¼Γ(JAAᵀ) − ¼Γ(AAᵀ))`.
+//! Forming `AAᵀAAᵀ` explicitly would be quartic; these helpers exploit
+//! `Γ(X·Y) = Σᵢ xᵢ,: · y:,ᵢ = Σᵢⱼ Xᵢⱼ Yⱼᵢ` so each trace costs one sparse
+//! sweep over already-available operands.
+
+use crate::csr::CsrMatrix;
+use crate::error::ShapeError;
+use crate::ops::hadamard::frobenius_inner;
+use crate::scalar::Scalar;
+
+/// `Γ(A · B)` without forming the product: `Σᵢⱼ Aᵢⱼ · Bⱼᵢ`, i.e. the
+/// Frobenius inner product of `A` with `Bᵀ`.
+pub fn trace_of_product<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<T, ShapeError> {
+    if a.ncols() != b.nrows() || a.nrows() != b.ncols() {
+        return Err(ShapeError {
+            op: "trace_of_product",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let bt = b.transpose();
+    frobenius_inner(a, &bt)
+}
+
+/// `Γ(X · Xᵀ) = Σᵢⱼ Xᵢⱼ²` — one pass over the stored values.
+pub fn trace_of_product_with_self_transpose<T: Scalar>(x: &CsrMatrix<T>) -> T {
+    let mut acc = T::ZERO;
+    for &v in x.values() {
+        acc += v * v;
+    }
+    acc
+}
+
+/// `Σᵢⱼ Xᵢⱼ = Γ(J·Xᵀ)` — the all-entries sum that appears as `Γ(JAAᵀ)` in
+/// the specification.
+pub fn sum_entries<T: Scalar>(x: &CsrMatrix<T>) -> T {
+    x.sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spgemm::spgemm;
+
+    fn b() -> CsrMatrix<u64> {
+        // Symmetric wedge-like matrix.
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[0, 0, 1, 1, 1, 2, 2],
+            &[0, 1, 0, 1, 2, 1, 2],
+            &[2, 1, 1, 3, 2, 2, 1],
+        )
+    }
+
+    #[test]
+    fn trace_of_product_matches_explicit() {
+        let x = b();
+        let y = CsrMatrix::from_triplets(3, 3, &[0, 1, 2, 2], &[2, 0, 1, 2], &[4u64, 5, 6, 7]);
+        let explicit = spgemm(&x, &y).unwrap().trace();
+        assert_eq!(trace_of_product(&x, &y).unwrap(), explicit);
+    }
+
+    #[test]
+    fn trace_self_transpose_is_sum_of_squares() {
+        let x = b();
+        let explicit = spgemm(&x, &x.transpose()).unwrap().trace();
+        assert_eq!(trace_of_product_with_self_transpose(&x), explicit);
+    }
+
+    #[test]
+    fn sum_entries_equals_trace_with_ones() {
+        // Γ(J Xᵀ) = Σᵢⱼ Xᵢⱼ (paper uses this to rewrite the wedge total).
+        let x = b();
+        let j: CsrMatrix<u64> = crate::pattern::Pattern::from_edges(
+            3,
+            3,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+            ],
+        )
+        .unwrap()
+        .to_csr();
+        let explicit = spgemm(&j, &x.transpose()).unwrap().trace();
+        assert_eq!(sum_entries(&x), explicit);
+    }
+
+    #[test]
+    fn rectangular_trace_of_product() {
+        // A is 2x3, B is 3x2 — Γ(AB) is defined.
+        let a = CsrMatrix::from_triplets(2, 3, &[0, 0, 1], &[0, 2, 1], &[1u64, 2, 3]);
+        let bm = CsrMatrix::from_triplets(3, 2, &[0, 1, 2], &[0, 1, 0], &[4u64, 5, 6]);
+        let explicit = spgemm(&a, &bm).unwrap().trace();
+        assert_eq!(trace_of_product(&a, &bm).unwrap(), explicit);
+        // Mismatched shapes error.
+        let bad = CsrMatrix::<u64>::zeros(3, 3);
+        assert!(trace_of_product(&a, &bad).is_err());
+    }
+}

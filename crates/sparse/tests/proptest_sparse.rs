@@ -1,0 +1,139 @@
+//! Property tests for the sparse substrate: the algebraic identities the
+//! butterfly derivation relies on, checked on arbitrary matrices.
+
+use bfly_sparse::ops::{frobenius_inner, hadamard, sparse_add, sparse_sub, spgemm, spgemm_parallel, spmv, spmv_transpose, trace_of_product, trace_of_product_with_self_transpose};
+use bfly_sparse::{spgemm_masked, spgemm_semiring, BoolOrAnd, CsrMatrix, DenseVector, Pattern, PlusTimes};
+use proptest::prelude::*;
+
+const DIM: usize = 12;
+
+/// Arbitrary small integer matrix with the given shape.
+fn arb_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix<i64>> {
+    proptest::collection::vec(
+        (0..nrows as u32, 0..ncols as u32, 1i64..5),
+        0..(nrows * ncols),
+    )
+    .prop_map(move |trips| {
+        let rows: Vec<u32> = trips.iter().map(|t| t.0).collect();
+        let cols: Vec<u32> = trips.iter().map(|t| t.1).collect();
+        let vals: Vec<i64> = trips.iter().map(|t| t.2).collect();
+        CsrMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals)
+    })
+}
+
+fn arb_pattern(nrows: usize, ncols: usize) -> impl Strategy<Value = Pattern> {
+    proptest::collection::vec((0..nrows as u32, 0..ncols as u32), 0..(nrows * ncols))
+        .prop_map(move |edges| Pattern::from_edges(nrows, ncols, &edges).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SpGEMM against the dense reference, and parallel == sequential.
+    #[test]
+    fn spgemm_matches_dense(a in arb_matrix(DIM, DIM), b in arb_matrix(DIM, DIM)) {
+        let c = spgemm(&a, &b).unwrap();
+        prop_assert_eq!(c.to_dense(), a.to_dense().matmul(&b.to_dense()).unwrap());
+        prop_assert_eq!(&spgemm_parallel(&a, &b).unwrap(), &c);
+        prop_assert_eq!(spgemm_semiring(&a, &b, PlusTimes).unwrap().to_dense(), c.to_dense());
+    }
+
+    /// Transposition is an involution and matches dense.
+    #[test]
+    fn transpose_involution(a in arb_matrix(DIM, DIM + 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert_eq!(a.transpose().to_dense(), a.to_dense().transpose());
+    }
+
+    /// Paper identity (3): Σᵢⱼ (X ∘ Y) = Γ(X·Yᵀ).
+    #[test]
+    fn frobenius_equals_trace(x in arb_matrix(DIM, DIM), y in arb_matrix(DIM, DIM)) {
+        let lhs = frobenius_inner(&x, &y).unwrap();
+        let rhs = spgemm(&x, &y.transpose()).unwrap().trace();
+        prop_assert_eq!(lhs, rhs);
+        prop_assert_eq!(trace_of_product(&x, &y).unwrap(), spgemm(&x, &y).unwrap().trace());
+        prop_assert_eq!(
+            trace_of_product_with_self_transpose(&x),
+            spgemm(&x, &x.transpose()).unwrap().trace()
+        );
+    }
+
+    /// Hadamard matches dense and is commutative.
+    #[test]
+    fn hadamard_identities(x in arb_matrix(DIM, DIM), y in arb_matrix(DIM, DIM)) {
+        let h = hadamard(&x, &y).unwrap();
+        prop_assert_eq!(h.to_dense(), x.to_dense().hadamard(&y.to_dense()).unwrap());
+        prop_assert_eq!(hadamard(&y, &x).unwrap().to_dense(), h.to_dense());
+    }
+
+    /// Add/sub match dense; A − A = 0; (A + B) − B = A.
+    #[test]
+    fn add_sub_identities(a in arb_matrix(DIM, DIM), b in arb_matrix(DIM, DIM)) {
+        let s = sparse_add(&a, &b).unwrap();
+        prop_assert_eq!(s.to_dense(), a.to_dense().add(&b.to_dense()).unwrap());
+        let d = sparse_sub(&s, &b).unwrap();
+        prop_assert_eq!(d.to_dense(), a.to_dense());
+        prop_assert_eq!(sparse_sub(&a, &a).unwrap().nnz(), 0);
+    }
+
+    /// SpMV against the dense reference, both orientations.
+    #[test]
+    fn spmv_matches_dense(a in arb_matrix(DIM, DIM + 2), xs in proptest::collection::vec(0i64..5, DIM + 2)) {
+        let x = DenseVector::from_vec(xs);
+        let y = spmv(&a, &x).unwrap();
+        let dense_y = a.to_dense().matvec(&x).unwrap();
+        prop_assert_eq!(y.as_slice(), dense_y.as_slice());
+        let z = DenseVector::from_vec(vec![2i64; DIM]);
+        let t1 = spmv_transpose(&a, &z).unwrap();
+        let t2 = spmv(&a.transpose(), &z).unwrap();
+        prop_assert_eq!(t1.as_slice(), t2.as_slice());
+    }
+
+    /// Masked SpGEMM equals the full product restricted to the mask.
+    #[test]
+    fn masked_spgemm_restriction(
+        a in arb_matrix(DIM, DIM),
+        b in arb_matrix(DIM, DIM),
+        mask in arb_pattern(DIM, DIM),
+    ) {
+        let full = spgemm(&a, &b).unwrap();
+        let masked = spgemm_masked(&a, &b, &mask, PlusTimes).unwrap();
+        for r in 0..DIM {
+            for c in 0..DIM as u32 {
+                let want = if mask.contains(r, c) { full.get(r, c) } else { 0 };
+                prop_assert_eq!(masked.get(r, c), want);
+            }
+        }
+    }
+
+    /// Boolean-semiring product has the pattern of the arithmetic product
+    /// (no cancellation is possible with positive values).
+    #[test]
+    fn bool_semiring_pattern(a in arb_matrix(DIM, DIM), b in arb_matrix(DIM, DIM)) {
+        let plain = spgemm(&a, &b).unwrap();
+        let boolean = spgemm_semiring(&a, &b, BoolOrAnd).unwrap();
+        prop_assert_eq!(boolean.pattern(), plain.pattern());
+    }
+
+    /// Pattern transpose round-trips and preserves membership.
+    #[test]
+    fn pattern_transpose_roundtrip(p in arb_pattern(DIM, DIM + 4)) {
+        let t = p.transpose();
+        prop_assert_eq!(t.transpose(), p.clone());
+        for (r, c) in p.iter_entries() {
+            prop_assert!(t.contains(c as usize, r));
+        }
+        prop_assert_eq!(p.nnz(), t.nnz());
+    }
+
+    /// Pattern intersection is the Hadamard of 0/1 matrices.
+    #[test]
+    fn pattern_intersection_is_and(a in arb_pattern(DIM, DIM), b in arb_pattern(DIM, DIM)) {
+        let i = a.intersect(&b);
+        for r in 0..DIM {
+            for c in 0..DIM as u32 {
+                prop_assert_eq!(i.contains(r, c), a.contains(r, c) && b.contains(r, c));
+            }
+        }
+    }
+}

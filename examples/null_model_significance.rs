@@ -1,0 +1,70 @@
+//! Is the butterfly count *surprising*? Compare a network against its
+//! degree-preserving null model (double-edge-swap randomisation) to turn
+//! the raw count into a clustering signal — the use-case the paper's
+//! introduction motivates via the clustering coefficient.
+//!
+//! ```text
+//! cargo run --release --example null_model_significance
+//! ```
+
+use bfly::core::metrics::{butterfly_null_model, metrics};
+use bfly::graph::generators::{uniform_exact, with_planted_biclique};
+use bfly::graph::StandIn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7777);
+
+    // Case 1: pure randomness — the count should be entirely explained by
+    // the degree sequence.
+    let random = uniform_exact(400, 400, 1600, &mut rng);
+    let r = butterfly_null_model(&random, 10, 20, &mut rng);
+    println!("Uniform random graph:");
+    println!(
+        "  observed {} vs null {:.1} ± {:.1}  (z = {})",
+        r.observed,
+        r.null_mean,
+        r.null_std,
+        r.z_score.map_or("n/a".into(), |z| format!("{z:+.2}")),
+    );
+
+    // Case 2: the same noise plus a planted community — now the count
+    // should sit far above anything degree structure can produce.
+    let planted = with_planted_biclique(
+        &random,
+        &(0..8).collect::<Vec<_>>(),
+        &(0..8).collect::<Vec<_>>(),
+    );
+    let r = butterfly_null_model(&planted, 10, 20, &mut rng);
+    println!("\nSame graph + planted K(8,8):");
+    println!(
+        "  observed {} vs null {:.1} ± {:.1}  (z = {})",
+        r.observed,
+        r.null_mean,
+        r.null_std,
+        r.z_score.map_or("n/a".into(), |z| format!("{z:+.2}")),
+    );
+
+    // Case 3: a heavy-tailed stand-in — skewed degrees already produce
+    // many butterflies, so the *excess* over the null is the honest
+    // clustering measurement.
+    let arxiv = StandIn::ArxivCondMat.generate_scaled(0.05);
+    let m = metrics(&arxiv);
+    let r = butterfly_null_model(&arxiv, 8, 10, &mut rng);
+    println!("\narXiv cond-mat stand-in (5% scale):");
+    println!(
+        "  butterflies {}, clustering coefficient {}",
+        m.butterflies,
+        m.clustering_coefficient
+            .map_or("n/a".into(), |c| format!("{c:.4}")),
+    );
+    println!(
+        "  null model: {:.1} ± {:.1}  (z = {})",
+        r.null_mean,
+        r.null_std,
+        r.z_score.map_or("n/a".into(), |z| format!("{z:+.2}")),
+    );
+    println!("\nReading: Chung–Lu stand-ins are themselves degree-driven, so their");
+    println!("z-scores stay moderate; planted structure is unmistakable.");
+}

@@ -1,0 +1,22 @@
+//! # bfly — Families of Butterfly Counting Algorithms for Bipartite Graphs
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`sparse`] — the sparse/dense linear-algebra substrate ([`bfly_sparse`]).
+//! * [`graph`] — bipartite graphs, I/O, generators, statistics ([`bfly_graph`]).
+//! * [`core`] — the paper's contribution: the eight-invariant counting
+//!   family, algebraic specification counters, k-tip/k-wing peeling,
+//!   decompositions, baselines, and metrics ([`bfly_core`]).
+//!
+//! ```
+//! use bfly::graph::BipartiteGraph;
+//! use bfly::core::{count, Invariant};
+//!
+//! // The butterfly of Fig. 1: two V1 vertices sharing two V2 neighbours.
+//! let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+//! assert_eq!(count(&g, Invariant::Inv2), 1);
+//! ```
+
+pub use bfly_core as core;
+pub use bfly_graph as graph;
+pub use bfly_sparse as sparse;

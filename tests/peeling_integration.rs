@@ -1,0 +1,136 @@
+//! Integration: the peeling stack (per-vertex counts, per-edge supports,
+//! k-tip, k-wing, decompositions) validated against the definitions on
+//! multi-crate pipelines — generated graphs, stand-ins, and I/O round
+//! trips.
+
+use bfly::core::edge_support::{edge_supports, total_from_supports};
+use bfly::core::peel::{k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers, wing_numbers};
+use bfly::core::vertex_counts::butterflies_per_vertex;
+use bfly::core::{count_via_spgemm, Invariant};
+use bfly::graph::generators::{chung_lu, uniform_exact, with_planted_biclique};
+use bfly::graph::{BipartiteGraph, Side, StandIn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_graph(seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = uniform_exact(60, 60, 150, &mut rng);
+    with_planted_biclique(&base, &[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4, 5])
+}
+
+#[test]
+fn tip_definition_holds_on_every_k() {
+    let g = test_graph(1);
+    for side in [Side::V1, Side::V2] {
+        for k in [1u64, 3, 10, 50, 200] {
+            let r = k_tip(&g, side, k);
+            let scores = butterflies_per_vertex(&r.subgraph, side);
+            for (i, &keep) in r.keep.iter().enumerate() {
+                if keep {
+                    assert!(scores[i] >= k, "side {side:?} k={k} vertex {i}");
+                } else {
+                    // Removed vertices have no edges left in the subgraph.
+                    let deg = match side {
+                        Side::V1 => r.subgraph.deg_v1(i),
+                        Side::V2 => r.subgraph.deg_v2(i),
+                    };
+                    assert_eq!(deg, 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tip_variants_agree_on_stand_in() {
+    // Cross-crate: KONECT stand-in (graph crate) through peeling (core).
+    let g = StandIn::ArxivCondMat.generate_scaled(0.03);
+    for k in [1u64, 2, 5] {
+        let a = k_tip(&g, Side::V1, k);
+        let b = k_tip_matrix(&g, Side::V1, k);
+        let c = k_tip_lookahead(&g, Side::V1, k);
+        assert_eq!(a.keep, b.keep, "k={k}");
+        assert_eq!(a.keep, c.keep, "k={k}");
+    }
+}
+
+#[test]
+fn wing_definition_holds_on_every_k() {
+    let g = test_graph(2);
+    for k in [1u64, 2, 5, 12] {
+        let r = k_wing(&g, k);
+        let m = k_wing_matrix(&g, k);
+        assert_eq!(r.keep, m.keep, "k={k}");
+        let supports = edge_supports(&r.subgraph);
+        for &s in &supports {
+            assert!(s >= k, "k={k}: surviving edge support {s}");
+        }
+    }
+}
+
+#[test]
+fn supports_aggregate_to_total_count() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..4 {
+        let g = chung_lu(50, 40, 220, 0.7, 0.7, &mut rng);
+        let supports = edge_supports(&g);
+        assert_eq!(total_from_supports(&supports), count_via_spgemm(&g));
+    }
+}
+
+#[test]
+fn decompositions_are_complete_hierarchies() {
+    let g = test_graph(4);
+    // Tip numbers: membership in every k-tip equals tip_number >= k, over
+    // the whole range of observed values.
+    let tn = tip_numbers(&g, Side::V1);
+    let max = tn.iter().max().copied().unwrap();
+    for k in [1, max / 2, max] {
+        if k == 0 {
+            continue;
+        }
+        let r = k_tip(&g, Side::V1, k);
+        for (i, &keep) in r.keep.iter().enumerate() {
+            assert_eq!(keep, tn[i] >= k, "tip k={k} vertex {i} (tn={})", tn[i]);
+        }
+    }
+    // Wing numbers likewise.
+    let wn = wing_numbers(&g);
+    let maxw = wn.iter().max().copied().unwrap();
+    for k in [1, maxw / 2, maxw] {
+        if k == 0 {
+            continue;
+        }
+        let r = k_wing(&g, k);
+        for (i, &keep) in r.keep.iter().enumerate() {
+            assert_eq!(keep, wn[i] >= k, "wing k={k} edge {i} (wn={})", wn[i]);
+        }
+    }
+}
+
+#[test]
+fn peeling_the_whole_graph_reports_empty_fixed_point() {
+    let g = test_graph(5);
+    let huge = 1_000_000_000u64;
+    let t = k_tip(&g, Side::V1, huge);
+    assert!(t.keep.iter().all(|&b| !b));
+    assert_eq!(
+        count_via_spgemm(&t.subgraph),
+        0,
+        "fully peeled graph has no butterflies"
+    );
+    let w = k_wing(&g, huge);
+    assert_eq!(w.subgraph.nedges(), 0);
+}
+
+#[test]
+fn counting_inside_peeled_subgraph_is_consistent() {
+    // The k-wing subgraph's own butterfly count equals what the family
+    // computes on it — peeling output feeds back into counting cleanly.
+    let g = test_graph(6);
+    let r = k_wing(&g, 3);
+    let via_family: u64 = bfly::core::count(&r.subgraph, Invariant::Inv2);
+    assert_eq!(via_family, count_via_spgemm(&r.subgraph));
+    let supports = edge_supports(&r.subgraph);
+    assert_eq!(total_from_supports(&supports), via_family);
+}
