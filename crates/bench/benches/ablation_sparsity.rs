@@ -19,16 +19,12 @@ fn bench_sparsity(c: &mut Criterion) {
         let edges = 20_000 * factor;
         let mut rng = StdRng::seed_from_u64(0xE5);
         let g = uniform_exact(m, n, edges, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("inv2", format!("{edges}e")),
-            &g,
-            |b, g| b.iter(|| black_box(count(g, Invariant::Inv2))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("inv7", format!("{edges}e")),
-            &g,
-            |b, g| b.iter(|| black_box(count(g, Invariant::Inv7))),
-        );
+        group.bench_with_input(BenchmarkId::new("inv2", format!("{edges}e")), &g, |b, g| {
+            b.iter(|| black_box(count(g, Invariant::Inv2)))
+        });
+        group.bench_with_input(BenchmarkId::new("inv7", format!("{edges}e")), &g, |b, g| {
+            b.iter(|| black_box(count(g, Invariant::Inv7)))
+        });
     }
     group.finish();
 }

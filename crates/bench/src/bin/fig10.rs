@@ -11,8 +11,11 @@
 //! Absolute times are not comparable to the paper's C/i7-8750H numbers;
 //! shapes are.
 
-use bfly_bench::{best_of, load_datasets, print_invariant_table, scale_from_env};
-use bfly_core::{count, Invariant};
+use bfly_bench::{
+    best_of, load_datasets, print_invariant_table, scale_from_env, write_bench_report,
+};
+use bfly_core::telemetry::{InMemoryRecorder, Json};
+use bfly_core::{count, count_recorded, Invariant};
 use bfly_graph::Side;
 
 fn main() {
@@ -21,6 +24,7 @@ fn main() {
     let datasets = load_datasets(scale);
     let mut rows = Vec::new();
     let mut reference = Vec::new();
+    let mut reports = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -29,6 +33,20 @@ fn main() {
             let (t, xi) = best_of(2, || count(g, inv));
             times[i] = t;
             counts[i] = xi;
+            // One instrumented pass collects the work counters (they are
+            // deterministic, so timing and counting runs can be separate).
+            let mut rec = InMemoryRecorder::new();
+            let xi_rec = count_recorded(g, inv, &mut rec);
+            assert_eq!(xi_rec, xi, "instrumented run diverged");
+            reports.push(rec.report(vec![
+                ("bench".to_string(), Json::Str("fig10".to_string())),
+                ("dataset".to_string(), Json::Str(spec.name.to_string())),
+                ("invariant".to_string(), Json::Str(format!("{inv}"))),
+                ("scale".to_string(), Json::Float(scale)),
+                ("threads".to_string(), Json::UInt(1)),
+                ("seconds".to_string(), Json::Float(t)),
+                ("butterflies".to_string(), Json::UInt(xi)),
+            ]));
         }
         assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
         reference.push((spec.name, counts[0]));
@@ -44,8 +62,16 @@ fn main() {
     for ((d, g), (_, times)) in datasets.iter().zip(&rows) {
         let best_v2: f64 = times[..4].iter().cloned().fold(f64::INFINITY, f64::min);
         let best_v1: f64 = times[4..].iter().cloned().fold(f64::INFINITY, f64::min);
-        let smaller = if g.nv1() < g.nv2() { Side::V1 } else { Side::V2 };
-        let winner = if best_v2 < best_v1 { Side::V2 } else { Side::V1 };
+        let smaller = if g.nv1() < g.nv2() {
+            Side::V1
+        } else {
+            Side::V2
+        };
+        let winner = if best_v2 < best_v1 {
+            Side::V2
+        } else {
+            Side::V1
+        };
         println!(
             "  {:<16} smaller side {:?}, faster family partitions {:?} (V2 fam {:.3}s, V1 fam {:.3}s)",
             d.spec().name,
@@ -54,5 +80,9 @@ fn main() {
             best_v2,
             best_v1
         );
+    }
+    match write_bench_report("fig10", &reports) {
+        Ok(path) => println!("\nmachine-readable report: {path}"),
+        Err(e) => eprintln!("warning: could not write report: {e}"),
     }
 }

@@ -2,8 +2,12 @@
 //! CPU) wall-clock of each invariant on each dataset, plus the speedup over
 //! the sequential numbers.
 
-use bfly_bench::{best_of, load_datasets, print_invariant_table, scale_from_env, threads_from_env};
-use bfly_core::{count, count_parallel, Invariant};
+use bfly_bench::{
+    best_of, load_datasets, print_invariant_table, scale_from_env, threads_from_env,
+    write_bench_report,
+};
+use bfly_core::telemetry::{InMemoryRecorder, Json};
+use bfly_core::{count, count_parallel, count_parallel_recorded, Invariant};
 
 fn main() {
     let scale = scale_from_env();
@@ -18,6 +22,7 @@ fn main() {
     let datasets = load_datasets(scale);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
+    let mut reports = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -27,6 +32,20 @@ fn main() {
             let (t, xi) = best_of(2, || pool.install(|| count_parallel(g, inv)));
             times[i] = t;
             counts[i] = xi;
+            // Instrumented pass: per-chunk work series and the imbalance
+            // gauge come from the recorded parallel path.
+            let mut rec = InMemoryRecorder::new();
+            let xi_rec = pool.install(|| count_parallel_recorded(g, inv, &mut rec));
+            assert_eq!(xi_rec, xi, "instrumented run diverged");
+            reports.push(rec.report(vec![
+                ("bench".to_string(), Json::Str("fig11".to_string())),
+                ("dataset".to_string(), Json::Str(spec.name.to_string())),
+                ("invariant".to_string(), Json::Str(format!("{inv}"))),
+                ("scale".to_string(), Json::Float(scale)),
+                ("threads".to_string(), Json::UInt(threads as u64)),
+                ("seconds".to_string(), Json::Float(t)),
+                ("butterflies".to_string(), Json::UInt(xi)),
+            ]));
         }
         assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
         // One sequential reference point for the speedup column.
@@ -41,5 +60,9 @@ fn main() {
     println!("\nSpeedup of best parallel member vs sequential Inv. 2:");
     for (name, s) in speedups {
         println!("  {name:<16} {s:.2}x");
+    }
+    match write_bench_report("fig11", &reports) {
+        Ok(path) => println!("\nmachine-readable report: {path}"),
+        Err(e) => eprintln!("warning: could not write report: {e}"),
     }
 }

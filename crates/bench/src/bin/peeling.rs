@@ -4,8 +4,12 @@
 //! and look-ahead (Fig. 8) variants, and checking they extract identical
 //! subgraphs.
 
-use bfly_bench::{scale_from_env, time_one};
-use bfly_core::peel::{k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers, wing_numbers};
+use bfly_bench::{scale_from_env, time_one, write_bench_report};
+use bfly_core::peel::{
+    k_tip, k_tip_lookahead, k_tip_matrix, k_tip_recorded, k_wing, k_wing_matrix, k_wing_recorded,
+    tip_numbers, wing_numbers,
+};
+use bfly_core::telemetry::{InMemoryRecorder, Json};
 use bfly_graph::generators::{uniform_exact, with_planted_biclique};
 use bfly_graph::Side;
 use rand::rngs::StdRng;
@@ -36,6 +40,7 @@ fn main() {
         "{:>8}{:>14}{:>14}{:>14}{:>10}{:>8}",
         "k", "wedge (s)", "matrix (s)", "lookahead (s)", "survive", "rounds"
     );
+    let mut reports = Vec::new();
     for k in [10u64, 100, 1_000, 10_000] {
         let (t1, r1) = time_one(|| k_tip(&g, Side::V1, k));
         let (t2, r2) = time_one(|| k_tip_matrix(&g, Side::V1, k));
@@ -47,6 +52,19 @@ fn main() {
             "{k:>8}{t1:>14.3}{t2:>14.3}{t3:>14.3}{survive:>10}{:>8}",
             r1.rounds
         );
+        // Instrumented pass: rounds, removal volumes, recomputation work.
+        let mut rec = InMemoryRecorder::new();
+        let r_rec = k_tip_recorded(&g, Side::V1, k, &mut rec);
+        assert_eq!(r_rec.keep, r1.keep, "instrumented run diverged at k={k}");
+        reports.push(rec.report(vec![
+            ("bench".to_string(), Json::Str("peeling".to_string())),
+            ("structure".to_string(), Json::Str("tip".to_string())),
+            ("k".to_string(), Json::UInt(k)),
+            ("scale".to_string(), Json::Float(scale)),
+            ("seconds".to_string(), Json::Float(t1)),
+            ("survivors".to_string(), Json::UInt(survive as u64)),
+            ("rounds".to_string(), Json::UInt(r1.rounds as u64)),
+        ]));
     }
 
     println!("\nk-wing:");
@@ -63,6 +81,21 @@ fn main() {
             r1.subgraph.nedges(),
             r1.rounds
         );
+        let mut rec = InMemoryRecorder::new();
+        let r_rec = k_wing_recorded(&g, k, &mut rec);
+        assert_eq!(r_rec.keep, r1.keep, "instrumented run diverged at k={k}");
+        reports.push(rec.report(vec![
+            ("bench".to_string(), Json::Str("peeling".to_string())),
+            ("structure".to_string(), Json::Str("wing".to_string())),
+            ("k".to_string(), Json::UInt(k)),
+            ("scale".to_string(), Json::Float(scale)),
+            ("seconds".to_string(), Json::Float(t1)),
+            (
+                "edges_remaining".to_string(),
+                Json::UInt(r1.subgraph.nedges() as u64),
+            ),
+            ("rounds".to_string(), Json::UInt(r1.rounds as u64)),
+        ]));
     }
 
     println!("\nFull decompositions:");
@@ -75,4 +108,8 @@ fn main() {
     // The planted K(20,20) block members should top both decompositions.
     let planted_min_tip = b1.iter().map(|&u| tips[u as usize]).min().unwrap();
     println!("  min tip number inside planted K(20,20): {planted_min_tip}");
+    match write_bench_report("peeling", &reports) {
+        Ok(path) => println!("\nmachine-readable report: {path}"),
+        Err(e) => eprintln!("warning: could not write report: {e}"),
+    }
 }

@@ -95,7 +95,9 @@ fn main() {
 
     // ---- Partition-side finding ----
     println!("\n## §V finding — partition the smaller vertex set\n");
-    println!("| Dataset | smaller side | faster family | V2-family best (s) | V1-family best (s) |");
+    println!(
+        "| Dataset | smaller side | faster family | V2-family best (s) | V1-family best (s) |"
+    );
     println!("|---|---|---|---|---|");
     for ((d, g), &xi) in datasets.iter().zip(&counts) {
         let mut v2b = f64::INFINITY;
@@ -113,7 +115,11 @@ fn main() {
             "| {} | {} | {} | {:.3} | {:.3} |",
             d.spec().name,
             if g.nv1() < g.nv2() { "V1" } else { "V2" },
-            if v2b < v1b { "V2 (inv 1-4)" } else { "V1 (inv 5-8)" },
+            if v2b < v1b {
+                "V2 (inv 1-4)"
+            } else {
+                "V1 (inv 5-8)"
+            },
             v2b,
             v1b
         );

@@ -2,29 +2,77 @@
 //! benches: dataset loading at a configurable scale, timing helpers, and
 //! table formatting that mirrors the paper's figures.
 
+use bfly_core::telemetry::{Json, RunReport};
 use bfly_core::Invariant;
 use bfly_graph::{BipartiteGraph, StandIn};
 use std::time::Instant;
+
+/// Default stand-in scale when `BFLY_SCALE` is unset or invalid.
+pub const DEFAULT_SCALE: f64 = 0.1;
+/// Default thread count when `BFLY_THREADS` is unset or invalid
+/// (6, matching the paper's i7-8750H configuration).
+pub const DEFAULT_THREADS: usize = 6;
+
+/// Parse a `BFLY_SCALE`-style value. Pure: the raw string (or `None` when
+/// the variable is unset) goes in, a scale in `(0, 1]` comes out. Invalid
+/// or out-of-range values fall back to [`DEFAULT_SCALE`] with a warning on
+/// stderr.
+pub fn parse_scale(raw: Option<&str>) -> f64 {
+    match raw {
+        None => DEFAULT_SCALE,
+        Some(s) => match s.trim().parse::<f64>() {
+            Ok(v) if v > 0.0 && v <= 1.0 => v,
+            _ => {
+                eprintln!(
+                    "warning: ignoring BFLY_SCALE={s:?} (expected a number in (0, 1]); \
+                     using default {DEFAULT_SCALE}"
+                );
+                DEFAULT_SCALE
+            }
+        },
+    }
+}
+
+/// Parse a `BFLY_THREADS`-style value. Pure counterpart of
+/// [`threads_from_env`]; invalid or non-positive values fall back to
+/// [`DEFAULT_THREADS`] with a warning on stderr.
+pub fn parse_threads(raw: Option<&str>) -> usize {
+    match raw {
+        None => DEFAULT_THREADS,
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => {
+                eprintln!(
+                    "warning: ignoring BFLY_THREADS={s:?} (expected a positive integer); \
+                     using default {DEFAULT_THREADS}"
+                );
+                DEFAULT_THREADS
+            }
+        },
+    }
+}
 
 /// Scale factor for the KONECT stand-ins, read from `BFLY_SCALE`
 /// (default 0.1 — large enough to show every effect, small enough for CI).
 /// Set `BFLY_SCALE=1.0` to regenerate the tables at the paper's full sizes.
 pub fn scale_from_env() -> f64 {
-    std::env::var("BFLY_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|&s| s > 0.0 && s <= 1.0)
-        .unwrap_or(0.1)
+    parse_scale(std::env::var("BFLY_SCALE").ok().as_deref())
 }
 
-/// Thread count for the Fig. 11 reproduction, read from `BFLY_THREADS`
-/// (default 6, matching the paper's i7-8750H configuration).
+/// Thread count for the Fig. 11 reproduction, read from `BFLY_THREADS`.
 pub fn threads_from_env() -> usize {
-    std::env::var("BFLY_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or(6)
+    parse_threads(std::env::var("BFLY_THREADS").ok().as_deref())
+}
+
+/// Write a batch of [`RunReport`]s as one JSON array to
+/// `BENCH_<name>.json` (in `BFLY_REPORT_DIR`, default the current
+/// directory). Returns the path written.
+pub fn write_bench_report(name: &str, reports: &[RunReport]) -> std::io::Result<String> {
+    let dir = std::env::var("BFLY_REPORT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{dir}/BENCH_{name}.json");
+    let arr = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
+    std::fs::write(&path, arr.pretty() + "\n")?;
+    Ok(path)
 }
 
 /// Generate every stand-in at the given scale, paired with its spec.
@@ -79,12 +127,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn env_defaults() {
-        // Not setting the variables yields the documented defaults.
-        std::env::remove_var("BFLY_SCALE");
-        std::env::remove_var("BFLY_THREADS");
-        assert_eq!(scale_from_env(), 0.1);
-        assert_eq!(threads_from_env(), 6);
+    fn parse_scale_pure() {
+        // Unset → documented default; no process-global env mutation needed.
+        assert_eq!(parse_scale(None), DEFAULT_SCALE);
+        assert_eq!(parse_scale(Some("0.25")), 0.25);
+        assert_eq!(parse_scale(Some(" 1.0 ")), 1.0);
+        // Invalid and out-of-range values fall back to the default.
+        assert_eq!(parse_scale(Some("banana")), DEFAULT_SCALE);
+        assert_eq!(parse_scale(Some("0")), DEFAULT_SCALE);
+        assert_eq!(parse_scale(Some("-0.5")), DEFAULT_SCALE);
+        assert_eq!(parse_scale(Some("1.5")), DEFAULT_SCALE);
+        assert_eq!(parse_scale(Some("NaN")), DEFAULT_SCALE);
+    }
+
+    #[test]
+    fn parse_threads_pure() {
+        assert_eq!(parse_threads(None), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("12")), 12);
+        assert_eq!(parse_threads(Some("0")), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("-3")), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("six")), DEFAULT_THREADS);
     }
 
     #[test]

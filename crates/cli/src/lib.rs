@@ -25,10 +25,11 @@
 //! default (`--algorithm auto` partitions the smaller vertex set).
 
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
-use bfly_core::peel::{k_tip, k_wing, tip_numbers};
+use bfly_core::peel::{k_tip, k_tip_recorded, k_wing, k_wing_recorded, tip_numbers};
+use bfly_core::telemetry::{timed_phase, InMemoryRecorder, Json, Recorder, RunReport};
 use bfly_core::{
-    count, count_auto, count_by_enumeration, count_parallel, count_via_spgemm,
-    enumerate_butterflies, Invariant,
+    count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_recorded,
+    count_via_spgemm, enumerate_butterflies, Invariant,
 };
 use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list};
 use bfly_graph::matrix_market::read_matrix_market_file;
@@ -57,6 +58,10 @@ pub enum Command {
         parallel: bool,
         /// Pinned thread count (0 = rayon default).
         threads: usize,
+        /// Print work counters / phase timers after the count.
+        stats: bool,
+        /// Write a machine-readable [`RunReport`] to this path.
+        report: Option<String>,
     },
     /// `bfly tip`.
     Tip {
@@ -68,6 +73,10 @@ pub enum Command {
         k: u64,
         /// Side to peel.
         side: Side,
+        /// Print work counters / phase timers after peeling.
+        stats: bool,
+        /// Write a machine-readable [`RunReport`] to this path.
+        report: Option<String>,
     },
     /// `bfly wing`.
     Wing {
@@ -77,6 +86,10 @@ pub enum Command {
         format: Option<Format>,
         /// Peeling threshold.
         k: u64,
+        /// Print work counters / phase timers after peeling.
+        stats: bool,
+        /// Write a machine-readable [`RunReport`] to this path.
+        report: Option<String>,
     },
     /// `bfly tip-numbers`.
     TipNumbers {
@@ -245,8 +258,10 @@ USAGE:
   bfly stats       <file> [--format konect|edgelist|mtx]
   bfly count       <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
                           [--parallel] [--threads N] [--format ...]
+                          [--stats] [--report FILE]
   bfly tip         <file> --k K [--side v1|v2] [--format ...]
-  bfly wing        <file> --k K [--format ...]
+                          [--stats] [--report FILE]
+  bfly wing        <file> --k K [--format ...] [--stats] [--report FILE]
   bfly tip-numbers <file> [--side v1|v2] [--top N] [--format ...]
   bfly enumerate   <file> [--limit N] [--format ...]
   bfly generate    --kind uniform|chunglu|standin --out FILE
@@ -272,7 +287,7 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            if matches!(name, "parallel" | "help") {
+            if matches!(name, "parallel" | "help" | "stats") {
                 flags.push((name.to_string(), None));
             } else {
                 let v = it
@@ -383,6 +398,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             },
             parallel: rest.has("parallel"),
             threads: rest.parse_flag("threads", 0usize)?,
+            stats: rest.has("stats"),
+            report: rest.flag("report").map(str::to_string),
         }),
         "tip" => Ok(Command::Tip {
             file: file()?,
@@ -396,6 +413,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 Some(s) => parse_side(s)?,
                 None => Side::V1,
             },
+            stats: rest.has("stats"),
+            report: rest.flag("report").map(str::to_string),
         }),
         "wing" => Ok(Command::Wing {
             file: file()?,
@@ -405,6 +424,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| err("wing requires --k"))?
                 .parse()
                 .map_err(|_| err("bad --k"))?,
+            stats: rest.has("stats"),
+            report: rest.flag("report").map(str::to_string),
         }),
         "tip-numbers" => Ok(Command::TipNumbers {
             file: file()?,
@@ -557,53 +578,78 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             algorithm,
             parallel,
             threads,
+            stats,
+            report,
         } => {
             let g = load_graph(&file, format)?;
-            let run_count = |g: &BipartiteGraph| -> (u64, String) {
-                match algorithm {
-                    Algorithm::Auto => {
-                        if parallel {
-                            let (_, inv) = (0, pick_auto(g));
-                            (count_parallel(g, inv), format!("{inv} (auto, parallel)"))
-                        } else {
-                            let (xi, inv) = count_auto(g);
-                            (xi, format!("{inv} (auto)"))
-                        }
-                    }
-                    Algorithm::Family(inv) => {
-                        if parallel {
-                            (count_parallel(g, inv), format!("{inv} (parallel)"))
-                        } else {
-                            (count(g, inv), format!("{inv}"))
-                        }
-                    }
-                    Algorithm::Spgemm => (count_via_spgemm(g), "spgemm".to_string()),
-                    Algorithm::Hash => (count_hash_aggregation(g), "hash".to_string()),
-                    Algorithm::VertexPriority => {
-                        (count_vertex_priority(g), "vertex-priority".to_string())
-                    }
-                    Algorithm::Enumerate => (count_by_enumeration(g), "enumeration".to_string()),
+            let instrumented = stats || report.is_some();
+            let mut rec = InMemoryRecorder::new();
+            let run = |rec: &mut InMemoryRecorder| -> Result<(u64, String), CliError> {
+                if threads > 0 {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .map_err(|e| err(format!("thread pool: {e}")))?;
+                    Ok(pool.install(|| run_count(&g, algorithm, parallel, rec)))
+                } else {
+                    Ok(run_count(&g, algorithm, parallel, rec))
                 }
             };
-            let (xi, label) = if threads > 0 {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .map_err(|e| err(format!("thread pool: {e}")))?;
-                pool.install(|| run_count(&g))
+            let (xi, label) = if instrumented {
+                run(&mut rec)?
             } else {
-                run_count(&g)
+                // Same code path monomorphized with the no-op recorder.
+                if threads > 0 {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .map_err(|e| err(format!("thread pool: {e}")))?;
+                    pool.install(|| {
+                        run_count(
+                            &g,
+                            algorithm,
+                            parallel,
+                            &mut bfly_core::telemetry::NoopRecorder,
+                        )
+                    })
+                } else {
+                    run_count(
+                        &g,
+                        algorithm,
+                        parallel,
+                        &mut bfly_core::telemetry::NoopRecorder,
+                    )
+                }
             };
-            w(out, format!("butterflies = {xi}  [{label}]"))
+            w(out, format!("butterflies = {xi}  [{label}]"))?;
+            if instrumented {
+                let rep = rec.report(vec![
+                    ("command".to_string(), Json::Str("count".to_string())),
+                    ("dataset".to_string(), Json::Str(file.clone())),
+                    ("algorithm".to_string(), Json::Str(label)),
+                    ("threads".to_string(), Json::UInt(threads as u64)),
+                    ("butterflies".to_string(), Json::UInt(xi)),
+                ]);
+                emit_report(&rep, stats, report.as_deref(), out)?;
+            }
+            Ok(())
         }
         Command::Tip {
             file,
             format,
             k,
             side,
+            stats,
+            report,
         } => {
             let g = load_graph(&file, format)?;
-            let r = k_tip(&g, side, k);
+            let instrumented = stats || report.is_some();
+            let mut rec = InMemoryRecorder::new();
+            let r = if instrumented {
+                timed_phase(&mut rec, "k_tip", |rec| k_tip_recorded(&g, side, k, rec))
+            } else {
+                k_tip(&g, side, k)
+            };
             let survivors = r.keep.iter().filter(|&&b| b).count();
             w(
                 out,
@@ -613,11 +659,39 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                     r.rounds,
                     r.subgraph.nedges()
                 ),
-            )
+            )?;
+            if instrumented {
+                let rep = rec.report(vec![
+                    ("command".to_string(), Json::Str("tip".to_string())),
+                    ("dataset".to_string(), Json::Str(file.clone())),
+                    ("k".to_string(), Json::UInt(k)),
+                    ("side".to_string(), Json::Str(format!("{side:?}"))),
+                    ("survivors".to_string(), Json::UInt(survivors as u64)),
+                    ("rounds".to_string(), Json::UInt(r.rounds as u64)),
+                    (
+                        "edges_remaining".to_string(),
+                        Json::UInt(r.subgraph.nedges() as u64),
+                    ),
+                ]);
+                emit_report(&rep, stats, report.as_deref(), out)?;
+            }
+            Ok(())
         }
-        Command::Wing { file, format, k } => {
+        Command::Wing {
+            file,
+            format,
+            k,
+            stats,
+            report,
+        } => {
             let g = load_graph(&file, format)?;
-            let r = k_wing(&g, k);
+            let instrumented = stats || report.is_some();
+            let mut rec = InMemoryRecorder::new();
+            let r = if instrumented {
+                timed_phase(&mut rec, "k_wing", |rec| k_wing_recorded(&g, k, rec))
+            } else {
+                k_wing(&g, k)
+            };
             w(
                 out,
                 format!(
@@ -626,7 +700,21 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                     g.nedges(),
                     r.rounds
                 ),
-            )
+            )?;
+            if instrumented {
+                let rep = rec.report(vec![
+                    ("command".to_string(), Json::Str("wing".to_string())),
+                    ("dataset".to_string(), Json::Str(file.clone())),
+                    ("k".to_string(), Json::UInt(k)),
+                    ("rounds".to_string(), Json::UInt(r.rounds as u64)),
+                    (
+                        "edges_remaining".to_string(),
+                        Json::UInt(r.subgraph.nedges() as u64),
+                    ),
+                ]);
+                emit_report(&rep, stats, report.as_deref(), out)?;
+            }
+            Ok(())
         }
         Command::TipNumbers {
             file,
@@ -638,7 +726,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             let tn = tip_numbers(&g, side);
             let mut ranked: Vec<(usize, u64)> = tn.iter().copied().enumerate().collect();
             ranked.sort_by_key(|&(i, t)| (std::cmp::Reverse(t), i));
-            w(out, format!("top {top} vertices on {side:?} by tip number:"))?;
+            w(
+                out,
+                format!("top {top} vertices on {side:?} by tip number:"),
+            )?;
             for (v, t) in ranked.into_iter().take(top) {
                 w(out, format!("  {v}\t{t}"))?;
             }
@@ -654,7 +745,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             for b in &list {
                 w(out, format!("({}, {}) x ({}, {})", b.u, b.w, b.x, b.y))?;
             }
-            w(out, format!("{} butterflies listed (limit {limit})", list.len()))
+            w(
+                out,
+                format!("{} butterflies listed (limit {limit})", list.len()),
+            )
         }
         Command::Metrics { file, format } => {
             let g = load_graph(&file, format)?;
@@ -688,7 +782,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             let pm = bfly_core::PairMatrix::build(&g, side);
             w(
                 out,
-                format!("top {top} {side:?} pairs by butterflies (total {}):", pm.total()),
+                format!(
+                    "top {top} {side:?} pairs by butterflies (total {}):",
+                    pm.total()
+                ),
             )?;
             for (i, j, b) in pm.top_pairs(top) {
                 w(out, format!("  ({i}, {j})\t{b}"))?;
@@ -707,18 +804,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             w(out, format!("{} components", c.count))?;
             w(
                 out,
-                format!(
-                    "largest sizes: {:?}",
-                    &sizes[..sizes.len().min(10)]
-                ),
+                format!("largest sizes: {:?}", &sizes[..sizes.len().min(10)]),
             )
         }
-        Command::Core {
-            file,
-            format,
-            k,
-            l,
-        } => {
+        Command::Core { file, format, k, l } => {
             let g = load_graph(&file, format)?;
             let r = bfly_graph::kl_core(&g, k, l);
             let kept1 = r.keep_v1.iter().filter(|&&b| b).count();
@@ -748,10 +837,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 write_edge_list(&g, &mut buf).map_err(|e| err(format!("serialise: {e}")))?;
             }
             std::fs::write(&path, buf).map_err(|e| err(format!("write {path}: {e}")))?;
-            w(
-                out,
-                format!("wrote {} edges to {path}", g.nedges()),
-            )
+            w(out, format!("wrote {} edges to {path}", g.nedges()))
         }
         Command::Generate { kind, out: path } => {
             use bfly_graph::generators::{chung_lu, uniform_exact};
@@ -802,6 +888,71 @@ fn pick_auto(g: &BipartiteGraph) -> Invariant {
     }
 }
 
+/// Dispatch one counting run, reporting work through `rec`. With
+/// [`bfly_core::telemetry::NoopRecorder`] this monomorphizes to the
+/// uninstrumented loops; the baselines without recorded variants still get
+/// a phase timer.
+fn run_count<R: Recorder>(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    parallel: bool,
+    rec: &mut R,
+) -> (u64, String) {
+    match algorithm {
+        Algorithm::Auto => {
+            if parallel {
+                let inv = pick_auto(g);
+                (
+                    count_parallel_recorded(g, inv, rec),
+                    format!("{inv} (auto, parallel)"),
+                )
+            } else {
+                let (xi, inv) = count_auto_recorded(g, rec);
+                (xi, format!("{inv} (auto)"))
+            }
+        }
+        Algorithm::Family(inv) => {
+            if parallel {
+                (
+                    count_parallel_recorded(g, inv, rec),
+                    format!("{inv} (parallel)"),
+                )
+            } else {
+                (count_recorded(g, inv, rec), format!("{inv}"))
+            }
+        }
+        Algorithm::Spgemm => timed_phase(rec, "count_spgemm", |_| {
+            (count_via_spgemm(g), "spgemm".to_string())
+        }),
+        Algorithm::Hash => timed_phase(rec, "count_hash", |_| {
+            (count_hash_aggregation(g), "hash".to_string())
+        }),
+        Algorithm::VertexPriority => timed_phase(rec, "count_vertex_priority", |_| {
+            (count_vertex_priority(g), "vertex-priority".to_string())
+        }),
+        Algorithm::Enumerate => timed_phase(rec, "count_enumeration", |_| {
+            (count_by_enumeration(g), "enumeration".to_string())
+        }),
+    }
+}
+
+/// Print the `--stats` table and/or write the `--report` JSON file.
+fn emit_report(
+    rep: &RunReport,
+    stats: bool,
+    path: Option<&str>,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    if stats {
+        writeln!(out, "{}", rep.render_table()).map_err(|e| err(format!("write error: {e}")))?;
+    }
+    if let Some(p) = path {
+        std::fs::write(p, rep.to_json_string())
+            .map_err(|e| err(format!("write report {p}: {e}")))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,8 +981,31 @@ mod tests {
                 algorithm: Algorithm::Family(Invariant::Inv3),
                 parallel: true,
                 threads: 4,
+                stats: false,
+                report: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_stats_and_report_flags() {
+        let cmd = parse(&sv(&["count", "g.tsv", "--stats", "--report", "run.json"])).unwrap();
+        match cmd {
+            Command::Count { stats, report, .. } => {
+                assert!(stats);
+                assert_eq!(report.as_deref(), Some("run.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --stats is boolean: the next token stays positional.
+        let cmd = parse(&sv(&["wing", "--stats", "g.tsv", "--k", "2"])).unwrap();
+        match cmd {
+            Command::Wing { file, stats, .. } => {
+                assert_eq!(file, "g.tsv");
+                assert!(stats);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -859,7 +1033,9 @@ mod tests {
                 file: "g.tsv".into(),
                 format: None,
                 k: 5,
-                side: Side::V2
+                side: Side::V2,
+                stats: false,
+                report: None,
             }
         );
         assert!(parse(&sv(&["tip", "g.tsv"])).is_err()); // missing --k
@@ -915,8 +1091,18 @@ mod tests {
         let mut sink = Vec::new();
         run(
             parse(&sv(&[
-                "generate", "--kind", "uniform", "--m", "30", "--n", "30", "--edges", "200",
-                "--seed", "5", "--out",
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "30",
+                "--n",
+                "30",
+                "--edges",
+                "200",
+                "--seed",
+                "5",
+                "--out",
                 gpath.to_str().unwrap(),
             ]))
             .unwrap(),
@@ -937,13 +1123,7 @@ mod tests {
         for alg in ["auto", "inv1", "inv7", "spgemm", "hash", "vp", "enum"] {
             let mut sink = Vec::new();
             run(
-                parse(&sv(&[
-                    "count",
-                    gpath.to_str().unwrap(),
-                    "--algorithm",
-                    alg,
-                ]))
-                .unwrap(),
+                parse(&sv(&["count", gpath.to_str().unwrap(), "--algorithm", alg])).unwrap(),
                 &mut sink,
             )
             .unwrap();
@@ -976,13 +1156,7 @@ mod tests {
         // enumerate respects limit
         let mut sink = Vec::new();
         run(
-            parse(&sv(&[
-                "enumerate",
-                gpath.to_str().unwrap(),
-                "--limit",
-                "3",
-            ]))
-            .unwrap(),
+            parse(&sv(&["enumerate", gpath.to_str().unwrap(), "--limit", "3"])).unwrap(),
             &mut sink,
         )
         .unwrap();
@@ -997,8 +1171,18 @@ mod tests {
         let gpath = dir.join("g2.tsv");
         run(
             parse(&sv(&[
-                "generate", "--kind", "uniform", "--m", "25", "--n", "25", "--edges", "150",
-                "--seed", "7", "--out",
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "25",
+                "--n",
+                "25",
+                "--edges",
+                "150",
+                "--seed",
+                "7",
+                "--out",
                 gpath.to_str().unwrap(),
             ]))
             .unwrap(),
@@ -1008,7 +1192,11 @@ mod tests {
 
         // metrics
         let mut sink = Vec::new();
-        run(parse(&sv(&["metrics", gpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        run(
+            parse(&sv(&["metrics", gpath.to_str().unwrap()])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("butterflies"), "{text}");
         assert!(text.contains("caterpillars"), "{text}");
@@ -1016,7 +1204,15 @@ mod tests {
         // pairs
         let mut sink = Vec::new();
         run(
-            parse(&sv(&["pairs", gpath.to_str().unwrap(), "--top", "5", "--side", "v2"])).unwrap(),
+            parse(&sv(&[
+                "pairs",
+                gpath.to_str().unwrap(),
+                "--top",
+                "5",
+                "--side",
+                "v2",
+            ]))
+            .unwrap(),
             &mut sink,
         )
         .unwrap();
@@ -1024,13 +1220,25 @@ mod tests {
 
         // components
         let mut sink = Vec::new();
-        run(parse(&sv(&["components", gpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        run(
+            parse(&sv(&["components", gpath.to_str().unwrap()])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
         assert!(String::from_utf8(sink).unwrap().contains("components"));
 
         // core
         let mut sink = Vec::new();
         run(
-            parse(&sv(&["core", gpath.to_str().unwrap(), "--k", "2", "--l", "2"])).unwrap(),
+            parse(&sv(&[
+                "core",
+                gpath.to_str().unwrap(),
+                "--k",
+                "2",
+                "--l",
+                "2",
+            ]))
+            .unwrap(),
             &mut sink,
         )
         .unwrap();
@@ -1051,8 +1259,122 @@ mod tests {
         )
         .unwrap();
         let mut sink = Vec::new();
-        run(parse(&sv(&["stats", mpath.to_str().unwrap()])).unwrap(), &mut sink).unwrap();
+        run(
+            parse(&sv(&["stats", mpath.to_str().unwrap()])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
         assert!(String::from_utf8(sink).unwrap().contains("|E|  = 150"));
+    }
+
+    #[test]
+    fn stats_and_report_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "40",
+                "--n",
+                "40",
+                "--edges",
+                "300",
+                "--seed",
+                "11",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // count --stats prints the counter table.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["count", gpath.to_str().unwrap(), "--stats"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("butterflies ="), "{text}");
+        assert!(text.contains("wedges_expanded"), "{text}");
+
+        // count --report writes a parseable RunReport whose meta matches
+        // the printed count.
+        let rpath = dir.join("count.json");
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--report",
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let printed: u64 = String::from_utf8(sink)
+            .unwrap()
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let rep = RunReport::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert_eq!(
+            rep.meta
+                .iter()
+                .find(|(n, _)| n == "butterflies")
+                .and_then(|(_, v)| v.as_u64()),
+            Some(printed)
+        );
+        assert!(rep.counter("wedges_expanded").unwrap() > 0);
+
+        // tip --stats reports peel rounds; wing --report round-trips.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "tip",
+                gpath.to_str().unwrap(),
+                "--k",
+                "1",
+                "--stats",
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("peel_rounds"));
+
+        let wpath = dir.join("wing.json");
+        run(
+            parse(&sv(&[
+                "wing",
+                gpath.to_str().unwrap(),
+                "--k",
+                "1",
+                "--report",
+                wpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let rep = RunReport::parse(&std::fs::read_to_string(&wpath).unwrap()).unwrap();
+        assert!(rep.counter("peel_rounds").unwrap() >= 1);
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(n, v)| n == "command" && v.as_str() == Some("wing")));
     }
 
     #[test]
@@ -1063,7 +1385,14 @@ mod tests {
         let mut sink = Vec::new();
         run(
             parse(&sv(&[
-                "generate", "--kind", "standin", "--name", "github", "--scale", "0.01", "--out",
+                "generate",
+                "--kind",
+                "standin",
+                "--name",
+                "github",
+                "--scale",
+                "0.01",
+                "--out",
                 path.to_str().unwrap(),
             ]))
             .unwrap(),

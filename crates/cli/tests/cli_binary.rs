@@ -52,7 +52,11 @@ fn generate_count_tip_wing_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Counting with two algorithms agrees.
     let mut counts = Vec::new();

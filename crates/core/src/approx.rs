@@ -79,8 +79,7 @@ pub fn estimate<R: Rng>(
         .map(|_| one_batch(g, sampler, batch_size, rng))
         .collect();
     let mean = means.iter().sum::<f64>() / batches as f64;
-    let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
-        / (batches as f64 - 1.0);
+    let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (batches as f64 - 1.0);
     Estimate {
         value: mean,
         std_error: (var / batches as f64).sqrt(),
@@ -100,12 +99,13 @@ pub fn estimate_adaptive<R: Rng>(
 ) -> Estimate {
     assert!(target_rel_error > 0.0);
     let batch_size = 64usize;
-    let mut means: Vec<f64> = (0..4).map(|_| one_batch(g, sampler, batch_size, rng)).collect();
+    let mut means: Vec<f64> = (0..4)
+        .map(|_| one_batch(g, sampler, batch_size, rng))
+        .collect();
     loop {
         let n = means.len();
         let mean = means.iter().sum::<f64>() / n as f64;
-        let var =
-            means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n as f64 - 1.0);
         let est = Estimate {
             value: mean,
             std_error: (var / n as f64).sqrt(),

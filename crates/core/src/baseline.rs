@@ -133,11 +133,7 @@ pub fn approx_count_vertex_sampling<R: Rng>(
 /// Unbiased estimate by edge sampling: draw `samples` edges uniformly with
 /// replacement, compute each one's exact support, and return
 /// `(|E| / 4) · mean(supp)` (every butterfly has exactly four edges).
-pub fn approx_count_edge_sampling<R: Rng>(
-    g: &BipartiteGraph,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn approx_count_edge_sampling<R: Rng>(g: &BipartiteGraph, samples: usize, rng: &mut R) -> f64 {
     assert!(samples > 0, "need at least one sample");
     if g.nedges() == 0 {
         return 0.0;
@@ -157,11 +153,7 @@ pub fn approx_count_edge_sampling<R: Rng>(
 /// into (`|N(u) ∩ N(w)| − 1`), and return `W · mean / 2` where `W` is the
 /// total wedge count — each butterfly contains exactly two wedges with V2
 /// wedge points.
-pub fn approx_count_wedge_sampling<R: Rng>(
-    g: &BipartiteGraph,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn approx_count_wedge_sampling<R: Rng>(g: &BipartiteGraph, samples: usize, rng: &mut R) -> f64 {
     assert!(samples > 0, "need at least one sample");
     // Cumulative wedge weights over V2 vertices.
     let mut cumulative = Vec::with_capacity(g.nv2());
@@ -220,10 +212,7 @@ mod tests {
             let g = chung_lu(50, 40, 250, 0.7, 0.7, &mut rng);
             assert_eq!(count_vertex_priority(&g), count_via_spgemm(&g));
         }
-        assert_eq!(
-            count_vertex_priority(&BipartiteGraph::complete(4, 4)),
-            36
-        );
+        assert_eq!(count_vertex_priority(&BipartiteGraph::complete(4, 4)), 36);
         assert_eq!(count_vertex_priority(&BipartiteGraph::empty(5, 5)), 0);
     }
 

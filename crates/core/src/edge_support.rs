@@ -114,9 +114,8 @@ pub fn edge_supports_masked_spgemm(g: &BipartiteGraph) -> Vec<u64> {
     let a: CsrMatrix<u64> = g.to_csr();
     let at = a.transpose();
     let b = spgemm(&a, &at).expect("A·Aᵀ shapes conform");
-    let walks =
-        bfly_sparse::spgemm_masked(&b, &a, g.biadjacency(), bfly_sparse::PlusTimes)
-            .expect("(AAᵀ)·A ∘ A shapes conform");
+    let walks = bfly_sparse::spgemm_masked(&b, &a, g.biadjacency(), bfly_sparse::PlusTimes)
+        .expect("(AAᵀ)·A ∘ A shapes conform");
     let mut out = Vec::with_capacity(g.nedges());
     for u in 0..g.nv1() {
         let deg_u = g.deg_v1(u) as u64;
@@ -210,7 +209,17 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             4,
             4,
-            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 1), (2, 2), (3, 0), (3, 2)],
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (3, 0),
+                (3, 2),
+            ],
         )
         .unwrap();
         let s = edge_supports(&g);

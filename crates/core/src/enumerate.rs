@@ -25,10 +25,7 @@ pub struct Butterfly {
 
 /// Visit every butterfly once; return `false` from the visitor to stop.
 /// Returns the number of butterflies visited.
-pub fn for_each_butterfly(
-    g: &BipartiteGraph,
-    mut visit: impl FnMut(Butterfly) -> bool,
-) -> u64 {
+pub fn for_each_butterfly(g: &BipartiteGraph, mut visit: impl FnMut(Butterfly) -> bool) -> u64 {
     let a = g.biadjacency();
     let at = g.biadjacency_t();
     let mut emitted = 0u64;
@@ -106,7 +103,15 @@ mod tests {
     fn single_butterfly_is_enumerated_once() {
         let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
         let all = enumerate_butterflies(&g, 10);
-        assert_eq!(all, vec![Butterfly { u: 0, w: 1, x: 0, y: 1 }]);
+        assert_eq!(
+            all,
+            vec![Butterfly {
+                u: 0,
+                w: 1,
+                x: 0,
+                y: 1
+            }]
+        );
     }
 
     #[test]
@@ -129,10 +134,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            count_by_enumeration(&g),
-            crate::spec::count_brute_force(&g)
-        );
+        assert_eq!(count_by_enumeration(&g), crate::spec::count_brute_force(&g));
     }
 
     #[test]

@@ -18,11 +18,26 @@
 
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::Spa;
+use bfly_telemetry::{Counter, NoopRecorder, Recorder};
 
 /// Blocked counterpart of invariant 1 (`Side::V2`) / invariant 5
 /// (`Side::V1`): forward traversal in blocks of `block_size`, each block's
 /// update reading the processed region and the block interior.
 pub fn count_blocked(g: &BipartiteGraph, side: Side, block_size: usize) -> u64 {
+    count_blocked_recorded(g, side, block_size, &mut NoopRecorder)
+}
+
+/// [`count_blocked`] with instrumentation: blocks processed, the shared
+/// engine counters, and the per-block split of wedge work between the
+/// cross term (block × processed prefix) and the interior term (within
+/// the block) as the `block_cross_wedges` / `block_interior_wedges`
+/// series.
+pub fn count_blocked_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    block_size: usize,
+    rec: &mut R,
+) -> u64 {
     assert!(block_size > 0, "block size must be positive");
     let (part_adj, other_adj) = match side {
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
@@ -37,13 +52,21 @@ pub fn count_blocked(g: &BipartiteGraph, side: Side, block_size: usize) -> u64 {
         // Phase 1 — cross term Ξ(A₀, A₁): butterflies with one wedge
         // point in the processed prefix and one in the exposed block.
         let start32 = start as u32;
+        let mut cross_wedges = 0u64;
         for k in start..end {
             for &j in part_adj.row(k) {
                 let row = other_adj.row(j as usize);
                 let cut = row.partition_point(|&c| c < start32);
+                if R::ENABLED {
+                    cross_wedges += cut as u64;
+                }
                 for &c in &row[..cut] {
                     spa.scatter(c, 1);
                 }
+            }
+            if R::ENABLED {
+                rec.incr(Counter::VerticesExposed, 1);
+                rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
             }
             let mut acc = 0u64;
             for (_, cnt) in spa.entries() {
@@ -55,15 +78,22 @@ pub fn count_blocked(g: &BipartiteGraph, side: Side, block_size: usize) -> u64 {
         // Phase 2 — interior term Ξ(A₁): butterflies with both wedge
         // points inside the block (the unblocked update replayed on the
         // block slice).
+        let mut interior_wedges = 0u64;
         for k in start..end {
             let k32 = k as u32;
             for &j in part_adj.row(k) {
                 let row = other_adj.row(j as usize);
                 let lo = row.partition_point(|&c| c < start32);
                 let hi = row.partition_point(|&c| c < k32);
+                if R::ENABLED {
+                    interior_wedges += (hi - lo) as u64;
+                }
                 for &c in &row[lo..hi] {
                     spa.scatter(c, 1);
                 }
+            }
+            if R::ENABLED {
+                rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
             }
             let mut acc = 0u64;
             for (_, cnt) in spa.entries() {
@@ -71,6 +101,13 @@ pub fn count_blocked(g: &BipartiteGraph, side: Side, block_size: usize) -> u64 {
             }
             spa.clear();
             total += acc;
+        }
+        if R::ENABLED {
+            rec.incr(Counter::BlocksProcessed, 1);
+            rec.incr(Counter::WedgesExpanded, cross_wedges + interior_wedges);
+            rec.incr(Counter::SpaScatters, cross_wedges + interior_wedges);
+            rec.series_push("block_cross_wedges", cross_wedges as f64);
+            rec.series_push("block_interior_wedges", interior_wedges as f64);
         }
         start = end;
     }

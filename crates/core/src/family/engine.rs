@@ -15,6 +15,7 @@
 //! closing §III-C.
 
 use bfly_sparse::{choose2, Pattern, Spa};
+use bfly_telemetry::{Counter, NoopRecorder, Recorder};
 
 /// Direction in which the partitioned vertex set is traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,7 +47,25 @@ pub(crate) fn update_for_vertex(
     k: usize,
     spa: &mut Spa<u64>,
 ) -> u64 {
+    update_for_vertex_recorded(part_adj, other_adj, filter, k, spa, &mut NoopRecorder)
+}
+
+/// [`update_for_vertex`] with instrumentation: wedges expanded, SPA
+/// scatters, accumulator entries drained, and the exposed vertex itself.
+/// Every recording site is guarded by `R::ENABLED`, a constant after
+/// monomorphization, so the [`NoopRecorder`] instantiation is exactly the
+/// uninstrumented loop.
+#[inline]
+pub(crate) fn update_for_vertex_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    filter: PartFilter,
+    k: usize,
+    spa: &mut Spa<u64>,
+    rec: &mut R,
+) -> u64 {
     let k32 = k as u32;
+    let mut wedges = 0u64;
     for &j in part_adj.row(k) {
         let row = other_adj.row(j as usize);
         // Sorted rows let the A₀/A₂ restriction become a prefix/suffix.
@@ -60,9 +79,19 @@ pub(crate) fn update_for_vertex(
                 &row[cut..]
             }
         };
+        if R::ENABLED {
+            wedges += slice.len() as u64;
+        }
         for &c in slice {
             spa.scatter(c, 1);
         }
+    }
+    if R::ENABLED {
+        rec.incr(Counter::VerticesExposed, 1);
+        // Each expanded wedge is exactly one scatter into the SPA.
+        rec.incr(Counter::WedgesExpanded, wedges);
+        rec.incr(Counter::SpaScatters, wedges);
+        rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
     }
     let mut acc = 0u64;
     for (_, cnt) in spa.entries() {
@@ -84,6 +113,17 @@ pub fn count_partitioned(
     traversal: Traversal,
     filter: PartFilter,
 ) -> u64 {
+    count_partitioned_recorded(part_adj, other_adj, traversal, filter, &mut NoopRecorder)
+}
+
+/// [`count_partitioned`] reporting work counters through `rec`.
+pub fn count_partitioned_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    rec: &mut R,
+) -> u64 {
     debug_assert_eq!(part_adj.nrows(), other_adj.ncols());
     debug_assert_eq!(part_adj.ncols(), other_adj.nrows());
     let nverts = part_adj.nrows();
@@ -92,12 +132,12 @@ pub fn count_partitioned(
     match traversal {
         Traversal::Forward => {
             for k in 0..nverts {
-                total += update_for_vertex(part_adj, other_adj, filter, k, &mut spa);
+                total += update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
             }
         }
         Traversal::Backward => {
             for k in (0..nverts).rev() {
-                total += update_for_vertex(part_adj, other_adj, filter, k, &mut spa);
+                total += update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
             }
         }
     }

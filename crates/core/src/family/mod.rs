@@ -41,10 +41,15 @@ pub mod parallel;
 pub mod verify;
 
 use bfly_graph::{BipartiteGraph, Side};
-pub use blocked::count_blocked;
-pub use engine::{count_partitioned, PartFilter, Traversal};
+use bfly_telemetry::{timed_phase, NoopRecorder, Recorder};
+pub use blocked::{count_blocked, count_blocked_recorded};
+pub use engine::{count_partitioned, count_partitioned_recorded, PartFilter, Traversal};
 pub use literal::count_literal;
-pub use parallel::{count_parallel, count_parallel_with_threads};
+pub use parallel::{
+    count_parallel, count_parallel_recorded, count_parallel_with_threads,
+    count_parallel_with_threads_recorded, count_partitioned_parallel,
+    count_partitioned_parallel_recorded,
+};
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 
 /// One of the paper's eight loop invariants (equivalently, the derived
@@ -145,19 +150,31 @@ impl std::fmt::Display for Invariant {
 /// Count the butterflies of `g` with the algorithm derived from the given
 /// loop invariant (sequential).
 pub fn count(g: &BipartiteGraph, inv: Invariant) -> u64 {
+    count_recorded(g, inv, &mut NoopRecorder)
+}
+
+/// [`count`] reporting work counters and a `"count"` phase through `rec`.
+pub fn count_recorded<R: Recorder>(g: &BipartiteGraph, inv: Invariant, rec: &mut R) -> u64 {
     let (part_adj, other_adj) = match inv.partitioned_side() {
         // Partitioning V2 exposes columns of A: iterate rows of Aᵀ.
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
         // Partitioning V1 exposes rows of A.
         Side::V1 => (g.biadjacency(), g.biadjacency_t()),
     };
-    count_partitioned(part_adj, other_adj, inv.traversal(), inv.update_part())
+    timed_phase(rec, "count", |rec| {
+        count_partitioned_recorded(part_adj, other_adj, inv.traversal(), inv.update_part(), rec)
+    })
 }
 
 /// Pick the family member the paper's §V guidance prescribes — partition
 /// the *smaller* vertex set — and count with it. Returns the count and
 /// the invariant chosen.
 pub fn count_auto(g: &BipartiteGraph) -> (u64, Invariant) {
+    count_auto_recorded(g, &mut NoopRecorder)
+}
+
+/// [`count_auto`] reporting work counters through `rec`.
+pub fn count_auto_recorded<R: Recorder>(g: &BipartiteGraph, rec: &mut R) -> (u64, Invariant) {
     // Within the chosen half we use the forward look-ahead member, the
     // variant §V singles out.
     let inv = if g.nv2() <= g.nv1() {
@@ -165,7 +182,7 @@ pub fn count_auto(g: &BipartiteGraph) -> (u64, Invariant) {
     } else {
         Invariant::Inv6
     };
-    (count(g, inv), inv)
+    (count_recorded(g, inv, rec), inv)
 }
 
 #[cfg(test)]

@@ -9,10 +9,11 @@
 //! [`count_parallel_with_threads`] pins the pool size to reproduce that
 //! configuration exactly.
 
-use super::engine::{update_for_vertex, PartFilter, Traversal};
+use super::engine::{update_for_vertex, update_for_vertex_recorded, PartFilter, Traversal};
 use super::Invariant;
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{Pattern, Spa};
+use bfly_telemetry::{Counter, NoopRecorder, Recorder, WorkTally};
 use rayon::prelude::*;
 
 /// Parallel counterpart of [`crate::family::count_partitioned`].
@@ -39,22 +40,110 @@ pub fn count_partitioned_parallel(
         .sum()
 }
 
+/// Instrumented [`count_partitioned_parallel`]. When the recorder is
+/// disabled this is exactly the uninstrumented dynamic-scheduling path;
+/// when enabled, the partitioned vertices are processed as one explicit
+/// chunk per worker, each chunk carrying a private [`WorkTally`] that is
+/// merged after the join. Per-chunk wedge work is recorded as the
+/// `par_chunk_wedges` series and summarised by the `par_imbalance` gauge
+/// (max over mean chunk wedges; 1.0 = perfectly balanced).
+pub fn count_partitioned_parallel_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    rec: &mut R,
+) -> u64 {
+    if !R::ENABLED {
+        return count_partitioned_parallel(part_adj, other_adj, traversal, filter);
+    }
+    let nverts = part_adj.nrows();
+    let order: Vec<usize> = match traversal {
+        Traversal::Forward => (0..nverts).collect(),
+        Traversal::Backward => (0..nverts).rev().collect(),
+    };
+    let nthreads = rayon::current_num_threads().max(1);
+    let chunk_len = order.len().div_ceil(nthreads).max(1);
+    let chunks: Vec<Vec<usize>> = order.chunks(chunk_len).map(|c| c.to_vec()).collect();
+    let per_chunk: Vec<(u64, WorkTally)> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut spa = Spa::<u64>::new(nverts);
+            let mut tally = WorkTally::new();
+            let mut sum = 0u64;
+            for k in chunk {
+                sum += update_for_vertex_recorded(
+                    part_adj, other_adj, filter, k, &mut spa, &mut tally,
+                );
+            }
+            (sum, tally)
+        })
+        .collect();
+    rec.incr(Counter::ParChunks, per_chunk.len() as u64);
+    let mut total = 0u64;
+    let mut max_wedges = 0u64;
+    let mut sum_wedges = 0u64;
+    for (sub, tally) in &per_chunk {
+        total += sub;
+        rec.merge(tally);
+        let w = tally.get(Counter::WedgesExpanded);
+        rec.series_push("par_chunk_wedges", w as f64);
+        max_wedges = max_wedges.max(w);
+        sum_wedges += w;
+    }
+    if !per_chunk.is_empty() && sum_wedges > 0 {
+        let mean = sum_wedges as f64 / per_chunk.len() as f64;
+        rec.gauge("par_imbalance", max_wedges as f64 / mean);
+    }
+    total
+}
+
 /// Count butterflies with the given invariant using rayon's current pool.
 pub fn count_parallel(g: &BipartiteGraph, inv: Invariant) -> u64 {
+    count_parallel_recorded(g, inv, &mut NoopRecorder)
+}
+
+/// [`count_parallel`] reporting work counters through `rec`.
+pub fn count_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    inv: Invariant,
+    rec: &mut R,
+) -> u64 {
     let (part_adj, other_adj) = match inv.partitioned_side() {
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
         Side::V1 => (g.biadjacency(), g.biadjacency_t()),
     };
-    count_partitioned_parallel(part_adj, other_adj, inv.traversal(), inv.update_part())
+    bfly_telemetry::timed_phase(rec, "count_parallel", |rec| {
+        count_partitioned_parallel_recorded(
+            part_adj,
+            other_adj,
+            inv.traversal(),
+            inv.update_part(),
+            rec,
+        )
+    })
 }
 
 /// Count with a dedicated pool of `nthreads` workers (Fig. 11 uses 6).
 pub fn count_parallel_with_threads(g: &BipartiteGraph, inv: Invariant, nthreads: usize) -> u64 {
+    count_parallel_with_threads_recorded(g, inv, nthreads, &mut NoopRecorder)
+}
+
+/// [`count_parallel_with_threads`] reporting work counters through `rec`.
+pub fn count_parallel_with_threads_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    inv: Invariant,
+    nthreads: usize,
+    rec: &mut R,
+) -> u64 {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(nthreads)
         .build()
         .expect("thread pool construction");
-    pool.install(|| count_parallel(g, inv))
+    if R::ENABLED {
+        rec.gauge("threads", nthreads as f64);
+    }
+    pool.install(|| count_parallel_recorded(g, inv, rec))
 }
 
 #[cfg(test)]
@@ -95,8 +184,14 @@ mod tests {
         let g = uniform_exact(50, 50, 250, &mut rng);
         let want = count(&g, Invariant::Inv2);
         for threads in [1, 2, 6] {
-            assert_eq!(count_parallel_with_threads(&g, Invariant::Inv2, threads), want);
-            assert_eq!(count_parallel_with_threads(&g, Invariant::Inv7, threads), want);
+            assert_eq!(
+                count_parallel_with_threads(&g, Invariant::Inv2, threads),
+                want
+            );
+            assert_eq!(
+                count_parallel_with_threads(&g, Invariant::Inv7, threads),
+                want
+            );
         }
     }
 

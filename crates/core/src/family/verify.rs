@@ -121,8 +121,7 @@ mod tests {
         for trial in 0..3 {
             let g = uniform_exact(16, 13, 70, &mut rng);
             for inv in Invariant::ALL {
-                verify_loop_invariant(&g, inv)
-                    .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+                verify_loop_invariant(&g, inv).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             }
         }
     }
@@ -182,7 +181,16 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             3,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (0, 2), (1, 2), (0, 3), (2, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (2, 3),
+            ],
         )
         .unwrap();
         // Emulate "invariant 1 with invariant 2's update": acc after the

@@ -10,6 +10,7 @@
 //! with one wedge expansion — `O(Σ_{w ∈ N(v)} deg(w))` per update.
 
 use bfly_graph::BipartiteGraph;
+use bfly_telemetry::{Counter, NoopRecorder, Recorder};
 use std::collections::HashMap;
 
 /// Dynamic butterfly counter over an evolving bipartite graph.
@@ -77,21 +78,29 @@ impl IncrementalCounter {
     /// Support of `(u, v)` computed as if the edge were present: the
     /// number of `(w, x)` with `w ∈ N(v)\{u}`, `x ∈ N(u)\{v}`, and edge
     /// `(w, x)` present.
-    fn support_with_edge(&self, u: u32, v: u32) -> u64 {
+    fn support_with_edge<R: Recorder>(&self, u: u32, v: u32, rec: &mut R) -> u64 {
         // cnt over two-hop walks from u restricted to partners w ∈ N(v).
         // Small-side hashing keeps this cheap without a full-size SPA.
         let nu = &self.adj_v1[u as usize];
         let mut delta = 0u64;
+        let mut wedge_work = 0u64;
         let mut cnt: HashMap<u32, u64> = HashMap::new();
         for &x in nu {
             if x == v {
                 continue;
+            }
+            if R::ENABLED {
+                wedge_work += self.adj_v2[x as usize].len() as u64;
             }
             for &w in &self.adj_v2[x as usize] {
                 if w != u {
                     *cnt.entry(w).or_insert(0) += 1;
                 }
             }
+        }
+        if R::ENABLED {
+            wedge_work += self.adj_v2[v as usize].len() as u64;
+            rec.incr(Counter::IncWedgeWork, wedge_work);
         }
         for &w in &self.adj_v2[v as usize] {
             if w != u {
@@ -106,12 +115,21 @@ impl IncrementalCounter {
     /// Insert `(u, v)`; returns the number of butterflies created
     /// (0 if the edge already existed).
     pub fn insert_edge(&mut self, u: u32, v: u32) -> u64 {
+        self.insert_edge_recorded(u, v, &mut NoopRecorder)
+    }
+
+    /// [`IncrementalCounter::insert_edge`] reporting the update and its
+    /// wedge work through `rec`.
+    pub fn insert_edge_recorded<R: Recorder>(&mut self, u: u32, v: u32, rec: &mut R) -> u64 {
         let row = &mut self.adj_v1[u as usize];
         let pos = match row.binary_search(&v) {
             Ok(_) => return 0,
             Err(p) => p,
         };
-        let delta = self.support_with_edge(u, v);
+        let delta = self.support_with_edge(u, v, rec);
+        if R::ENABLED {
+            rec.incr(Counter::IncInserts, 1);
+        }
         self.adj_v1[u as usize].insert(pos, v);
         let col = &mut self.adj_v2[v as usize];
         let cpos = col.binary_search(&u).unwrap_err();
@@ -124,6 +142,12 @@ impl IncrementalCounter {
     /// Remove `(u, v)`; returns the number of butterflies destroyed
     /// (0 if the edge was absent).
     pub fn remove_edge(&mut self, u: u32, v: u32) -> u64 {
+        self.remove_edge_recorded(u, v, &mut NoopRecorder)
+    }
+
+    /// [`IncrementalCounter::remove_edge`] reporting the update and its
+    /// wedge work through `rec`.
+    pub fn remove_edge_recorded<R: Recorder>(&mut self, u: u32, v: u32, rec: &mut R) -> u64 {
         let row = &mut self.adj_v1[u as usize];
         let pos = match row.binary_search(&v) {
             Ok(p) => p,
@@ -134,7 +158,10 @@ impl IncrementalCounter {
         let cpos = col.binary_search(&u).unwrap();
         col.remove(cpos);
         // Support in the graph *with* the edge = butterflies destroyed.
-        let delta = self.support_with_edge(u, v);
+        let delta = self.support_with_edge(u, v, rec);
+        if R::ENABLED {
+            rec.incr(Counter::IncDeletes, 1);
+        }
         self.count -= delta;
         self.nedges -= 1;
         delta

@@ -63,7 +63,14 @@ pub mod vertex_counts;
 pub mod wedges;
 
 pub use enumerate::{count_by_enumeration, enumerate_butterflies, for_each_butterfly, Butterfly};
-pub use family::{count, count_auto, count_parallel, count_parallel_with_threads, Invariant};
+pub use family::{
+    count, count_auto, count_auto_recorded, count_parallel, count_parallel_recorded,
+    count_parallel_with_threads, count_parallel_with_threads_recorded, count_recorded, Invariant,
+};
 pub use incremental::IncrementalCounter;
 pub use pair_matrix::PairMatrix;
 pub use spec::{count_brute_force, count_dense_formula, count_via_spgemm};
+
+/// Instrumentation layer re-export: recorders, counters, and run reports
+/// (see [`bfly_telemetry`]).
+pub use bfly_telemetry as telemetry;

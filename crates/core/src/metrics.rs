@@ -81,10 +81,7 @@ pub struct ButterflyDistribution {
 
 /// Summarise how unevenly butterflies are spread over one side's vertices
 /// — heavy concentration is what the tip decomposition then localises.
-pub fn butterfly_distribution(
-    g: &BipartiteGraph,
-    side: bfly_graph::Side,
-) -> ButterflyDistribution {
+pub fn butterfly_distribution(g: &BipartiteGraph, side: bfly_graph::Side) -> ButterflyDistribution {
     let counts = crate::vertex_counts::butterflies_per_vertex(g, side);
     let n = counts.len().max(1);
     let mut sorted = counts.clone();
@@ -147,8 +144,7 @@ pub fn butterfly_null_model<R: rand::Rng>(
         })
         .collect();
     let mean = counts.iter().sum::<f64>() / samples as f64;
-    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-        / (samples as f64 - 1.0);
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (samples as f64 - 1.0);
     let std = var.sqrt();
     NullModelResult {
         observed,

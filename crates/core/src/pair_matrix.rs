@@ -102,7 +102,16 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             4,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2), (3, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 1),
+                (2, 2),
+                (3, 3),
+            ],
         )
         .unwrap();
         let want = crate::spec::count_brute_force(&g);
@@ -127,7 +136,18 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             4,
             5,
-            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 3), (2, 4), (3, 3), (3, 4)],
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 3),
+                (2, 4),
+                (3, 3),
+                (3, 4),
+            ],
         )
         .unwrap();
         let pm = PairMatrix::build(&g, Side::V1);

@@ -8,9 +8,10 @@ pub mod wing;
 pub use decomposition::{TipDecomposition, WingDecomposition};
 
 pub use tip::{
-    k_tip, k_tip_lookahead, k_tip_matrix, k_tip_parallel, tip_numbers, tip_numbers_bucket,
-    TipResult,
+    k_tip, k_tip_lookahead, k_tip_matrix, k_tip_parallel, k_tip_parallel_recorded, k_tip_recorded,
+    tip_numbers, tip_numbers_bucket, TipResult,
 };
 pub use wing::{
-    k_wing, k_wing_masked_spgemm, k_wing_matrix, k_wing_parallel, wing_numbers, WingResult,
+    k_wing, k_wing_masked_spgemm, k_wing_matrix, k_wing_parallel, k_wing_parallel_recorded,
+    k_wing_recorded, wing_numbers, WingResult,
 };

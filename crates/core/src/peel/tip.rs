@@ -21,6 +21,7 @@
 use crate::vertex_counts::{butterflies_per_vertex, butterflies_per_vertex_algebraic};
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{choose2, Spa};
+use bfly_telemetry::{Counter, NoopRecorder, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -47,6 +48,65 @@ fn finish(g: &BipartiteGraph, side: Side, keep: Vec<bool>, rounds: usize) -> Tip
     }
 }
 
+/// The one fixed-point loop shared by every k-tip variant: each round
+/// `mask_of` scores the surviving subgraph and returns, per vertex of the
+/// peeled side, whether it survives this round; the driver applies the
+/// mask and iterates until nothing is removed.
+///
+/// Recorded per round: the round itself, the edges scored
+/// ([`Counter::RecomputeEdges`] — the recomputation volume of the
+/// score-from-scratch scheme), vertices and edges removed, and the
+/// `tip_removed_per_round` series.
+fn peel_to_fixed_point<R, F>(
+    g: &BipartiteGraph,
+    side: Side,
+    rec: &mut R,
+    mut mask_of: F,
+) -> TipResult
+where
+    R: Recorder,
+    F: FnMut(&BipartiteGraph) -> Vec<bool>,
+{
+    let nside = g.nvertices(side);
+    let mut keep = vec![true; nside];
+    let mut current = g.clone();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        if R::ENABLED {
+            rec.incr(Counter::PeelRounds, 1);
+            rec.incr(Counter::RecomputeEdges, current.nedges() as u64);
+        }
+        let mask = mask_of(&current);
+        let mut removed = 0u64;
+        for (i, keep_i) in keep.iter_mut().enumerate() {
+            if *keep_i && !mask[i] {
+                *keep_i = false;
+                removed += 1;
+            }
+        }
+        if R::ENABLED {
+            rec.incr(Counter::PeeledVertices, removed);
+            rec.series_push("tip_removed_per_round", removed as f64);
+        }
+        if removed == 0 {
+            break;
+        }
+        let edges_before = current.nedges();
+        current = match side {
+            Side::V1 => current.masked(&keep, &vec![true; g.nv2()]),
+            Side::V2 => current.masked(&vec![true; g.nv1()], &keep),
+        };
+        if R::ENABLED {
+            rec.incr(
+                Counter::PeeledEdges,
+                (edges_before - current.nedges()) as u64,
+            );
+        }
+    }
+    finish(g, side, keep, rounds)
+}
+
 /// Extract the k-tip of `g` on `side` by iterated wedge-expansion scoring.
 ///
 /// ```
@@ -61,89 +121,56 @@ fn finish(g: &BipartiteGraph, side: Side, keep: Vec<bool>, rounds: usize) -> Tip
 /// # Ok::<(), bfly_sparse::SparseError>(())
 /// ```
 pub fn k_tip(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
-    let nside = g.nvertices(side);
-    let mut keep = vec![true; nside];
-    let mut current = g.clone();
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let scores = butterflies_per_vertex(&current, side);
-        let mut removed_any = false;
-        for (i, keep_i) in keep.iter_mut().enumerate() {
-            if *keep_i && scores[i] < k {
-                *keep_i = false;
-                removed_any = true;
-            }
-        }
-        if !removed_any {
-            break;
-        }
-        current = match side {
-            Side::V1 => current.masked(&keep, &vec![true; g.nv2()]),
-            Side::V2 => current.masked(&vec![true; g.nv1()], &keep),
-        };
-    }
-    finish(g, side, keep, rounds)
+    k_tip_recorded(g, side, k, &mut NoopRecorder)
+}
+
+/// [`k_tip`] reporting round counts, removal volumes, and recomputation
+/// work through `rec`.
+pub fn k_tip_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    k: u64,
+    rec: &mut R,
+) -> TipResult {
+    peel_to_fixed_point(g, side, rec, |cur| {
+        butterflies_per_vertex(cur, side)
+            .into_iter()
+            .map(|s| s >= k)
+            .collect()
+    })
 }
 
 /// Parallel [`k_tip`]: per-round scores computed with the rayon
 /// per-vertex counter. Identical output, rounds dominated by the scoring
 /// sweep parallelise.
 pub fn k_tip_parallel(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
-    let nside = g.nvertices(side);
-    let mut keep = vec![true; nside];
-    let mut current = g.clone();
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let scores = crate::vertex_counts::butterflies_per_vertex_parallel(&current, side);
-        let mut removed_any = false;
-        for (i, keep_i) in keep.iter_mut().enumerate() {
-            if *keep_i && scores[i] < k {
-                *keep_i = false;
-                removed_any = true;
-            }
-        }
-        if !removed_any {
-            break;
-        }
-        current = match side {
-            Side::V1 => current.masked(&keep, &vec![true; g.nv2()]),
-            Side::V2 => current.masked(&vec![true; g.nv1()], &keep),
-        };
-    }
-    finish(g, side, keep, rounds)
+    k_tip_parallel_recorded(g, side, k, &mut NoopRecorder)
+}
+
+/// [`k_tip_parallel`] reporting work counters through `rec`.
+pub fn k_tip_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    k: u64,
+    rec: &mut R,
+) -> TipResult {
+    peel_to_fixed_point(g, side, rec, |cur| {
+        crate::vertex_counts::butterflies_per_vertex_parallel(cur, side)
+            .into_iter()
+            .map(|s| s >= k)
+            .collect()
+    })
 }
 
 /// The literal matrix formulation (eqs. 19–22): per round, `B = A·Aᵀ` via
 /// SpGEMM, `s` from the eq. 19 diagonal (corrected to whole butterflies,
-/// see [`crate::vertex_counts`]), threshold mask, Hadamard onto `A`.
+/// see [`crate::vertex_counts`]), threshold mask, Hadamard onto `A`
+/// (eq. 22, realised as row/column masking by the shared driver).
 pub fn k_tip_matrix(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
-    let nside = g.nvertices(side);
-    let mut keep = vec![true; nside];
-    let mut current = g.clone();
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let scores = butterflies_per_vertex_algebraic(&current, side);
-        let mask = bfly_sparse::ops::threshold_mask(&scores, k);
-        let mut removed_any = false;
-        for i in 0..nside {
-            if keep[i] && !mask[i] {
-                keep[i] = false;
-                removed_any = true;
-            }
-        }
-        if !removed_any {
-            break;
-        }
-        // A_{i+1} = A_i ∘ M (eq. 22), realised as row/column masking.
-        current = match side {
-            Side::V1 => current.masked(&keep, &vec![true; g.nv2()]),
-            Side::V2 => current.masked(&vec![true; g.nv1()], &keep),
-        };
-    }
-    finish(g, side, keep, rounds)
+    peel_to_fixed_point(g, side, &mut NoopRecorder, |cur| {
+        let scores = butterflies_per_vertex_algebraic(cur, side);
+        bfly_sparse::ops::threshold_mask(&scores, k)
+    })
 }
 
 /// The Fig. 8 "look-ahead" round: one triangular sweep computes every
@@ -153,11 +180,7 @@ pub fn k_tip_matrix(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
 /// reaches vertex `u`, `s[u]` has received all pairs `{w, u}` with `w < u`
 /// (from earlier iterations) and all pairs `{u, w}` with `w > u` (from the
 /// current look-ahead expansion) — i.e. it is final.
-fn lookahead_scores_and_mask(
-    g: &BipartiteGraph,
-    side: Side,
-    k: u64,
-) -> (Vec<u64>, Vec<bool>) {
+fn lookahead_scores_and_mask(g: &BipartiteGraph, side: Side, k: u64) -> (Vec<u64>, Vec<bool>) {
     let (part_adj, other_adj) = match side {
         Side::V1 => (g.biadjacency(), g.biadjacency_t()),
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
@@ -190,29 +213,9 @@ fn lookahead_scores_and_mask(
 
 /// k-tip via the fused look-ahead rounds of Fig. 8.
 pub fn k_tip_lookahead(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
-    let nside = g.nvertices(side);
-    let mut keep = vec![true; nside];
-    let mut current = g.clone();
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let (_, mask) = lookahead_scores_and_mask(&current, side, k);
-        let mut removed_any = false;
-        for i in 0..nside {
-            if keep[i] && !mask[i] {
-                keep[i] = false;
-                removed_any = true;
-            }
-        }
-        if !removed_any {
-            break;
-        }
-        current = match side {
-            Side::V1 => current.masked(&keep, &vec![true; g.nv2()]),
-            Side::V2 => current.masked(&vec![true; g.nv1()], &keep),
-        };
-    }
-    finish(g, side, keep, rounds)
+    peel_to_fixed_point(g, side, &mut NoopRecorder, |cur| {
+        lookahead_scores_and_mask(cur, side, k).1
+    })
 }
 
 /// Tip number of every vertex on `side`: the largest `k` for which the

@@ -17,6 +17,7 @@
 use crate::edge_support::{edge_supports, edge_supports_algebraic};
 use bfly_graph::BipartiteGraph;
 use bfly_sparse::Pattern;
+use bfly_telemetry::{Counter, NoopRecorder, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -31,8 +32,9 @@ pub struct WingResult {
     pub subgraph: BipartiteGraph,
 }
 
-fn peel_rounds<F>(g: &BipartiteGraph, k: u64, score: F) -> WingResult
+fn peel_rounds<R, F>(g: &BipartiteGraph, k: u64, rec: &mut R, score: F) -> WingResult
 where
+    R: Recorder,
     F: Fn(&BipartiteGraph) -> Vec<u64>,
 {
     let original_edges: Vec<(u32, u32)> = g.edges().collect();
@@ -41,9 +43,14 @@ where
     let mut rounds = 0usize;
     loop {
         rounds += 1;
+        if R::ENABLED {
+            rec.incr(Counter::PeelRounds, 1);
+            // Every surviving edge is re-scored from scratch this round.
+            rec.incr(Counter::RecomputeEdges, current.nedges() as u64);
+        }
         let supports = score(&current);
         // Map current-graph edge order back to original indices.
-        let mut removed_any = false;
+        let mut removed = 0u64;
         let mut cur_idx = 0usize;
         for (orig_idx, &(u, v)) in original_edges.iter().enumerate() {
             if !keep[orig_idx] {
@@ -52,12 +59,16 @@ where
             debug_assert!(current.has_edge(u, v));
             if supports[cur_idx] < k {
                 keep[orig_idx] = false;
-                removed_any = true;
+                removed += 1;
             }
             cur_idx += 1;
         }
         debug_assert_eq!(cur_idx, supports.len());
-        if !removed_any {
+        if R::ENABLED {
+            rec.incr(Counter::PeeledEdges, removed);
+            rec.series_push("wing_removed_per_round", removed as f64);
+        }
+        if removed == 0 {
             break;
         }
         let kept_edges: Vec<(u32, u32)> = original_edges
@@ -78,26 +89,46 @@ where
 
 /// Extract the k-wing of `g` by iterated wedge-expansion edge scoring.
 pub fn k_wing(g: &BipartiteGraph, k: u64) -> WingResult {
-    peel_rounds(g, k, edge_supports)
+    k_wing_recorded(g, k, &mut NoopRecorder)
+}
+
+/// [`k_wing`] reporting round counts, removal volumes, and recomputation
+/// work through `rec`.
+pub fn k_wing_recorded<R: Recorder>(g: &BipartiteGraph, k: u64, rec: &mut R) -> WingResult {
+    peel_rounds(g, k, rec, edge_supports)
 }
 
 /// The literal matrix formulation (eqs. 25–27), with supports computed by
 /// SpGEMM each round.
 pub fn k_wing_matrix(g: &BipartiteGraph, k: u64) -> WingResult {
-    peel_rounds(g, k, edge_supports_algebraic)
+    peel_rounds(g, k, &mut NoopRecorder, edge_supports_algebraic)
 }
 
 /// Parallel [`k_wing`]: per-round supports computed with the rayon edge
 /// scorer. Identical output.
 pub fn k_wing_parallel(g: &BipartiteGraph, k: u64) -> WingResult {
-    peel_rounds(g, k, crate::edge_support::edge_supports_parallel)
+    k_wing_parallel_recorded(g, k, &mut NoopRecorder)
+}
+
+/// [`k_wing_parallel`] reporting work counters through `rec`.
+pub fn k_wing_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    k: u64,
+    rec: &mut R,
+) -> WingResult {
+    peel_rounds(g, k, rec, crate::edge_support::edge_supports_parallel)
 }
 
 /// Eq. 25 evaluated with the Hadamard mask pushed into the SpGEMM
 /// ([`crate::edge_support::edge_supports_masked_spgemm`]); a third
 /// formulation-level implementation for the agreement tests.
 pub fn k_wing_masked_spgemm(g: &BipartiteGraph, k: u64) -> WingResult {
-    peel_rounds(g, k, crate::edge_support::edge_supports_masked_spgemm)
+    peel_rounds(
+        g,
+        k,
+        &mut NoopRecorder,
+        crate::edge_support::edge_supports_masked_spgemm,
+    )
 }
 
 /// Edge id of `(u, v)` in row-major order, via binary search in row `u`.
@@ -251,11 +282,7 @@ mod tests {
     #[test]
     fn wing_numbers_consistent_with_k_wing() {
         let mut rng = StdRng::seed_from_u64(24);
-        let g = with_planted_biclique(
-            &uniform_exact(15, 15, 35, &mut rng),
-            &[0, 1, 2],
-            &[0, 1, 2],
-        );
+        let g = with_planted_biclique(&uniform_exact(15, 15, 35, &mut rng), &[0, 1, 2], &[0, 1, 2]);
         let wn = wing_numbers(&g);
         for k in [1u64, 2, 3, 4] {
             let r = k_wing(&g, k);

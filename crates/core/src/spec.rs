@@ -49,7 +49,7 @@ pub fn count_dense_formula(g: &BipartiteGraph) -> u64 {
     let t2 = b_had_b.trace() as i128; // Γ(AAᵀ∘AAᵀ) restricted to diag = Σ B_ii²
     let t3 = b.sum() as i128; // Γ(JAAᵀ) = Σᵢⱼ Bᵢⱼ
     let t4 = b.trace() as i128; // Γ(AAᵀ)
-    // Note Γ(B ∘ B) is the trace of the Hadamard square, i.e. Σᵢ Bᵢᵢ².
+                                // Note Γ(B ∘ B) is the trace of the Hadamard square, i.e. Σᵢ Bᵢᵢ².
     let four_xi = t1 - t2 - (t3 - t4);
     assert!(four_xi >= 0, "specification value must be non-negative");
     assert_eq!(four_xi % 4, 0, "specification value must be divisible by 4");
@@ -164,11 +164,23 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             5,
             3,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (2, 2), (3, 1), (4, 2)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (4, 2),
+            ],
         )
         .unwrap();
         assert_eq!(count_via_spgemm(&g), count_via_spgemm(&g.swap_sides()));
-        assert_eq!(count_dense_formula(&g), count_dense_formula(&g.swap_sides()));
+        assert_eq!(
+            count_dense_formula(&g),
+            count_dense_formula(&g.swap_sides())
+        );
     }
 
     #[test]

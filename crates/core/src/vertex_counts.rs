@@ -114,8 +114,12 @@ pub fn eq19_diagonal_times4(g: &BipartiteGraph) -> Vec<u64> {
                 diag = v;
             }
         }
-        // BB − B∘B − JB + B on the diagonal.
-        *o = sq - diag * diag - sum + diag;
+        // BB − B∘B − JB + B on the diagonal. Add `diag` before the
+        // subtractions: the total is non-negative but the left-to-right
+        // prefix `sq − diag² − sum` can dip below zero (a row holding only
+        // its diagonal gives d² − d² − d), which traps under debug overflow
+        // checks.
+        *o = sq + diag - diag * diag - sum;
     }
     out
 }
@@ -146,7 +150,18 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             5,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 0), (4, 1)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (3, 2),
+                (3, 3),
+                (4, 0),
+                (4, 1),
+            ],
         )
         .unwrap();
         for side in [Side::V1, Side::V2] {
@@ -168,7 +183,20 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             6,
             5,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 0), (5, 1), (4, 1)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (3, 3),
+                (3, 4),
+                (4, 0),
+                (5, 1),
+                (4, 1),
+            ],
         )
         .unwrap();
         let total = crate::spec::count_brute_force(&g);

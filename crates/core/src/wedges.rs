@@ -33,12 +33,8 @@ pub fn total_wedges(g: &BipartiteGraph, wedge_point_side: Side) -> u64 {
 /// Wedges *centred* at each vertex of `side`: `C(deg, 2)` per vertex.
 pub fn wedges_per_wedge_point(g: &BipartiteGraph, side: Side) -> Vec<u64> {
     match side {
-        Side::V1 => (0..g.nv1())
-            .map(|u| choose2(g.deg_v1(u) as u64))
-            .collect(),
-        Side::V2 => (0..g.nv2())
-            .map(|v| choose2(g.deg_v2(v) as u64))
-            .collect(),
+        Side::V1 => (0..g.nv1()).map(|u| choose2(g.deg_v1(u) as u64)).collect(),
+        Side::V2 => (0..g.nv2()).map(|v| choose2(g.deg_v2(v) as u64)).collect(),
     }
 }
 
@@ -153,10 +149,7 @@ mod tests {
             assert_eq!(centred.iter().sum::<u64>(), total_wedges(&g, side));
             // Each wedge has two endpoints on the other side.
             let endpoints = wedges_per_endpoint(&g, side.other());
-            assert_eq!(
-                endpoints.iter().sum::<u64>(),
-                2 * total_wedges(&g, side)
-            );
+            assert_eq!(endpoints.iter().sum::<u64>(), 2 * total_wedges(&g, side));
         }
     }
 
@@ -194,6 +187,9 @@ mod tests {
         assert!(p.through_v2 > p.through_v1);
         assert_eq!(p.predicted_cheaper_half(), Side::V1);
         let wide = BipartiteGraph::complete(2, 40);
-        assert_eq!(WedgeProfile::compute(&wide).predicted_cheaper_half(), Side::V2);
+        assert_eq!(
+            WedgeProfile::compute(&wide).predicted_cheaper_half(),
+            Side::V2
+        );
     }
 }

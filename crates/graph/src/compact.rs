@@ -107,7 +107,16 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             6,
             6,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (4, 4), (4, 5), (5, 4), (5, 5)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (4, 4),
+                (4, 5),
+                (5, 4),
+                (5, 5),
+            ],
         )
         .unwrap();
         let c = compact(&g);

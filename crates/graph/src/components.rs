@@ -109,8 +109,8 @@ mod tests {
 
     #[test]
     fn component_subgraph_isolates_edges() {
-        let g = BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 2), (2, 3)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 2), (2, 3)]).unwrap();
         let c = connected_components(&g);
         assert_eq!(c.count, 3); // two edge-components + isolated v1.
         let sub = component_subgraph(&g, &c, c.v1[2]);

@@ -94,7 +94,16 @@ mod tests {
         let g = BipartiteGraph::from_edges(
             5,
             5,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3), (3, 4), (4, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (3, 4),
+                (4, 3),
+            ],
         )
         .unwrap();
         let r = kl_core(&g, 2, 2);
@@ -116,8 +125,8 @@ mod tests {
     #[test]
     fn cascading_removal() {
         // A chain where removing the leaf unravels everything at k=l=2.
-        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
         let r = kl_core(&g, 2, 2);
         assert!(r.keep_v1.iter().all(|&b| !b));
         assert_eq!(r.subgraph.nedges(), 0);

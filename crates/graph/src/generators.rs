@@ -239,7 +239,10 @@ pub fn configuration_model<R: Rng>(
 ) -> BipartiteGraph {
     let s1: usize = deg_v1.iter().sum();
     let s2: usize = deg_v2.iter().sum();
-    assert_eq!(s1, s2, "degree sequences must have equal sums ({s1} vs {s2})");
+    assert_eq!(
+        s1, s2,
+        "degree sequences must have equal sums ({s1} vs {s2})"
+    );
     let mut stubs1: Vec<u32> = Vec::with_capacity(s1);
     for (u, &d) in deg_v1.iter().enumerate() {
         stubs1.extend(std::iter::repeat_n(u as u32, d));

@@ -96,8 +96,16 @@ fn parse_pairs<R: Read>(reader: R, one_based: bool) -> Result<Vec<(u32, u32)>, I
 }
 
 fn graph_from_pairs(edges: Vec<(u32, u32)>) -> BipartiteGraph {
-    let m = edges.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
-    let n = edges.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+    let m = edges
+        .iter()
+        .map(|&(u, _)| u as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let n = edges
+        .iter()
+        .map(|&(_, v)| v as usize + 1)
+        .max()
+        .unwrap_or(0);
     BipartiteGraph::from_edges(m, n, &edges).expect("dimensions derived from the edges")
 }
 

@@ -139,9 +139,7 @@ impl StandIn {
         let spec = self.spec();
         let m = ((spec.v1 as f64 * scale) as usize).max(4);
         let n = ((spec.v2 as f64 * scale) as usize).max(4);
-        let e = ((spec.edges as f64 * scale) as usize)
-            .max(4)
-            .min(m * n);
+        let e = ((spec.edges as f64 * scale) as usize).max(4).min(m * n);
         let mut rng = StdRng::seed_from_u64(self.seed());
         chung_lu(m, n, e, spec.exponent_v1, spec.exponent_v2, &mut rng)
     }

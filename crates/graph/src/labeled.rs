@@ -83,12 +83,18 @@ fn intern(ids: &mut HashMap<String, u32>, labels: &mut Vec<String>, label: &str)
 impl LabeledGraph {
     /// Look up a V1 vertex id by label.
     pub fn v1_id(&self, label: &str) -> Option<u32> {
-        self.v1_labels.iter().position(|l| l == label).map(|i| i as u32)
+        self.v1_labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as u32)
     }
 
     /// Look up a V2 vertex id by label.
     pub fn v2_id(&self, label: &str) -> Option<u32> {
-        self.v2_labels.iter().position(|l| l == label).map(|i| i as u32)
+        self.v2_labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as u32)
     }
 }
 

@@ -88,8 +88,7 @@ mod tests {
 
     fn sample() -> BipartiteGraph {
         // degrees V1: [3, 1, 2], V2: [2, 2, 1, 1]
-        BipartiteGraph::from_edges(3, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 3)])
-            .unwrap()
+        BipartiteGraph::from_edges(3, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 3)]).unwrap()
     }
 
     #[test]

@@ -99,12 +99,7 @@ mod tests {
     use bfly_sparse::choose2;
 
     fn sample() -> BipartiteGraph {
-        BipartiteGraph::from_edges(
-            3,
-            4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 3)],
-        )
-        .unwrap()
+        BipartiteGraph::from_edges(3, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 3)]).unwrap()
     }
 
     #[test]

@@ -64,8 +64,7 @@ impl TemporalStream {
     pub fn snapshot_at(&self, t: i64) -> BipartiteGraph {
         let cut = self.events.partition_point(|e| e.time <= t);
         let edges: Vec<(u32, u32)> = self.events[..cut].iter().map(|e| (e.u, e.v)).collect();
-        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges)
-            .expect("stream indices are in range")
+        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges).expect("stream indices are in range")
     }
 
     /// The graph of edges with `start < time <= end` (a sliding window).
@@ -73,8 +72,7 @@ impl TemporalStream {
         let lo = self.events.partition_point(|e| e.time <= start);
         let hi = self.events.partition_point(|e| e.time <= end);
         let edges: Vec<(u32, u32)> = self.events[lo..hi].iter().map(|e| (e.u, e.v)).collect();
-        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges)
-            .expect("stream indices are in range")
+        BipartiteGraph::from_edges(self.nv1, self.nv2, &edges).expect("stream indices are in range")
     }
 
     /// Split the stream into `k` equal-width time slices and return the
@@ -141,10 +139,26 @@ mod tests {
 
     fn stream() -> TemporalStream {
         TemporalStream::new(vec![
-            TemporalEdge { u: 0, v: 0, time: 10 },
-            TemporalEdge { u: 0, v: 1, time: 20 },
-            TemporalEdge { u: 1, v: 0, time: 30 },
-            TemporalEdge { u: 1, v: 1, time: 40 },
+            TemporalEdge {
+                u: 0,
+                v: 0,
+                time: 10,
+            },
+            TemporalEdge {
+                u: 0,
+                v: 1,
+                time: 20,
+            },
+            TemporalEdge {
+                u: 1,
+                v: 0,
+                time: 30,
+            },
+            TemporalEdge {
+                u: 1,
+                v: 1,
+                time: 40,
+            },
         ])
     }
 
@@ -171,8 +185,16 @@ mod tests {
     #[test]
     fn events_sorted_even_if_input_unordered() {
         let s = TemporalStream::new(vec![
-            TemporalEdge { u: 0, v: 0, time: 50 },
-            TemporalEdge { u: 1, v: 1, time: 5 },
+            TemporalEdge {
+                u: 0,
+                v: 0,
+                time: 50,
+            },
+            TemporalEdge {
+                u: 1,
+                v: 1,
+                time: 5,
+            },
         ]);
         assert_eq!(s.events()[0].time, 5);
         assert_eq!(s.nv1(), 2);

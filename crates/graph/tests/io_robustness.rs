@@ -39,10 +39,10 @@ proptest! {
 #[test]
 fn specific_hostile_inputs() {
     for bad in [
-        "1",                      // missing field
-        "1 x",                    // non-numeric
-        "-1 2",                   // negative
-        "99999999999 1",          // overflow
+        "1",                                                    // missing field
+        "1 x",                                                  // non-numeric
+        "-1 2",                                                 // negative
+        "99999999999 1",                                        // overflow
         "%%MatrixMarket matrix array real general\n1 1\n1.0\n", // unsupported layout
     ] {
         assert!(read_edge_list(bad.as_bytes()).is_err() || read_edge_list(bad.as_bytes()).is_ok());

@@ -2,8 +2,8 @@
 //! orientations, I/O round trips, relabeling isomorphisms, components,
 //! and compaction.
 
-use bfly_graph::components::{component_subgraph, connected_components};
 use bfly_graph::compact::compact;
+use bfly_graph::components::{component_subgraph, connected_components};
 use bfly_graph::io::{read_edge_list, write_edge_list};
 use bfly_graph::matrix_market::{read_matrix_market, write_matrix_market};
 use bfly_graph::ordering::{degree_ascending, degree_descending, invert_permutation, relabel};

@@ -57,7 +57,11 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn from_transposed_csr(t: CsrMatrix<T>) -> Self {
         let nrows = t.ncols();
         let ncols = t.nrows();
-        let (rowptr, colind, values) = (t.rowptr().to_vec(), t.colind().to_vec(), t.values().to_vec());
+        let (rowptr, colind, values) = (
+            t.rowptr().to_vec(),
+            t.colind().to_vec(),
+            t.values().to_vec(),
+        );
         Self {
             nrows,
             ncols,
@@ -219,10 +223,12 @@ mod tests {
 
     #[test]
     fn raw_parts_validation() {
-        assert!(CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![0, 1], vec![1, 1])
-            .is_ok());
-        assert!(CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![1, 0], vec![1, 1])
-            .is_err());
+        assert!(
+            CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![0, 1], vec![1, 1]).is_ok()
+        );
+        assert!(
+            CscMatrix::<u64>::try_from_raw_parts(2, 1, vec![0, 2], vec![1, 0], vec![1, 1]).is_err()
+        );
     }
 
     #[test]

@@ -103,7 +103,12 @@ impl<T: Scalar> CsrMatrix<T> {
             let (start, end) = (counts[r], counts[r + 1]);
             rowptr[r] = write;
             pairs.clear();
-            pairs.extend(ci[start..end].iter().zip(&cv[start..end]).map(|(&c, &v)| (c, v)));
+            pairs.extend(
+                ci[start..end]
+                    .iter()
+                    .zip(&cv[start..end])
+                    .map(|(&c, &v)| (c, v)),
+            );
             pairs.sort_unstable_by_key(|&(c, _)| c);
             let mut last_col: Option<u32> = None;
             for &(c, v) in &pairs {
@@ -417,8 +422,7 @@ mod tests {
     fn raw_parts_validation() {
         assert!(CsrMatrix::<u64>::try_from_raw_parts(1, 2, vec![0, 1], vec![0], vec![1]).is_ok());
         assert!(
-            CsrMatrix::<u64>::try_from_raw_parts(1, 2, vec![0, 2], vec![1, 0], vec![1, 1])
-                .is_err()
+            CsrMatrix::<u64>::try_from_raw_parts(1, 2, vec![0, 2], vec![1, 0], vec![1, 1]).is_err()
         );
         assert!(CsrMatrix::<u64>::try_from_raw_parts(1, 2, vec![0, 1], vec![9], vec![1]).is_err());
         assert!(CsrMatrix::<u64>::try_from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1]).is_err());

@@ -9,10 +9,7 @@ use crate::error::ShapeError;
 use crate::scalar::Scalar;
 
 /// Element-wise product `A ∘ B` of two CSR matrices.
-pub fn hadamard<T: Scalar>(
-    a: &CsrMatrix<T>,
-    b: &CsrMatrix<T>,
-) -> Result<CsrMatrix<T>, ShapeError> {
+pub fn hadamard<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, ShapeError> {
     if a.shape() != b.shape() {
         return Err(ShapeError {
             op: "hadamard",

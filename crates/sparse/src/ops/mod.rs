@@ -14,10 +14,10 @@ pub mod spmv;
 pub mod trace;
 
 pub use add::{sparse_add, sparse_sub};
-pub use reduce::{col_sums, row_max, row_nnz, row_sums};
-pub use slice::{col_slice, row_slice};
 pub use hadamard::{frobenius_inner, hadamard};
 pub use mask::{entry_threshold_pattern, threshold_mask, zero_rows};
+pub use reduce::{col_sums, row_max, row_nnz, row_sums};
+pub use slice::{col_slice, row_slice};
 pub use spgemm::{spgemm, spgemm_parallel};
 pub use spmv::{spmv, spmv_transpose};
 pub use trace::{sum_entries, trace_of_product, trace_of_product_with_self_transpose};

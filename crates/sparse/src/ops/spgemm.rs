@@ -160,7 +160,9 @@ mod tests {
         // deterministic without a rand dependency here.
         let mut state = 0x243F6A8885A308D3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let (m, k, n) = (40, 30, 35);
@@ -185,17 +187,13 @@ mod tests {
         let seq = spgemm(&a, &b).unwrap();
         let par = spgemm_parallel(&a, &b).unwrap();
         assert_eq!(seq, par);
-        assert_eq!(
-            seq.to_dense(),
-            a.to_dense().matmul(&b.to_dense()).unwrap()
-        );
+        assert_eq!(seq.to_dense(), a.to_dense().matmul(&b.to_dense()).unwrap());
     }
 
     #[test]
     fn identity_is_neutral() {
         let a = a();
-        let i3: CsrMatrix<u64> =
-            CsrMatrix::from_triplets(3, 3, &[0, 1, 2], &[0, 1, 2], &[1, 1, 1]);
+        let i3: CsrMatrix<u64> = CsrMatrix::from_triplets(3, 3, &[0, 1, 2], &[0, 1, 2], &[1, 1, 1]);
         let c = spgemm(&a, &i3).unwrap();
         assert_eq!(c.to_dense(), a.to_dense());
         let _ = DenseMatrix::<u64>::identity(3);

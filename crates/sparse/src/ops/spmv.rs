@@ -10,10 +10,7 @@ use crate::error::ShapeError;
 use crate::scalar::Scalar;
 
 /// `y = A · x`.
-pub fn spmv<T: Scalar>(
-    a: &CsrMatrix<T>,
-    x: &DenseVector<T>,
-) -> Result<DenseVector<T>, ShapeError> {
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &DenseVector<T>) -> Result<DenseVector<T>, ShapeError> {
     if a.ncols() != x.len() {
         return Err(ShapeError {
             op: "spmv",
@@ -79,10 +76,7 @@ mod tests {
         let x = DenseVector::from_vec(vec![1u64, 10, 100]);
         let y = spmv(&a, &x).unwrap();
         assert_eq!(y.as_slice(), &[21, 300]);
-        assert_eq!(
-            a.to_dense().matvec(&x).unwrap().as_slice(),
-            y.as_slice()
-        );
+        assert_eq!(a.to_dense().matvec(&x).unwrap().as_slice(), y.as_slice());
     }
 
     #[test]

@@ -448,8 +448,8 @@ mod tests {
 
     #[test]
     fn row_intersection_size_matches_manual() {
-        let p = Pattern::from_edges(2, 5, &[(0, 0), (0, 2), (0, 4), (1, 2), (1, 3), (1, 4)])
-            .unwrap();
+        let p =
+            Pattern::from_edges(2, 5, &[(0, 0), (0, 2), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
         assert_eq!(p.row_intersection_size(0, 1), 2);
         assert_eq!(p.row_intersection_size(0, 0), 3);
     }

@@ -281,10 +281,8 @@ mod tests {
     #[test]
     fn min_plus_finds_shortest_two_hop() {
         // Distances: a path i→k→j costs A[i,k] + B[k,j]; min over k.
-        let d1: CsrMatrix<u64> =
-            CsrMatrix::from_triplets(2, 2, &[0, 0, 1], &[0, 1, 1], &[1, 5, 2]);
-        let d2: CsrMatrix<u64> =
-            CsrMatrix::from_triplets(2, 2, &[0, 1], &[1, 1], &[10, 1]);
+        let d1: CsrMatrix<u64> = CsrMatrix::from_triplets(2, 2, &[0, 0, 1], &[0, 1, 1], &[1, 5, 2]);
+        let d2: CsrMatrix<u64> = CsrMatrix::from_triplets(2, 2, &[0, 1], &[1, 1], &[10, 1]);
         let c = spgemm_semiring(&d1, &d2, MinPlus).unwrap();
         // (0,1): min(1 + 10, 5 + 1) = 6.
         assert_eq!(c.get(0, 1), 6);

@@ -1,8 +1,13 @@
 //! Property tests for the sparse substrate: the algebraic identities the
 //! butterfly derivation relies on, checked on arbitrary matrices.
 
-use bfly_sparse::ops::{frobenius_inner, hadamard, sparse_add, sparse_sub, spgemm, spgemm_parallel, spmv, spmv_transpose, trace_of_product, trace_of_product_with_self_transpose};
-use bfly_sparse::{spgemm_masked, spgemm_semiring, BoolOrAnd, CsrMatrix, DenseVector, Pattern, PlusTimes};
+use bfly_sparse::ops::{
+    frobenius_inner, hadamard, sparse_add, sparse_sub, spgemm, spgemm_parallel, spmv,
+    spmv_transpose, trace_of_product, trace_of_product_with_self_transpose,
+};
+use bfly_sparse::{
+    spgemm_masked, spgemm_semiring, BoolOrAnd, CsrMatrix, DenseVector, Pattern, PlusTimes,
+};
 use proptest::prelude::*;
 
 const DIM: usize = 12;

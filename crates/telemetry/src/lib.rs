@@ -1,0 +1,1058 @@
+//! Work counters, phase timers, and machine-readable run reports.
+//!
+//! The counting engine, the peeling drivers, and the incremental
+//! maintainer are all instrumented against the [`Recorder`] trait. The
+//! trait carries a `const ENABLED: bool`; every instrumentation site in
+//! the hot paths is guarded by `if R::ENABLED { ... }`, so with the
+//! default [`NoopRecorder`] the branch is a compile-time constant and the
+//! whole site monomorphizes away — the uninstrumented build pays nothing.
+//!
+//! [`InMemoryRecorder`] is the one real implementation: it aggregates
+//! counters into a flat array, folds repeated phases by name, keeps
+//! named series (e.g. vertices peeled per round), and renders everything
+//! as a [`RunReport`] — a schema-versioned, JSON-serializable record of
+//! one run that the CLI (`--stats` / `--report`) and the bench binaries
+//! (`BENCH_*.json`) emit.
+//!
+//! Parallel code cannot share one `&mut Recorder` across workers; it
+//! accumulates a plain [`WorkTally`] per chunk and merges the tallies
+//! after the join ([`Recorder::merge`]), recording per-chunk work as a
+//! series so load imbalance stays visible.
+//!
+//! JSON is hand-rolled ([`Json`]) because the build environment has no
+//! serde; the emitter and the recursive-descent parser round-trip every
+//! report (property-tested in `crates/telemetry/tests`).
+
+use std::time::Instant;
+
+/// Every work counter the engine knows. Adding a variant: extend
+/// [`Counter::ALL`] and [`Counter::name`], nothing else — storage is a
+/// flat array indexed by discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Wedges expanded through partitioned-side vertices (engine inner loop).
+    WedgesExpanded,
+    /// Scatter operations into the sparse accumulator.
+    SpaScatters,
+    /// Touched SPA entries drained as `C(n,2)` accumulations.
+    AccumEntries,
+    /// Vertices of the partitioned side exposed (outer-loop iterations).
+    VerticesExposed,
+    /// Cache blocks processed by the blocked variant.
+    BlocksProcessed,
+    /// Parallel chunks executed.
+    ParChunks,
+    /// Peeling fixed-point rounds.
+    PeelRounds,
+    /// Vertices removed across all peeling rounds.
+    PeeledVertices,
+    /// Edges removed across all peeling rounds.
+    PeeledEdges,
+    /// Edges present in the surviving subgraph each round, summed — the
+    /// recomputation volume of the naive "recount after every round" loop.
+    RecomputeEdges,
+    /// Edge insertions applied by the incremental maintainer.
+    IncInserts,
+    /// Edge deletions applied by the incremental maintainer.
+    IncDeletes,
+    /// Wedge endpoints visited by incremental support updates.
+    IncWedgeWork,
+}
+
+impl Counter {
+    /// All counters, in report order.
+    pub const ALL: [Counter; 13] = [
+        Counter::WedgesExpanded,
+        Counter::SpaScatters,
+        Counter::AccumEntries,
+        Counter::VerticesExposed,
+        Counter::BlocksProcessed,
+        Counter::ParChunks,
+        Counter::PeelRounds,
+        Counter::PeeledVertices,
+        Counter::PeeledEdges,
+        Counter::RecomputeEdges,
+        Counter::IncInserts,
+        Counter::IncDeletes,
+        Counter::IncWedgeWork,
+    ];
+
+    /// Number of counters (length of [`Counter::ALL`]).
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::WedgesExpanded => "wedges_expanded",
+            Counter::SpaScatters => "spa_scatters",
+            Counter::AccumEntries => "accum_entries",
+            Counter::VerticesExposed => "vertices_exposed",
+            Counter::BlocksProcessed => "blocks_processed",
+            Counter::ParChunks => "par_chunks",
+            Counter::PeelRounds => "peel_rounds",
+            Counter::PeeledVertices => "peeled_vertices",
+            Counter::PeeledEdges => "peeled_edges",
+            Counter::RecomputeEdges => "recompute_edges",
+            Counter::IncInserts => "inc_inserts",
+            Counter::IncDeletes => "inc_deletes",
+            Counter::IncWedgeWork => "inc_wedge_work",
+        }
+    }
+
+    /// Parse a report name back to the counter.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Plain additive bundle of counters for code that cannot hold a
+/// `&mut Recorder` — per-thread workers fill one and the caller merges
+/// them after the join.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkTally {
+    counts: [u64; Counter::COUNT],
+}
+
+impl Default for WorkTally {
+    fn default() -> Self {
+        WorkTally::new()
+    }
+}
+
+impl WorkTally {
+    /// All-zero tally.
+    pub const fn new() -> Self {
+        WorkTally {
+            counts: [0; Counter::COUNT],
+        }
+    }
+
+    /// Add `n` to `c`.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counts[c as usize] += n;
+    }
+
+    /// Current value of `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c as usize]
+    }
+
+    /// Element-wise sum with another tally.
+    pub fn absorb(&mut self, other: &WorkTally) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Instrumentation sink. All methods have empty defaults so a recorder
+/// implements only what it stores; hot paths must guard every call site
+/// with `if R::ENABLED` so the noop case folds away entirely.
+pub trait Recorder {
+    /// `false` promises every method is a no-op; instrumentation sites
+    /// compile out under that promise.
+    const ENABLED: bool;
+
+    /// Add `n` to counter `c`.
+    #[inline]
+    fn incr(&mut self, c: Counter, n: u64) {
+        let _ = (c, n);
+    }
+
+    /// Record a point-in-time measurement (last write wins).
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Append `value` to the named series.
+    #[inline]
+    fn series_push(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Open a timed phase. Phases nest; repeated names aggregate.
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Close the innermost open phase named `name`.
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Fold a worker tally into the recorder.
+    #[inline]
+    fn merge(&mut self, tally: &WorkTally) {
+        let _ = tally;
+    }
+}
+
+/// A tally is itself a counters-only recorder, so per-thread workers can
+/// run the same instrumented code paths and be merged afterwards.
+impl Recorder for WorkTally {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn incr(&mut self, c: Counter, n: u64) {
+        self.add(c, n);
+    }
+}
+
+/// The zero-cost default recorder: every call is a no-op and
+/// `ENABLED = false` lets guarded call sites vanish at monomorphization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding impl so an `InMemoryRecorder` can be threaded through APIs
+/// that take the recorder by value (`&mut R` is itself a `Recorder`).
+impl<R: Recorder> Recorder for &mut R {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline]
+    fn incr(&mut self, c: Counter, n: u64) {
+        (**self).incr(c, n);
+    }
+
+    #[inline]
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        (**self).gauge(name, value);
+    }
+
+    #[inline]
+    fn series_push(&mut self, name: &'static str, value: f64) {
+        (**self).series_push(name, value);
+    }
+
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        (**self).phase_start(name);
+    }
+
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        (**self).phase_end(name);
+    }
+
+    #[inline]
+    fn merge(&mut self, tally: &WorkTally) {
+        (**self).merge(tally);
+    }
+}
+
+/// One aggregated phase row in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name as given to [`Recorder::phase_start`].
+    pub name: String,
+    /// Total wall-clock seconds across all occurrences.
+    pub seconds: f64,
+    /// Number of start/end pairs folded into this row.
+    pub count: u64,
+}
+
+/// Aggregating recorder backing `--stats` / `--report`.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    tally: WorkTally,
+    gauges: Vec<(&'static str, f64)>,
+    series: Vec<(&'static str, Vec<f64>)>,
+    phases: Vec<(String, f64, u64)>,
+    open: Vec<(&'static str, Instant)>,
+}
+
+impl InMemoryRecorder {
+    /// Fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.tally.get(c)
+    }
+
+    /// Last value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named series, if any values were pushed.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Render the recorder into a report. `meta` carries run context
+    /// (dataset, invariant, threads, …); unfinished phases are closed at
+    /// render time so an aborted path still reports.
+    pub fn report(&mut self, meta: Vec<(String, Json)>) -> RunReport {
+        while let Some((name, _)) = self.open.last().copied() {
+            self.phase_end(name);
+        }
+        RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            meta,
+            counters: Counter::ALL
+                .into_iter()
+                .map(|c| (c.name().to_string(), self.tally.get(c)))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|&(n, v)| (n.to_string(), v))
+                .collect(),
+            phases: self
+                .phases
+                .iter()
+                .map(|(n, s, c)| PhaseRow {
+                    name: n.clone(),
+                    seconds: *s,
+                    count: *c,
+                })
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn incr(&mut self, c: Counter, n: u64) {
+        self.tally.add(c, n);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(slot) = self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.gauges.push((name, value));
+        }
+    }
+
+    fn series_push(&mut self, name: &'static str, value: f64) {
+        if let Some((_, v)) = self.series.iter_mut().find(|(n, _)| *n == name) {
+            v.push(value);
+        } else {
+            self.series.push((name, vec![value]));
+        }
+    }
+
+    fn phase_start(&mut self, name: &'static str) {
+        self.open.push((name, Instant::now()));
+    }
+
+    fn phase_end(&mut self, name: &'static str) {
+        let Some(pos) = self.open.iter().rposition(|(n, _)| *n == name) else {
+            return; // unmatched end: ignore rather than corrupt the stack
+        };
+        let (_, t0) = self.open.remove(pos);
+        let secs = t0.elapsed().as_secs_f64();
+        if let Some(row) = self.phases.iter_mut().find(|(n, _, _)| n == name) {
+            row.1 += secs;
+            row.2 += 1;
+        } else {
+            self.phases.push((name.to_string(), secs, 1));
+        }
+    }
+
+    fn merge(&mut self, tally: &WorkTally) {
+        self.tally.absorb(tally);
+    }
+}
+
+/// Run `f` inside a named timed phase. The timer is only touched when
+/// the recorder is enabled.
+#[inline]
+pub fn timed_phase<R: Recorder, T>(
+    rec: &mut R,
+    name: &'static str,
+    f: impl FnOnce(&mut R) -> T,
+) -> T {
+    if R::ENABLED {
+        rec.phase_start(name);
+    }
+    let out = f(rec);
+    if R::ENABLED {
+        rec.phase_end(name);
+    }
+    out
+}
+
+/// Schema-versioned, machine-readable record of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Format version; bump when the shape of the JSON changes.
+    pub schema_version: u64,
+    /// Free-form run context: dataset, invariant, threads, scale, …
+    pub meta: Vec<(String, Json)>,
+    /// `(name, value)` for every [`Counter`], in [`Counter::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins point measurements.
+    pub gauges: Vec<(String, f64)>,
+    /// Aggregated timed phases.
+    pub phases: Vec<PhaseRow>,
+    /// Named value sequences (per-round, per-chunk, …).
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl RunReport {
+    /// Current report schema version.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// Value of a counter by report name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Lower the report to a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::UInt(self.schema_version)),
+            ("meta".into(), Json::Obj(self.meta.clone())),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(p.name.clone())),
+                                ("seconds".into(), Json::Float(p.seconds)),
+                                ("count".into(), Json::UInt(p.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "series".into(),
+                Json::Obj(
+                    self.series
+                        .iter()
+                        .map(|(n, v)| {
+                            (
+                                n.clone(),
+                                Json::Arr(v.iter().map(|&x| Json::Float(x)).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstruct a report from [`RunReport::to_json`] output.
+    pub fn from_json(j: &Json) -> Result<RunReport, String> {
+        let obj = j.as_obj().ok_or("report: expected object")?;
+        let field = |name: &str| -> Result<&Json, String> {
+            obj.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("report: missing field `{name}`"))
+        };
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or("schema_version: expected unsigned integer")?;
+        let meta = field("meta")?
+            .as_obj()
+            .ok_or("meta: expected object")?
+            .to_vec();
+        let counters = field("counters")?
+            .as_obj()
+            .ok_or("counters: expected object")?
+            .iter()
+            .map(|(n, v)| {
+                v.as_u64()
+                    .map(|v| (n.clone(), v))
+                    .ok_or_else(|| format!("counter `{n}`: expected unsigned integer"))
+            })
+            .collect::<Result<_, _>>()?;
+        let gauges = field("gauges")?
+            .as_obj()
+            .ok_or("gauges: expected object")?
+            .iter()
+            .map(|(n, v)| {
+                v.as_f64()
+                    .map(|v| (n.clone(), v))
+                    .ok_or_else(|| format!("gauge `{n}`: expected number"))
+            })
+            .collect::<Result<_, _>>()?;
+        let phases = field("phases")?
+            .as_arr()
+            .ok_or("phases: expected array")?
+            .iter()
+            .map(|p| {
+                let row = p.as_obj().ok_or("phase: expected object")?;
+                let get = |k: &str| {
+                    row.iter()
+                        .find(|(n, _)| n == k)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| format!("phase: missing `{k}`"))
+                };
+                Ok(PhaseRow {
+                    name: get("name")?
+                        .as_str()
+                        .ok_or("phase name: expected string")?
+                        .to_string(),
+                    seconds: get("seconds")?.as_f64().ok_or("phase seconds: number")?,
+                    count: get("count")?.as_u64().ok_or("phase count: integer")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let series = field("series")?
+            .as_obj()
+            .ok_or("series: expected object")?
+            .iter()
+            .map(|(n, v)| {
+                let vals = v
+                    .as_arr()
+                    .ok_or_else(|| format!("series `{n}`: expected array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| format!("series `{n}`: expected numbers"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok((n.clone(), vals))
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(RunReport {
+            schema_version,
+            meta,
+            counters,
+            gauges,
+            phases,
+            series,
+        })
+    }
+
+    /// Serialize as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse JSON text produced by [`RunReport::to_json_string`].
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        RunReport::from_json(&Json::parse(text)?)
+    }
+
+    /// Human-oriented table for `--stats`: all meta, non-zero counters,
+    /// every gauge, phase, and series.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "run report (schema v{})", self.schema_version);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  {k:<22} {}", v.compact());
+        }
+        for (n, v) in &self.counters {
+            if *v != 0 {
+                let _ = writeln!(out, "  {n:<22} {v}");
+            }
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "  {n:<22} {v:.4}");
+        }
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  phase {:<16} {:>12.6}s  x{}",
+                p.name, p.seconds, p.count
+            );
+        }
+        for (n, v) in &self.series {
+            let shown: Vec<String> = v.iter().take(8).map(|x| format!("{x}")).collect();
+            let ell = if v.len() > 8 { ", …" } else { "" };
+            let _ = writeln!(
+                out,
+                "  series {:<15} [{}{}] ({} values)",
+                n,
+                shown.join(", "),
+                ell,
+                v.len()
+            );
+        }
+        out
+    }
+}
+
+/// Minimal JSON document model with emitter and parser. Numbers keep
+/// their u64/i64/f64 identity so counters survive a round trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (counters).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point (timings, gauges).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered pairs (insertion order is preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Unsigned integer view (accepts `UInt` and non-negative `Int`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Number view: any numeric variant as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Single-line rendering.
+    pub fn compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Indented rendering (two spaces per level).
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    // Keep floats recognizably floats across a round trip.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (full input must be consumed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // We emit \u only for C0 controls; accept any BMP
+                        // scalar here, mapping surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&b[start..end]).map_err(|_| "invalid utf-8")?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("invalid number `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        const { assert!(!NoopRecorder::ENABLED) };
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let mut r = InMemoryRecorder::new();
+        r.incr(Counter::WedgesExpanded, 10);
+        r.incr(Counter::WedgesExpanded, 5);
+        let mut t = WorkTally::new();
+        t.add(Counter::WedgesExpanded, 7);
+        t.add(Counter::SpaScatters, 3);
+        r.merge(&t);
+        assert_eq!(r.counter(Counter::WedgesExpanded), 22);
+        assert_eq!(r.counter(Counter::SpaScatters), 3);
+    }
+
+    #[test]
+    fn phases_fold_by_name() {
+        let mut r = InMemoryRecorder::new();
+        for _ in 0..3 {
+            timed_phase(&mut r, "count", |_| ());
+        }
+        let rep = r.report(vec![]);
+        assert_eq!(rep.phases.len(), 1);
+        assert_eq!(rep.phases[0].count, 3);
+        assert!(rep.phases[0].seconds >= 0.0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_series_append() {
+        let mut r = InMemoryRecorder::new();
+        r.gauge("imbalance", 1.5);
+        r.gauge("imbalance", 2.5);
+        r.series_push("rounds", 4.0);
+        r.series_push("rounds", 2.0);
+        assert_eq!(r.gauge_value("imbalance"), Some(2.5));
+        assert_eq!(r.series("rounds"), Some(&[4.0, 2.0][..]));
+    }
+
+    #[test]
+    fn unclosed_phase_closes_at_report() {
+        let mut r = InMemoryRecorder::new();
+        r.phase_start("outer");
+        let rep = r.report(vec![]);
+        assert_eq!(rep.phases.len(), 1);
+        assert_eq!(rep.phases[0].name, "outer");
+    }
+
+    #[test]
+    fn counter_names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("nope"), None);
+    }
+
+    #[test]
+    fn json_parse_basics() {
+        let j = Json::parse(r#"{"a": [1, -2, 3.5, "x\n", true, null]}"#).unwrap();
+        let arr = j.as_obj().unwrap()[0].1.as_arr().unwrap();
+        assert_eq!(arr[0], Json::UInt(1));
+        assert_eq!(arr[1], Json::Int(-2));
+        assert_eq!(arr[2], Json::Float(3.5));
+        assert_eq!(arr[3], Json::Str("x\n".into()));
+        assert_eq!(arr[4], Json::Bool(true));
+        assert_eq!(arr[5], Json::Null);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut r = InMemoryRecorder::new();
+        r.incr(Counter::WedgesExpanded, 12345);
+        r.incr(Counter::PeelRounds, 3);
+        r.gauge("par_imbalance", 1.25);
+        r.series_push("peel_removed", 10.0);
+        r.series_push("peel_removed", 4.0);
+        timed_phase(&mut r, "count", |_| ());
+        let rep = r.report(vec![
+            ("dataset".into(), Json::Str("k33".into())),
+            ("threads".into(), Json::UInt(4)),
+        ]);
+        let text = rep.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(rep, back);
+    }
+}

@@ -47,7 +47,11 @@ fn main() {
                 "  {inv}  [{:>2?}-partitioned, {:?}{}]  {t:.3}s",
                 inv.partitioned_side(),
                 inv.traversal(),
-                if inv.is_lookahead() { ", look-ahead" } else { "" },
+                if inv.is_lookahead() {
+                    ", look-ahead"
+                } else {
+                    ""
+                },
             );
         }
         // Blocked siblings (FLAME blocked derivation) — same counts.

@@ -77,10 +77,7 @@ fn main() {
     // Community A's internal edges should dominate the surviving set.
     let mut inside = 0usize;
     for (idx, (u, v)) in g.edges().enumerate() {
-        if wing.keep[idx]
-            && users_a.contains(&u)
-            && items_a.contains(&v)
-        {
+        if wing.keep[idx] && users_a.contains(&u) && items_a.contains(&v) {
             inside += 1;
         }
     }

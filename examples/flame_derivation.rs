@@ -44,14 +44,20 @@ fn main() {
     let split = g.nv2() / 2;
     let cats = count_categories(&g, Side::V2, split);
     let dense_cats = count_dense_partitioned(&g, split);
-    println!("\nPartition V2 at {split}: Ξ_L = {}, Ξ_LR = {}, Ξ_R = {}", cats.both_first, cats.split, cats.both_second);
+    println!(
+        "\nPartition V2 at {split}: Ξ_L = {}, Ξ_LR = {}, Ξ_R = {}",
+        cats.both_first, cats.split, cats.both_second
+    );
     println!("  eq. 8:  Ξ_L + Ξ_LR + Ξ_R = {} = Ξ_G ✓", cats.total());
     println!("  eq. 9 (ten dense traces) gives the same three: {dense_cats:?}");
     assert_eq!(cats, dense_cats);
 
     // 3. Fig. 4's loop-invariant states across the whole loop.
     println!("\nLoop-invariant states while the V2 loop advances (Fig. 4):");
-    println!("{:>7}{:>10}{:>10}{:>10}{:>10}", "split", "Inv.1", "Inv.2", "Inv.3", "Inv.4");
+    println!(
+        "{:>7}{:>10}{:>10}{:>10}{:>10}",
+        "split", "Inv.1", "Inv.2", "Inv.3", "Inv.4"
+    );
     for s in 0..=g.nv2() {
         let st = loop_invariant_states(&g, Side::V2, s);
         println!("{s:>7}{:>10}{:>10}{:>10}{:>10}", st[0], st[1], st[2], st[3]);

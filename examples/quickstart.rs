@@ -57,7 +57,10 @@ fn main() {
     // Reference counters agree.
     assert_eq!(count(&g, Invariant::Inv2), count_brute_force(&g));
     assert_eq!(count(&g, Invariant::Inv2), count_via_spgemm(&g));
-    assert_eq!(count(&g, Invariant::Inv2), count_parallel(&g, Invariant::Inv7));
+    assert_eq!(
+        count(&g, Invariant::Inv2),
+        count_parallel(&g, Invariant::Inv7)
+    );
 
     // Derived metrics.
     let m = metrics(&g);

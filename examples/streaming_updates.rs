@@ -39,7 +39,10 @@ fn main() {
     let mut counter = IncrementalCounter::new(stream.nv1(), stream.nv2());
     let boundaries = stream.slice_boundaries(5);
     let mut next_boundary = 0usize;
-    println!("\n{:>12}{:>10}{:>14}{:>14}", "time", "edges", "incremental", "recount");
+    println!(
+        "\n{:>12}{:>10}{:>14}{:>14}",
+        "time", "edges", "incremental", "recount"
+    );
     for e in stream.events() {
         counter.insert_edge(e.u, e.v);
         while next_boundary < boundaries.len() && e.time >= boundaries[next_boundary] {

@@ -23,8 +23,16 @@ fn assert_all_agree(g: &BipartiteGraph, label: &str) {
         assert_eq!(count_parallel(g, inv), want, "{label}: {inv} parallel");
     }
     for b in [1usize, 7, 128] {
-        assert_eq!(count_blocked(g, Side::V2, b), want, "{label}: blocked V2/{b}");
-        assert_eq!(count_blocked(g, Side::V1, b), want, "{label}: blocked V1/{b}");
+        assert_eq!(
+            count_blocked(g, Side::V2, b),
+            want,
+            "{label}: blocked V2/{b}"
+        );
+        assert_eq!(
+            count_blocked(g, Side::V1, b),
+            want,
+            "{label}: blocked V1/{b}"
+        );
     }
     assert_eq!(count_hash_aggregation(g), want, "{label}: hash baseline");
     assert_eq!(count_vertex_priority(g), want, "{label}: vertex priority");

@@ -11,7 +11,12 @@ use rand::SeedableRng;
 fn counts_identical_across_thread_counts() {
     let g = StandIn::RecordLabels.generate_scaled(0.02);
     let seq = count(&g, Invariant::Inv2);
-    for inv in [Invariant::Inv1, Invariant::Inv4, Invariant::Inv6, Invariant::Inv7] {
+    for inv in [
+        Invariant::Inv1,
+        Invariant::Inv4,
+        Invariant::Inv6,
+        Invariant::Inv7,
+    ] {
         for threads in [1usize, 2, 3, 8] {
             assert_eq!(
                 count_parallel_with_threads(&g, inv, threads),

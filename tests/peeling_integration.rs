@@ -4,7 +4,9 @@
 //! trips.
 
 use bfly::core::edge_support::{edge_supports, total_from_supports};
-use bfly::core::peel::{k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers, wing_numbers};
+use bfly::core::peel::{
+    k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers, wing_numbers,
+};
 use bfly::core::vertex_counts::butterflies_per_vertex;
 use bfly::core::{count_via_spgemm, Invariant};
 use bfly::graph::generators::{chung_lu, uniform_exact, with_planted_biclique};

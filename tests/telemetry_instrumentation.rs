@@ -1,0 +1,126 @@
+//! Integration tests for the instrumentation layer: the work counters the
+//! engine reports must match closed-form combinatorics, the no-op recorder
+//! must not change results, and [`RunReport`] JSON must round-trip.
+
+use bfly::core::peel::{k_tip_recorded, k_wing_recorded};
+use bfly::core::telemetry::{Counter, InMemoryRecorder, Json, RunReport};
+use bfly::core::{count, count_parallel_recorded, count_recorded, Invariant};
+use bfly::graph::{BipartiteGraph, Side};
+use proptest::prelude::*;
+
+const MAX_SIDE: u32 = 24;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1..=MAX_SIDE, 1..=MAX_SIDE).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..80).prop_map(move |edges| {
+            BipartiteGraph::from_edges(m as usize, n as usize, &edges)
+                .expect("bounded edges are valid")
+        })
+    })
+}
+
+/// Σ over one side of C(deg, 2): the number of wedges centered there.
+fn analytic_wedges(g: &BipartiteGraph, center: Side) -> u64 {
+    let degs: Vec<u64> = match center {
+        Side::V1 => (0..g.nv1())
+            .map(|u| g.neighbors_v1(u).len() as u64)
+            .collect(),
+        Side::V2 => (0..g.nv2())
+            .map(|v| g.neighbors_v2(v).len() as u64)
+            .collect(),
+    };
+    degs.iter().map(|&d| d * d.saturating_sub(1) / 2).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine expands exactly one wedge per unordered neighbour pair of
+    /// each center vertex: `wedges_expanded` equals Σ C(deg, 2) over the
+    /// side *opposite* the partitioned one, for every invariant, regardless
+    /// of traversal direction or update part.
+    #[test]
+    fn wedges_expanded_matches_analytic_count(g in arb_graph()) {
+        for inv in Invariant::ALL {
+            let center = match inv.partitioned_side() {
+                Side::V2 => Side::V1,
+                Side::V1 => Side::V2,
+            };
+            let want = analytic_wedges(&g, center);
+            let mut rec = InMemoryRecorder::new();
+            let xi = count_recorded(&g, inv, &mut rec);
+            prop_assert_eq!(xi, count(&g, inv), "{} count drifted", inv);
+            prop_assert_eq!(
+                rec.counter(Counter::WedgesExpanded),
+                want,
+                "{} wedge counter",
+                inv
+            );
+            // Every wedge is exactly one accumulator scatter.
+            prop_assert_eq!(rec.counter(Counter::SpaScatters), want, "{} scatters", inv);
+        }
+    }
+
+    /// The recorded parallel path splits the same work across chunks: the
+    /// merged counters equal the sequential ones and the per-chunk series
+    /// sums to the total.
+    #[test]
+    fn parallel_chunks_partition_the_work(g in arb_graph()) {
+        let inv = Invariant::Inv2;
+        let want = analytic_wedges(&g, Side::V1);
+        let mut rec = InMemoryRecorder::new();
+        let xi = count_parallel_recorded(&g, inv, &mut rec);
+        prop_assert_eq!(xi, count(&g, inv));
+        prop_assert_eq!(rec.counter(Counter::WedgesExpanded), want);
+        let rep = rec.report(Vec::new());
+        let per_chunk: f64 = rep
+            .series
+            .iter()
+            .find(|(n, _)| n == "par_chunk_wedges")
+            .map(|(_, v)| v.iter().sum())
+            .unwrap_or(0.0);
+        prop_assert_eq!(per_chunk as u64, want);
+    }
+}
+
+#[test]
+fn run_report_round_trips_through_json() {
+    // Exercise counters, gauges, phases, and series in one report.
+    let g = BipartiteGraph::complete(6, 5);
+    let mut rec = InMemoryRecorder::new();
+    let xi = count_recorded(&g, Invariant::Inv1, &mut rec);
+    let tip = k_tip_recorded(&g, Side::V1, 1, &mut rec);
+    let wing = k_wing_recorded(&g, 1, &mut rec);
+    assert!(tip.keep.iter().all(|&b| b));
+    assert!(wing.keep.iter().all(|&b| b));
+    let rep = rec.report(vec![
+        ("dataset".to_string(), Json::Str("K(6,5)".to_string())),
+        ("butterflies".to_string(), Json::UInt(xi)),
+        ("scale".to_string(), Json::Float(0.5)),
+    ]);
+
+    let text = rep.to_json_string();
+    let back = RunReport::parse(&text).expect("report JSON parses");
+    // Value-level identity: counters, meta, gauges, series all survive;
+    // serializing again yields byte-identical JSON.
+    assert_eq!(back.schema_version, RunReport::SCHEMA_VERSION);
+    assert_eq!(back.counters, rep.counters);
+    assert_eq!(back.meta, rep.meta);
+    assert_eq!(back.gauges, rep.gauges);
+    assert_eq!(back.series, rep.series);
+    assert_eq!(back.to_json_string(), text);
+
+    // The interesting counters are actually non-zero on this input.
+    assert!(rep.counter("wedges_expanded").unwrap() > 0);
+    assert!(rep.counter("peel_rounds").unwrap() >= 2); // tip + wing rounds
+    assert!(!rep.phases.is_empty());
+}
+
+#[test]
+fn noop_and_recorded_paths_agree() {
+    let g = BipartiteGraph::complete(5, 4);
+    for inv in Invariant::ALL {
+        let mut rec = InMemoryRecorder::new();
+        assert_eq!(count_recorded(&g, inv, &mut rec), count(&g, inv));
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline shim for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `proptest` cannot be fetched; the workspace patches `crates-io` to
+//! this implementation. It keeps the property-based tests *running* —
+//! deterministic pseudo-random case generation from composable strategies —
+//! while dropping upstream's shrinking and persistence machinery (a failing
+//! case is reported with its `Debug` form instead of a minimised one).
+//!
+//! Covered surface: the [`proptest!`], [`prop_assert!`], and
+//! [`prop_assert_eq!`] macros; [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`; integer/float range strategies; tuple strategies up to
+//! arity 4; [`collection::vec`]; string strategies from the single regex
+//! shape `"[class]{lo,hi}"` used in this repo; and
+//! [`prelude::ProptestConfig`] with `with_cases`.
+
+/// Deterministic generator driving case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator; each `proptest!` test fn derives its seed from the
+    /// test name so failures reproduce run-to-run.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; the slight modulo bias is irrelevant for test
+        // case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategies: composable generators of test values.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+        type Value = U::Value;
+        fn generate(&self, rng: &mut TestRng) -> U::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// String strategy from the one regex shape this workspace uses:
+    /// `"[<class>]{lo,hi}"` — a character class (literals, `a-z` ranges,
+    /// and `\n`/`\t`/`\\` escapes) repeated a bounded number of times. Any
+    /// other pattern is treated as a literal string.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_class_repeat(self) {
+                Some((chars, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parse `[<class>]{lo,hi}` into (member characters, lo, hi).
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let reps = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .to_string();
+        let (lo, hi) = match reps.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if hi < lo {
+            return None;
+        }
+        let mut chars = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            let c = if c == '\\' {
+                match it.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            // Range `a-z` (a '-' with both neighbours present).
+            if it.peek() == Some(&'-') {
+                let mut lookahead = it.clone();
+                lookahead.next(); // consume '-'
+                if let Some(&end) = lookahead.peek() {
+                    if end != ']' {
+                        it = lookahead;
+                        let end = it.next()?;
+                        for x in (c as u32)..=(end as u32) {
+                            chars.push(char::from_u32(x)?);
+                        }
+                        continue;
+                    }
+                }
+            }
+            chars.push(c);
+        }
+        if chars.is_empty() {
+            None
+        } else {
+            Some((chars, lo, hi))
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact size or a size range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.hi.saturating_sub(self.len.lo).max(1);
+            let n = self.len.lo + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+#[doc(hidden)]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs = ::std::string::String::new()
+                        $( + "\n  " + stringify!($arg) + " = "
+                            + &format!("{:?}", &$arg) )+;
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\ninputs:{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message,
+                            rendered_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-scoped assertion: fails the current case (with context) rather
+/// than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_bounded(x in 3..17u32, y in 0u64..1u64 << 40) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 1u64 << 40);
+        }
+
+        #[test]
+        fn vec_strategy_bounds(v in crate::collection::vec((0..5u32, 0..7u32), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 7);
+            }
+        }
+
+        #[test]
+        fn maps_compose(n in (1..=10usize).prop_map(|k| k * 2)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!(n <= 20, "n = {}", n);
+        }
+
+        #[test]
+        fn flat_map_derives(pair in (1..10u32).prop_flat_map(|m| (0..m).prop_map(move |x| (m, x)))) {
+            prop_assert!(pair.1 < pair.0);
+        }
+
+        #[test]
+        fn string_class_strategy(s in "[ -~\n\t]{0,300}") {
+            prop_assert!(s.len() <= 300 * 4);
+            for c in s.chars() {
+                prop_assert!(c == '\n' || c == '\t' || (' '..='~').contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_is_stable() {
+        assert_eq!(super::seed_from_name("abc"), super::seed_from_name("abc"));
+        assert_ne!(super::seed_from_name("abc"), super::seed_from_name("abd"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `rand` crate cannot be fetched; the workspace patches `crates-io`
+//! to this implementation (see `[patch.crates-io]` in the root manifest).
+//! It provides exactly the surface the repo calls:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`]
+//! * the [`Rng`] trait with `random_range` over integer and float ranges
+//!
+//! The generator is SplitMix64 — statistically solid for the graph
+//! generators and sampling estimators here (which need uniformity, not
+//! cryptographic strength), deterministic per seed, and allocation-free.
+//! Streams produced for a given seed differ from upstream `rand`; all
+//! in-repo consumers treat seeds as opaque reproducibility handles only.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that `random_range` can sample from a range (shim of
+/// `rand::distr::uniform::SampleUniform` + `SampleRange` combined).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Core entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods (shim of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a (half-open or inclusive) range.
+    /// Panics on empty ranges, like upstream.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 high bits → uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, bound)` via Lemire's multiply-shift with
+/// rejection (unbiased).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= low.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = rng.random_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; fold that
+                // measure-zero case back to the start of the interval.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (rng.random_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Not the upstream ChaCha12-based `StdRng` — streams differ per seed —
+    /// but deterministic, fast, and uniform, which is all the in-repo
+    /// consumers rely on.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=5i32);
+            assert!((0..=5).contains(&y));
+            let f = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn generic_rng_param_works_behind_mut_ref() {
+        fn draw<R: super::Rng>(rng: &mut R) -> u32 {
+            rng.random_range(0..10u32)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = draw(&mut rng);
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline shim for the subset of the `rayon` 1.x API this workspace uses.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `rayon` cannot be fetched; the workspace patches `crates-io` to
+//! this implementation. It is a *real* data-parallel executor — terminal
+//! operations split their input into one contiguous chunk per worker and
+//! run the chunks on `std::thread::scope` threads — just without rayon's
+//! work-stealing. Covered surface:
+//!
+//! * `prelude::*` with `into_par_iter()` over `Range<usize>` and `Vec<T>`,
+//!   `par_iter()` over slices, and the adaptors `map`, `map_init`, plus the
+//!   terminal operations `sum`, `collect`, `for_each`, `reduce`.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a pinned pool is
+//!   modelled as a scoped override of the worker count observed by
+//!   [`current_num_threads`], which terminal operations read at their
+//!   call site.
+//!
+//! Static chunking changes the *schedule* relative to upstream rayon, not
+//! the results: every consumer in this workspace reduces with commutative,
+//! associative operations or collects in index order (which chunked
+//! execution preserves).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker count forced by an enclosing [`ThreadPool::install`];
+    /// 0 = no override (use the machine's available parallelism).
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads terminal operations will use in this context.
+pub fn current_num_threads() -> usize {
+    let forced = POOL_OVERRIDE.with(|c| c.get());
+    if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (the shim cannot actually fail; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a pinned-size pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (default worker count = available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A pool with a pinned worker count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count governing any parallel
+    /// operations it performs.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        // Restore on unwind too, so a panicking benchmark iteration does
+        // not leak the override into later work on this thread.
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Run `items` through `per_item` on `current_num_threads()` scoped
+/// threads, one contiguous chunk per thread; per-chunk output vectors are
+/// concatenated in chunk order, so overall output order equals input order.
+fn run_chunked<T, R, S, INIT, F>(items: Vec<T>, init: &INIT, per_item: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().max(1).min(len);
+    if workers == 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| per_item(&mut state, t)).collect();
+    }
+    let chunk_size = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    {
+        let mut rest = items;
+        while rest.len() > chunk_size {
+            let tail = rest.split_off(chunk_size);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks.push(rest);
+    }
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .map(|t| per_item(&mut state, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+    });
+    let total = out.iter().map(Vec::len).sum();
+    let mut flat = Vec::with_capacity(total);
+    for v in out {
+        flat.extend(v);
+    }
+    flat
+}
+
+/// Parallel iterator adaptors and terminal operations.
+pub mod iter {
+    use super::run_chunked;
+
+    /// Conversion into a parallel iterator (shim of rayon's trait of the
+    /// same name).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Convert.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    /// Borrowing conversion for slices (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: Send + 'a;
+        /// Convert.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        fn into_par_iter(self) -> ParIter<u32> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// A materialised parallel iterator over owned items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Per-item map.
+        pub fn map<R, F>(
+            self,
+            f: F,
+        ) -> MapInit<T, (), impl Fn() + Sync, impl Fn(&mut (), T) -> R + Sync>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            MapInit {
+                items: self.items,
+                init: || (),
+                f: move |_: &mut (), t: T| f(t),
+                _state: std::marker::PhantomData,
+            }
+        }
+
+        /// Map with per-worker state created once per worker (shim of
+        /// rayon's `map_init`).
+        pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<T, S, INIT, F>
+        where
+            R: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, T) -> R + Sync,
+        {
+            MapInit {
+                items: self.items,
+                init,
+                f,
+                _state: std::marker::PhantomData,
+            }
+        }
+
+        /// Run `f` for every item.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            let _ = run_chunked(self.items, &|| (), &|_, t| f(t));
+        }
+
+        /// Sum the items.
+        pub fn sum<S>(self) -> S
+        where
+            T: Send,
+            S: Send + std::iter::Sum<T>,
+        {
+            let out = run_chunked(self.items, &|| (), &|_, t| t);
+            out.into_iter().sum()
+        }
+
+        /// Collect the items in order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<T>,
+        {
+            let out = run_chunked(self.items, &|| (), &|_, t| t);
+            out.into_iter().collect()
+        }
+    }
+
+    /// Lazy `map_init` pipeline; executes at a terminal operation.
+    pub struct MapInit<T, S, INIT, F> {
+        items: Vec<T>,
+        init: INIT,
+        f: F,
+        _state: std::marker::PhantomData<fn() -> S>,
+    }
+
+    impl<T, S, R, INIT, F> MapInit<T, S, INIT, F>
+    where
+        T: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        /// Sum the mapped values.
+        pub fn sum<Out>(self) -> Out
+        where
+            Out: Send + std::iter::Sum<R>,
+        {
+            let out = run_chunked(self.items, &self.init, &self.f);
+            out.into_iter().sum()
+        }
+
+        /// Collect the mapped values in input order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let out = run_chunked(self.items, &self.init, &self.f);
+            out.into_iter().collect()
+        }
+
+        /// Reduce the mapped values with `identity` / `op`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+        where
+            ID: Fn() -> R,
+            OP: Fn(R, R) -> R,
+        {
+            let out = run_chunked(self.items, &self.init, &self.f);
+            out.into_iter().fold(identity(), &op)
+        }
+
+        /// Run a side-effecting closure over the mapped values.
+        pub fn for_each<G>(self, g: G)
+        where
+            G: Fn(R) + Sync,
+        {
+            let f = &self.f;
+            let g = &g;
+            let _ = run_chunked(self.items, &self.init, &|s: &mut S, t| g(f(s, t)));
+        }
+    }
+}
+
+/// The rayon prelude: import to get `.into_par_iter()` / `.par_iter()`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_init_sum_matches_sequential() {
+        let total: u64 = (0..1000usize)
+            .into_par_iter()
+            .map_init(|| 0u64, |_, i| i as u64)
+            .sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..257usize)
+            .into_par_iter()
+            .map_init(|| (), |_, i| i * 2)
+            .collect();
+        assert_eq!(v, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pinned_pool_overrides_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u64> = Vec::<u64>::new()
+            .into_par_iter()
+            .map_init(|| (), |_, x| x)
+            .collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_not_per_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let _: Vec<usize> = (0..10_000usize)
+            .into_par_iter()
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, i| i)
+            .collect();
+        let n = inits.load(Ordering::Relaxed);
+        assert!(n <= current_num_threads().max(1), "{n} inits");
+    }
+}
