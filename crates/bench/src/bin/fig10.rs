@@ -25,6 +25,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut reference = Vec::new();
     let mut reports = Vec::new();
+    let mut wedge_hists = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -38,6 +39,11 @@ fn main() {
             let mut rec = InMemoryRecorder::new();
             let xi_rec = count_recorded(g, inv, &mut rec);
             assert_eq!(xi_rec, xi, "instrumented run diverged");
+            if inv == Invariant::Inv1 {
+                if let Some(h) = rec.histogram("vertex_wedges") {
+                    wedge_hists.push((spec.name, h.summary()));
+                }
+            }
             reports.push(rec.report(vec![
                 ("bench".to_string(), Json::Str("fig10".to_string())),
                 ("dataset".to_string(), Json::Str(spec.name.to_string())),
@@ -80,6 +86,12 @@ fn main() {
             best_v2,
             best_v1
         );
+    }
+    // Skew check: per-vertex wedge cost distribution (invariant 1). Heavy
+    // tails here are what the vertex-priority baseline exploits.
+    println!("\nPer-vertex wedge cost (invariant 1):");
+    for (name, summary) in &wedge_hists {
+        println!("  {name:<16} {summary}");
     }
     match write_bench_report("fig10", &reports) {
         Ok(path) => println!("\nmachine-readable report: {path}"),

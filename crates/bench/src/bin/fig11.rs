@@ -23,6 +23,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut reports = Vec::new();
+    let mut chunk_hists = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -37,6 +38,11 @@ fn main() {
             let mut rec = InMemoryRecorder::new();
             let xi_rec = pool.install(|| count_parallel_recorded(g, inv, &mut rec));
             assert_eq!(xi_rec, xi, "instrumented run diverged");
+            if inv == Invariant::Inv2 {
+                if let Some(h) = rec.histogram("chunk_us") {
+                    chunk_hists.push((spec.name, h.summary()));
+                }
+            }
             reports.push(rec.report(vec![
                 ("bench".to_string(), Json::Str("fig11".to_string())),
                 ("dataset".to_string(), Json::Str(spec.name.to_string())),
@@ -60,6 +66,12 @@ fn main() {
     println!("\nSpeedup of best parallel member vs sequential Inv. 2:");
     for (name, s) in speedups {
         println!("  {name:<16} {s:.2}x");
+    }
+    // Chunk latency spread (invariant 2): the histogram view of the
+    // par_imbalance gauge — a wide p99/p50 gap means straggler chunks.
+    println!("\nPer-chunk latency in µs (invariant 2):");
+    for (name, summary) in &chunk_hists {
+        println!("  {name:<16} {summary}");
     }
     match write_bench_report("fig11", &reports) {
         Ok(path) => println!("\nmachine-readable report: {path}"),

@@ -56,7 +56,7 @@ fn main() {
         let mut rec = InMemoryRecorder::new();
         let r_rec = k_tip_recorded(&g, Side::V1, k, &mut rec);
         assert_eq!(r_rec.keep, r1.keep, "instrumented run diverged at k={k}");
-        reports.push(rec.report(vec![
+        let rep = rec.report(vec![
             ("bench".to_string(), Json::Str("peeling".to_string())),
             ("structure".to_string(), Json::Str("tip".to_string())),
             ("k".to_string(), Json::UInt(k)),
@@ -64,7 +64,11 @@ fn main() {
             ("seconds".to_string(), Json::Float(t1)),
             ("survivors".to_string(), Json::UInt(survive as u64)),
             ("rounds".to_string(), Json::UInt(r1.rounds as u64)),
-        ]));
+        ]);
+        for (name, secs, n) in rep.span_totals() {
+            println!("         span {name}: {secs:.3}s over {n} round(s)");
+        }
+        reports.push(rep);
     }
 
     println!("\nk-wing:");

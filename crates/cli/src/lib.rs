@@ -18,6 +18,9 @@
 //! bfly components  <file>
 //! bfly core        <file> --k K --l L
 //! bfly convert     <file> --out FILE
+//! bfly report show  RUN.json
+//! bfly report diff  BASE.json NEW.json [--threshold PCT]
+//! bfly report flame RUN.json -o FILE
 //! ```
 //!
 //! The file format is inferred from content/extension and can be forced
@@ -25,8 +28,10 @@
 //! default (`--algorithm auto` partitions the smaller vertex set).
 
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
-use bfly_core::peel::{k_tip, k_tip_recorded, k_wing, k_wing_recorded, tip_numbers};
-use bfly_core::telemetry::{timed_phase, InMemoryRecorder, Json, Recorder, RunReport};
+use bfly_core::peel::{k_tip_recorded, k_wing_recorded, tip_numbers};
+use bfly_core::telemetry::{
+    diff_reports, timed_phase, InMemoryRecorder, Json, NoopRecorder, Recorder, RunReport,
+};
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_recorded,
     count_via_spgemm, enumerate_butterflies, Invariant,
@@ -62,6 +67,8 @@ pub enum Command {
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
         report: Option<String>,
+        /// Write a Chrome Trace Event JSON file to this path.
+        trace: Option<String>,
     },
     /// `bfly tip`.
     Tip {
@@ -77,6 +84,8 @@ pub enum Command {
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
         report: Option<String>,
+        /// Write a Chrome Trace Event JSON file to this path.
+        trace: Option<String>,
     },
     /// `bfly wing`.
     Wing {
@@ -90,6 +99,8 @@ pub enum Command {
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
         report: Option<String>,
+        /// Write a Chrome Trace Event JSON file to this path.
+        trace: Option<String>,
     },
     /// `bfly tip-numbers`.
     TipNumbers {
@@ -164,8 +175,41 @@ pub enum Command {
         /// else 0-based edge list).
         out: String,
     },
+    /// `bfly report` — inspect and compare saved [`RunReport`]s.
+    Report {
+        /// Which report operation to run.
+        action: ReportAction,
+    },
     /// `bfly help` / `--help`.
     Help,
+}
+
+/// Operations on saved run reports (`bfly report <verb> ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportAction {
+    /// Pretty-print a report (`bfly report show RUN.json`).
+    Show {
+        /// Report path.
+        file: String,
+    },
+    /// Compare two reports, gating on counter drift
+    /// (`bfly report diff BASE.json NEW.json [--threshold PCT]`).
+    Diff {
+        /// Baseline report path.
+        base: String,
+        /// Candidate report path.
+        new: String,
+        /// Maximum tolerated counter drift, in percent.
+        threshold: f64,
+    },
+    /// Render a self-contained HTML flame view of the span timeline
+    /// (`bfly report flame RUN.json -o FILE`).
+    Flame {
+        /// Report path.
+        file: String,
+        /// Output HTML path.
+        out: String,
+    },
 }
 
 /// Input file formats.
@@ -258,10 +302,11 @@ USAGE:
   bfly stats       <file> [--format konect|edgelist|mtx]
   bfly count       <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
                           [--parallel] [--threads N] [--format ...]
-                          [--stats] [--report FILE]
+                          [--stats] [--report FILE] [--trace FILE]
   bfly tip         <file> --k K [--side v1|v2] [--format ...]
-                          [--stats] [--report FILE]
-  bfly wing        <file> --k K [--format ...] [--stats] [--report FILE]
+                          [--stats] [--report FILE] [--trace FILE]
+  bfly wing        <file> --k K [--format ...]
+                          [--stats] [--report FILE] [--trace FILE]
   bfly tip-numbers <file> [--side v1|v2] [--top N] [--format ...]
   bfly enumerate   <file> [--limit N] [--format ...]
   bfly generate    --kind uniform|chunglu|standin --out FILE
@@ -272,6 +317,9 @@ USAGE:
   bfly components  <file> [--format ...]
   bfly core        <file> --k K --l L [--format ...]
   bfly convert     <file> --out FILE [--format ...]
+  bfly report show  RUN.json
+  bfly report diff  BASE.json NEW.json [--threshold PCT]
+  bfly report flame RUN.json -o FILE
   bfly help
 ";
 
@@ -295,6 +343,9 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
                 flags.push((name.to_string(), Some(v.clone())));
             }
+        } else if a == "-o" {
+            let v = it.next().ok_or_else(|| err("flag -o needs a value"))?;
+            flags.push(("out".to_string(), Some(v.clone())));
         } else {
             positional.push(a.clone());
         }
@@ -400,6 +451,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             threads: rest.parse_flag("threads", 0usize)?,
             stats: rest.has("stats"),
             report: rest.flag("report").map(str::to_string),
+            trace: rest.flag("trace").map(str::to_string),
         }),
         "tip" => Ok(Command::Tip {
             file: file()?,
@@ -415,6 +467,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             },
             stats: rest.has("stats"),
             report: rest.flag("report").map(str::to_string),
+            trace: rest.flag("trace").map(str::to_string),
         }),
         "wing" => Ok(Command::Wing {
             file: file()?,
@@ -426,6 +479,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| err("bad --k"))?,
             stats: rest.has("stats"),
             report: rest.flag("report").map(str::to_string),
+            trace: rest.flag("trace").map(str::to_string),
         }),
         "tip-numbers" => Ok(Command::TipNumbers {
             file: file()?,
@@ -504,6 +558,38 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| err("convert requires --out"))?
                 .to_string(),
         }),
+        "report" => {
+            let pos = |i: usize, what: &str| -> Result<String, CliError> {
+                rest.positional
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| err(format!("report {what}")))
+            };
+            let verb = pos(0, "requires a verb: show, diff, or flame")?;
+            let action = match verb.as_str() {
+                "show" => ReportAction::Show {
+                    file: pos(1, "show requires a report file")?,
+                },
+                "diff" => ReportAction::Diff {
+                    base: pos(1, "diff requires BASE.json and NEW.json")?,
+                    new: pos(2, "diff requires BASE.json and NEW.json")?,
+                    threshold: rest.parse_flag("threshold", 10.0f64)?,
+                },
+                "flame" => ReportAction::Flame {
+                    file: pos(1, "flame requires a report file")?,
+                    out: rest
+                        .flag("out")
+                        .ok_or_else(|| err("report flame requires -o/--out FILE"))?
+                        .to_string(),
+                },
+                other => {
+                    return Err(err(format!(
+                        "unknown report verb {other:?} (use show, diff, or flame)"
+                    )))
+                }
+            };
+            Ok(Command::Report { action })
+        }
         other => Err(err(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -546,6 +632,85 @@ fn sniff_format(path: &str) -> Result<Format, CliError> {
     }
 }
 
+/// The `--stats` / `--report` / `--trace` plumbing shared by every
+/// instrumented subcommand: decides once whether instrumentation is on,
+/// owns the [`InMemoryRecorder`], and emits all requested outputs from
+/// the single [`RunReport`] it builds at the end.
+struct Telem {
+    stats: bool,
+    report: Option<String>,
+    trace: Option<String>,
+    rec: InMemoryRecorder,
+}
+
+impl Telem {
+    fn new(stats: bool, report: Option<String>, trace: Option<String>) -> Self {
+        Self {
+            stats,
+            report,
+            trace,
+            rec: InMemoryRecorder::new(),
+        }
+    }
+
+    /// Whether any telemetry output was requested. When false, commands
+    /// should run against [`NoopRecorder`] (see [`with_recorder!`]).
+    fn enabled(&self) -> bool {
+        self.stats || self.report.is_some() || self.trace.is_some()
+    }
+
+    /// Build the report and write every requested output: the `--stats`
+    /// table to `out`, the `--report` JSON file, and the `--trace`
+    /// Chrome Trace file. No-op when telemetry is off.
+    fn emit(
+        mut self,
+        meta: Vec<(String, Json)>,
+        out: &mut impl std::io::Write,
+    ) -> Result<(), CliError> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let rep = self.rec.report(meta);
+        if self.stats {
+            writeln!(out, "{}", rep.render_table())
+                .map_err(|e| err(format!("write error: {e}")))?;
+        }
+        if let Some(p) = &self.report {
+            std::fs::write(p, rep.to_json_string())
+                .map_err(|e| err(format!("write report {p}: {e}")))?;
+        }
+        if let Some(p) = &self.trace {
+            std::fs::write(p, rep.to_chrome_trace_string())
+                .map_err(|e| err(format!("write trace {p}: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Run `$body` with `$rec` bound to the [`Telem`]'s live recorder when
+/// telemetry is on, or to [`NoopRecorder`] when it is off. A macro rather
+/// than a function because closures cannot be generic over the recorder
+/// type: the two expansions monomorphize separately, so the off path
+/// keeps the zero-overhead no-op code.
+macro_rules! with_recorder {
+    ($telem:expr, |$rec:ident| $body:expr) => {
+        if $telem.enabled() {
+            let $rec = &mut $telem.rec;
+            $body
+        } else {
+            let $rec = &mut NoopRecorder;
+            $body
+        }
+    };
+}
+
+/// Read and parse a saved [`RunReport`] from `path`.
+fn load_report(path: &str) -> Result<RunReport, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    RunReport::parse(&text).map_err(|e| err(format!("{path}: {e}")))
+}
+
 /// Execute a command, writing human-readable output to `out`.
 pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let w = |out: &mut dyn std::io::Write, s: String| -> Result<(), CliError> {
@@ -580,59 +745,30 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             threads,
             stats,
             report,
+            trace,
         } => {
             let g = load_graph(&file, format)?;
-            let instrumented = stats || report.is_some();
-            let mut rec = InMemoryRecorder::new();
-            let run = |rec: &mut InMemoryRecorder| -> Result<(u64, String), CliError> {
-                if threads > 0 {
-                    let pool = rayon::ThreadPoolBuilder::new()
-                        .num_threads(threads)
-                        .build()
-                        .map_err(|e| err(format!("thread pool: {e}")))?;
-                    Ok(pool.install(|| run_count(&g, algorithm, parallel, rec)))
-                } else {
-                    Ok(run_count(&g, algorithm, parallel, rec))
-                }
-            };
-            let (xi, label) = if instrumented {
-                run(&mut rec)?
+            let mut telem = Telem::new(stats, report, trace);
+            let (xi, label) = with_recorder!(telem, |rec| if threads > 0 {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .map_err(|e| err(format!("thread pool: {e}")))?;
+                pool.install(|| run_count(&g, algorithm, parallel, rec))
             } else {
-                // Same code path monomorphized with the no-op recorder.
-                if threads > 0 {
-                    let pool = rayon::ThreadPoolBuilder::new()
-                        .num_threads(threads)
-                        .build()
-                        .map_err(|e| err(format!("thread pool: {e}")))?;
-                    pool.install(|| {
-                        run_count(
-                            &g,
-                            algorithm,
-                            parallel,
-                            &mut bfly_core::telemetry::NoopRecorder,
-                        )
-                    })
-                } else {
-                    run_count(
-                        &g,
-                        algorithm,
-                        parallel,
-                        &mut bfly_core::telemetry::NoopRecorder,
-                    )
-                }
-            };
+                run_count(&g, algorithm, parallel, rec)
+            });
             w(out, format!("butterflies = {xi}  [{label}]"))?;
-            if instrumented {
-                let rep = rec.report(vec![
+            telem.emit(
+                vec![
                     ("command".to_string(), Json::Str("count".to_string())),
                     ("dataset".to_string(), Json::Str(file.clone())),
                     ("algorithm".to_string(), Json::Str(label)),
                     ("threads".to_string(), Json::UInt(threads as u64)),
                     ("butterflies".to_string(), Json::UInt(xi)),
-                ]);
-                emit_report(&rep, stats, report.as_deref(), out)?;
-            }
-            Ok(())
+                ],
+                out,
+            )
         }
         Command::Tip {
             file,
@@ -641,15 +777,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             side,
             stats,
             report,
+            trace,
         } => {
             let g = load_graph(&file, format)?;
-            let instrumented = stats || report.is_some();
-            let mut rec = InMemoryRecorder::new();
-            let r = if instrumented {
-                timed_phase(&mut rec, "k_tip", |rec| k_tip_recorded(&g, side, k, rec))
-            } else {
-                k_tip(&g, side, k)
-            };
+            let mut telem = Telem::new(stats, report, trace);
+            let r = with_recorder!(telem, |rec| timed_phase(rec, "k_tip", |rec| {
+                k_tip_recorded(&g, side, k, rec)
+            }));
             let survivors = r.keep.iter().filter(|&&b| b).count();
             w(
                 out,
@@ -660,8 +794,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                     r.subgraph.nedges()
                 ),
             )?;
-            if instrumented {
-                let rep = rec.report(vec![
+            telem.emit(
+                vec![
                     ("command".to_string(), Json::Str("tip".to_string())),
                     ("dataset".to_string(), Json::Str(file.clone())),
                     ("k".to_string(), Json::UInt(k)),
@@ -672,10 +806,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                         "edges_remaining".to_string(),
                         Json::UInt(r.subgraph.nedges() as u64),
                     ),
-                ]);
-                emit_report(&rep, stats, report.as_deref(), out)?;
-            }
-            Ok(())
+                ],
+                out,
+            )
         }
         Command::Wing {
             file,
@@ -683,15 +816,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             k,
             stats,
             report,
+            trace,
         } => {
             let g = load_graph(&file, format)?;
-            let instrumented = stats || report.is_some();
-            let mut rec = InMemoryRecorder::new();
-            let r = if instrumented {
-                timed_phase(&mut rec, "k_wing", |rec| k_wing_recorded(&g, k, rec))
-            } else {
-                k_wing(&g, k)
-            };
+            let mut telem = Telem::new(stats, report, trace);
+            let r = with_recorder!(telem, |rec| timed_phase(rec, "k_wing", |rec| {
+                k_wing_recorded(&g, k, rec)
+            }));
             w(
                 out,
                 format!(
@@ -701,8 +832,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                     r.rounds
                 ),
             )?;
-            if instrumented {
-                let rep = rec.report(vec![
+            telem.emit(
+                vec![
                     ("command".to_string(), Json::Str("wing".to_string())),
                     ("dataset".to_string(), Json::Str(file.clone())),
                     ("k".to_string(), Json::UInt(k)),
@@ -711,10 +842,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                         "edges_remaining".to_string(),
                         Json::UInt(r.subgraph.nedges() as u64),
                     ),
-                ]);
-                emit_report(&rep, stats, report.as_deref(), out)?;
-            }
-            Ok(())
+                ],
+                out,
+            )
         }
         Command::TipNumbers {
             file,
@@ -839,6 +969,36 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             std::fs::write(&path, buf).map_err(|e| err(format!("write {path}: {e}")))?;
             w(out, format!("wrote {} edges to {path}", g.nedges()))
         }
+        Command::Report { action } => match action {
+            ReportAction::Show { file } => {
+                let rep = load_report(&file)?;
+                w(out, rep.render_table())
+            }
+            ReportAction::Diff {
+                base,
+                new,
+                threshold,
+            } => {
+                let b = load_report(&base)?;
+                let n = load_report(&new)?;
+                let d = diff_reports(&b, &n, threshold);
+                w(out, d.render_table())?;
+                if d.passed() {
+                    Ok(())
+                } else {
+                    Err(err(format!(
+                        "report diff: {} counter(s) drifted past the {threshold}% threshold",
+                        d.failures().len()
+                    )))
+                }
+            }
+            ReportAction::Flame { file, out: path } => {
+                let rep = load_report(&file)?;
+                std::fs::write(&path, rep.to_flame_html())
+                    .map_err(|e| err(format!("write flame {path}: {e}")))?;
+                w(out, format!("wrote flame view to {path}"))
+            }
+        },
         Command::Generate { kind, out: path } => {
             use bfly_graph::generators::{chung_lu, uniform_exact};
             use rand::rngs::StdRng;
@@ -936,23 +1096,6 @@ fn run_count<R: Recorder>(
     }
 }
 
-/// Print the `--stats` table and/or write the `--report` JSON file.
-fn emit_report(
-    rep: &RunReport,
-    stats: bool,
-    path: Option<&str>,
-    out: &mut impl std::io::Write,
-) -> Result<(), CliError> {
-    if stats {
-        writeln!(out, "{}", rep.render_table()).map_err(|e| err(format!("write error: {e}")))?;
-    }
-    if let Some(p) = path {
-        std::fs::write(p, rep.to_json_string())
-            .map_err(|e| err(format!("write report {p}: {e}")))?;
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -983,6 +1126,7 @@ mod tests {
                 threads: 4,
                 stats: false,
                 report: None,
+                trace: None,
             }
         );
     }
@@ -1036,6 +1180,7 @@ mod tests {
                 side: Side::V2,
                 stats: false,
                 report: None,
+                trace: None,
             }
         );
         assert!(parse(&sv(&["tip", "g.tsv"])).is_err()); // missing --k
@@ -1375,6 +1520,260 @@ mod tests {
             .meta
             .iter()
             .any(|(n, v)| n == "command" && v.as_str() == Some("wing")));
+    }
+
+    #[test]
+    fn parses_trace_flag_and_report_verbs() {
+        let cmd = parse(&sv(&["count", "g.tsv", "--trace", "t.json"])).unwrap();
+        match cmd {
+            Command::Count { trace, .. } => assert_eq!(trace.as_deref(), Some("t.json")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&sv(&["report", "show", "run.json"])).unwrap(),
+            Command::Report {
+                action: ReportAction::Show {
+                    file: "run.json".into()
+                }
+            }
+        );
+        let cmd = parse(&sv(&[
+            "report",
+            "diff",
+            "base.json",
+            "new.json",
+            "--threshold",
+            "5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Report {
+                action:
+                    ReportAction::Diff {
+                        base,
+                        new,
+                        threshold,
+                    },
+            } => {
+                assert_eq!(base, "base.json");
+                assert_eq!(new, "new.json");
+                assert!((threshold - 5.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default threshold is 10%, and -o is an alias for --out.
+        match parse(&sv(&["report", "diff", "a.json", "b.json"])).unwrap() {
+            Command::Report {
+                action: ReportAction::Diff { threshold, .. },
+            } => assert!((threshold - 10.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&sv(&["report", "flame", "run.json", "-o", "f.html"])).unwrap(),
+            Command::Report {
+                action: ReportAction::Flame {
+                    file: "run.json".into(),
+                    out: "f.html".into()
+                }
+            }
+        );
+        assert!(parse(&sv(&["report"])).is_err()); // missing verb
+        assert!(parse(&sv(&["report", "show"])).is_err()); // missing file
+        assert!(parse(&sv(&["report", "diff", "a.json"])).is_err()); // one file
+        assert!(parse(&sv(&["report", "flame", "run.json"])).is_err()); // no -o
+        assert!(parse(&sv(&["report", "frob", "x"])).is_err()); // bad verb
+    }
+
+    #[test]
+    fn trace_export_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "60",
+                "--n",
+                "60",
+                "--edges",
+                "600",
+                "--seed",
+                "13",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Parallel count with a pinned pool: the trace must carry one
+        // track per worker thread (tids 1..) plus valid JSON structure.
+        let tpath = dir.join("trace.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--parallel",
+                "--threads",
+                "2",
+                "--trace",
+                tpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&tpath).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        let mut worker_tids = std::collections::BTreeSet::new();
+        for ev in events {
+            if ev.get("ph").and_then(|p| p.as_str()) == Some("X") {
+                let tid = ev.get("tid").and_then(|t| t.as_u64()).unwrap();
+                if tid > 0 {
+                    worker_tids.insert(tid);
+                }
+            }
+        }
+        assert!(
+            worker_tids.len() >= 2,
+            "expected >= 2 worker tracks, got {worker_tids:?}"
+        );
+
+        // --trace alone (no --stats/--report) still instruments.
+        let t2 = dir.join("trace-seq.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--trace",
+                t2.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        assert!(std::fs::read_to_string(&t2)
+            .unwrap()
+            .contains("count_partitioned"));
+    }
+
+    #[test]
+    fn report_show_diff_flame_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-report-verbs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "30",
+                "--n",
+                "30",
+                "--edges",
+                "250",
+                "--seed",
+                "17",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let rpath = dir.join("run.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--report",
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // show pretty-prints the counter table.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["report", "show", rpath.to_str().unwrap()])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("wedges_expanded"));
+
+        // diff of a report against itself passes and says so.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "report",
+                "diff",
+                rpath.to_str().unwrap(),
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("diff: ok"));
+
+        // Inflate a counter past the threshold: diff must fail.
+        let mut rep = load_report(rpath.to_str().unwrap()).unwrap();
+        for (_, v) in rep.counters.iter_mut() {
+            *v *= 2;
+        }
+        let bad = dir.join("inflated.json");
+        std::fs::write(&bad, rep.to_json_string()).unwrap();
+        let res = run(
+            parse(&sv(&[
+                "report",
+                "diff",
+                rpath.to_str().unwrap(),
+                bad.to_str().unwrap(),
+                "--threshold",
+                "5",
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        );
+        assert!(res.is_err(), "inflated counters must fail the diff");
+
+        // flame writes a self-contained HTML file.
+        let fpath = dir.join("flame.html");
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "report",
+                "flame",
+                rpath.to_str().unwrap(),
+                "-o",
+                fpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let html = std::fs::read_to_string(&fpath).unwrap();
+        assert!(html.contains("<!doctype html>") || html.contains("<html"));
+
+        // A corrupt report is a clean CliError, not a panic.
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, "{not json").unwrap();
+        assert!(run(
+            parse(&sv(&["report", "show", junk.to_str().unwrap()])).unwrap(),
+            &mut Vec::new(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -157,3 +157,151 @@ fn stats_on_matrix_market_input() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("butterflies = 1"), "{text}");
 }
+
+#[test]
+fn report_diff_exit_codes() {
+    let dir = tempdir();
+    let gpath = dir.join("diff.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "80", "--n", "80", "--edges", "400", "--seed",
+            "19", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+
+    // Two identical deterministic sequential runs -> diff exits 0.
+    let base = dir.join("base.json");
+    let new = dir.join("new.json");
+    for p in [&base, &new] {
+        let out = bfly()
+            .args([
+                "count",
+                gpath_s,
+                "--algorithm",
+                "inv2",
+                "--report",
+                p.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = bfly()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--threshold",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "identical runs must diff clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("diff: ok"));
+
+    // Inflate every counter past the threshold -> nonzero exit.
+    let mut rep =
+        bfly_core::telemetry::RunReport::parse(&std::fs::read_to_string(&base).unwrap()).unwrap();
+    for (_, v) in rep.counters.iter_mut() {
+        *v = *v * 2 + 1;
+    }
+    let other = dir.join("inflated.json");
+    std::fs::write(&other, rep.to_json_string()).unwrap();
+    let out = bfly()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            other.to_str().unwrap(),
+            "--threshold",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "drifted counters must exit nonzero: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("threshold"));
+}
+
+#[test]
+fn trace_flag_writes_chrome_trace_with_worker_tracks() {
+    let dir = tempdir();
+    let gpath = dir.join("trace.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "120", "--n", "120", "--edges", "900",
+            "--seed", "23", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let tpath = dir.join("trace.json");
+    let out = bfly()
+        .args([
+            "count",
+            gpath_s,
+            "--parallel",
+            "--threads",
+            "2",
+            "--trace",
+            tpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&tpath).unwrap();
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    // One metadata track per worker thread beyond the main track.
+    assert!(text.contains("worker-1"), "missing worker-1 track: {text}");
+    assert!(text.contains("worker-2"), "missing worker-2 track: {text}");
+}
+
+#[test]
+fn report_show_and_flame_roundtrip() {
+    let dir = tempdir();
+    let gpath = dir.join("show.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "50", "--n", "50", "--edges", "300", "--seed",
+            "29", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let rpath = dir.join("run.json");
+    bfly()
+        .args(["count", gpath_s, "--report", rpath.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    let out = bfly()
+        .args(["report", "show", rpath.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wedges_expanded"));
+
+    let fpath = dir.join("flame.html");
+    let out = bfly()
+        .args([
+            "report",
+            "flame",
+            rpath.to_str().unwrap(),
+            "-o",
+            fpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(&fpath).unwrap().contains("<html"));
+}

@@ -31,7 +31,9 @@ pub fn count_blocked(g: &BipartiteGraph, side: Side, block_size: usize) -> u64 {
 /// engine counters, and the per-block split of wedge work between the
 /// cross term (block × processed prefix) and the interior term (within
 /// the block) as the `block_cross_wedges` / `block_interior_wedges`
-/// series.
+/// series. Each block's two phases also record as `block_cross` /
+/// `block_interior` spans carrying their wedge-work deltas, so the
+/// locality trade of the blocked loop is visible on the timeline.
 pub fn count_blocked_recorded<R: Recorder>(
     g: &BipartiteGraph,
     side: Side,
@@ -53,6 +55,9 @@ pub fn count_blocked_recorded<R: Recorder>(
         // point in the processed prefix and one in the exposed block.
         let start32 = start as u32;
         let mut cross_wedges = 0u64;
+        if R::ENABLED {
+            rec.span_enter("block_cross");
+        }
         for k in start..end {
             for &j in part_adj.row(k) {
                 let row = other_adj.row(j as usize);
@@ -74,6 +79,12 @@ pub fn count_blocked_recorded<R: Recorder>(
             }
             spa.clear();
             total += acc;
+        }
+        if R::ENABLED {
+            rec.incr(Counter::WedgesExpanded, cross_wedges);
+            rec.incr(Counter::SpaScatters, cross_wedges);
+            rec.span_exit("block_cross");
+            rec.span_enter("block_interior");
         }
         // Phase 2 — interior term Ξ(A₁): butterflies with both wedge
         // points inside the block (the unblocked update replayed on the
@@ -103,9 +114,10 @@ pub fn count_blocked_recorded<R: Recorder>(
             total += acc;
         }
         if R::ENABLED {
+            rec.incr(Counter::WedgesExpanded, interior_wedges);
+            rec.incr(Counter::SpaScatters, interior_wedges);
+            rec.span_exit("block_interior");
             rec.incr(Counter::BlocksProcessed, 1);
-            rec.incr(Counter::WedgesExpanded, cross_wedges + interior_wedges);
-            rec.incr(Counter::SpaScatters, cross_wedges + interior_wedges);
             rec.series_push("block_cross_wedges", cross_wedges as f64);
             rec.series_push("block_interior_wedges", interior_wedges as f64);
         }

@@ -92,6 +92,7 @@ pub(crate) fn update_for_vertex_recorded<R: Recorder>(
         rec.incr(Counter::WedgesExpanded, wedges);
         rec.incr(Counter::SpaScatters, wedges);
         rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
+        rec.hist_record("vertex_wedges", wedges);
     }
     let mut acc = 0u64;
     for (_, cnt) in spa.entries() {
@@ -116,7 +117,9 @@ pub fn count_partitioned(
     count_partitioned_recorded(part_adj, other_adj, traversal, filter, &mut NoopRecorder)
 }
 
-/// [`count_partitioned`] reporting work counters through `rec`.
+/// [`count_partitioned`] reporting work counters (and a
+/// `count_partitioned` span with a `vertex_wedges` histogram) through
+/// `rec`.
 pub fn count_partitioned_recorded<R: Recorder>(
     part_adj: &Pattern,
     other_adj: &Pattern,
@@ -128,20 +131,24 @@ pub fn count_partitioned_recorded<R: Recorder>(
     debug_assert_eq!(part_adj.ncols(), other_adj.nrows());
     let nverts = part_adj.nrows();
     let mut spa = Spa::<u64>::new(nverts);
-    let mut total = 0u64;
-    match traversal {
-        Traversal::Forward => {
-            for k in 0..nverts {
-                total += update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
+    bfly_telemetry::timed_span(rec, "count_partitioned", |rec| {
+        let mut total = 0u64;
+        match traversal {
+            Traversal::Forward => {
+                for k in 0..nverts {
+                    total +=
+                        update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
+                }
+            }
+            Traversal::Backward => {
+                for k in (0..nverts).rev() {
+                    total +=
+                        update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
+                }
             }
         }
-        Traversal::Backward => {
-            for k in (0..nverts).rev() {
-                total += update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, rec);
-            }
-        }
-    }
-    total
+        total
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use super::engine::{update_for_vertex, update_for_vertex_recorded, PartFilter, T
 use super::Invariant;
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{Pattern, Spa};
-use bfly_telemetry::{Counter, NoopRecorder, Recorder, WorkTally};
+use bfly_telemetry::{Counter, NoopRecorder, Recorder, ThreadTrace};
 use rayon::prelude::*;
 
 /// Parallel counterpart of [`crate::family::count_partitioned`].
@@ -43,10 +43,14 @@ pub fn count_partitioned_parallel(
 /// Instrumented [`count_partitioned_parallel`]. When the recorder is
 /// disabled this is exactly the uninstrumented dynamic-scheduling path;
 /// when enabled, the partitioned vertices are processed as one explicit
-/// chunk per worker, each chunk carrying a private [`WorkTally`] that is
-/// merged after the join. Per-chunk wedge work is recorded as the
-/// `par_chunk_wedges` series and summarised by the `par_imbalance` gauge
-/// (max over mean chunk wedges; 1.0 = perfectly balanced).
+/// chunk per worker, each worker recording its own event stream into a
+/// private [`ThreadTrace`] — a `chunk` span (with counter deltas) per
+/// worker plus the shared `vertex_wedges` histogram from the engine —
+/// merged after the join onto per-worker tracks, so chunk imbalance is
+/// visible span-by-span, not just as a gauge. Per-chunk wedge work is
+/// additionally recorded as the `par_chunk_wedges` series, per-chunk
+/// latency as the `chunk_us` histogram, and the `par_imbalance` gauge
+/// summarises (max over mean chunk wedges; 1.0 = perfectly balanced).
 pub fn count_partitioned_parallel_recorded<R: Recorder>(
     part_adj: &Pattern,
     other_adj: &Pattern,
@@ -65,34 +69,40 @@ pub fn count_partitioned_parallel_recorded<R: Recorder>(
     let nthreads = rayon::current_num_threads().max(1);
     let chunk_len = order.len().div_ceil(nthreads).max(1);
     let chunks: Vec<Vec<usize>> = order.chunks(chunk_len).map(|c| c.to_vec()).collect();
-    let per_chunk: Vec<(u64, WorkTally)> = chunks
+    let per_chunk: Vec<(u64, ThreadTrace)> = chunks
         .into_par_iter()
         .map(|chunk| {
             let mut spa = Spa::<u64>::new(nverts);
-            let mut tally = WorkTally::new();
+            let mut trace = ThreadTrace::new();
+            let t0 = std::time::Instant::now();
+            trace.span_enter("chunk");
             let mut sum = 0u64;
             for k in chunk {
                 sum += update_for_vertex_recorded(
-                    part_adj, other_adj, filter, k, &mut spa, &mut tally,
+                    part_adj, other_adj, filter, k, &mut spa, &mut trace,
                 );
             }
-            (sum, tally)
+            trace.span_exit("chunk");
+            trace.hist_record("chunk_us", t0.elapsed().as_micros() as u64);
+            (sum, trace)
         })
         .collect();
     rec.incr(Counter::ParChunks, per_chunk.len() as u64);
+    let nchunks = per_chunk.len();
     let mut total = 0u64;
     let mut max_wedges = 0u64;
     let mut sum_wedges = 0u64;
-    for (sub, tally) in &per_chunk {
+    for (i, (sub, trace)) in per_chunk.into_iter().enumerate() {
         total += sub;
-        rec.merge(tally);
-        let w = tally.get(Counter::WedgesExpanded);
+        let w = trace.tally().get(Counter::WedgesExpanded);
         rec.series_push("par_chunk_wedges", w as f64);
         max_wedges = max_wedges.max(w);
         sum_wedges += w;
+        // Track 0 is the caller's own span stream; workers start at 1.
+        rec.merge_thread(i as u32 + 1, trace);
     }
-    if !per_chunk.is_empty() && sum_wedges > 0 {
-        let mean = sum_wedges as f64 / per_chunk.len() as f64;
+    if nchunks > 0 && sum_wedges > 0 {
+        let mean = sum_wedges as f64 / nchunks as f64;
         rec.gauge("par_imbalance", max_wedges as f64 / mean);
     }
     total

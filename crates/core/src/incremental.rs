@@ -101,6 +101,7 @@ impl IncrementalCounter {
         if R::ENABLED {
             wedge_work += self.adj_v2[v as usize].len() as u64;
             rec.incr(Counter::IncWedgeWork, wedge_work);
+            rec.hist_record("inc_wedge_work", wedge_work);
         }
         for &w in &self.adj_v2[v as usize] {
             if w != u {
@@ -126,6 +127,9 @@ impl IncrementalCounter {
             Ok(_) => return 0,
             Err(p) => p,
         };
+        if R::ENABLED {
+            rec.span_enter("inc_insert");
+        }
         let delta = self.support_with_edge(u, v, rec);
         if R::ENABLED {
             rec.incr(Counter::IncInserts, 1);
@@ -136,6 +140,9 @@ impl IncrementalCounter {
         col.insert(cpos, u);
         self.count += delta;
         self.nedges += 1;
+        if R::ENABLED {
+            rec.span_exit("inc_insert");
+        }
         delta
     }
 
@@ -153,6 +160,9 @@ impl IncrementalCounter {
             Ok(p) => p,
             Err(_) => return 0,
         };
+        if R::ENABLED {
+            rec.span_enter("inc_delete");
+        }
         row.remove(pos);
         let col = &mut self.adj_v2[v as usize];
         let cpos = col.binary_search(&u).unwrap();
@@ -164,6 +174,9 @@ impl IncrementalCounter {
         }
         self.count -= delta;
         self.nedges -= 1;
+        if R::ENABLED {
+            rec.span_exit("inc_delete");
+        }
         delta
     }
 

@@ -55,8 +55,9 @@ fn finish(g: &BipartiteGraph, side: Side, keep: Vec<bool>, rounds: usize) -> Tip
 ///
 /// Recorded per round: the round itself, the edges scored
 /// ([`Counter::RecomputeEdges`] — the recomputation volume of the
-/// score-from-scratch scheme), vertices and edges removed, and the
-/// `tip_removed_per_round` series.
+/// score-from-scratch scheme), vertices and edges removed, the
+/// `tip_removed_per_round` series, and a `tip_round` span per round so
+/// the shrinking cost of successive rounds shows on the timeline.
 fn peel_to_fixed_point<R, F>(
     g: &BipartiteGraph,
     side: Side,
@@ -74,6 +75,7 @@ where
     loop {
         rounds += 1;
         if R::ENABLED {
+            rec.span_enter("tip_round");
             rec.incr(Counter::PeelRounds, 1);
             rec.incr(Counter::RecomputeEdges, current.nedges() as u64);
         }
@@ -90,6 +92,9 @@ where
             rec.series_push("tip_removed_per_round", removed as f64);
         }
         if removed == 0 {
+            if R::ENABLED {
+                rec.span_exit("tip_round");
+            }
             break;
         }
         let edges_before = current.nedges();
@@ -102,6 +107,7 @@ where
                 Counter::PeeledEdges,
                 (edges_before - current.nedges()) as u64,
             );
+            rec.span_exit("tip_round");
         }
     }
     finish(g, side, keep, rounds)

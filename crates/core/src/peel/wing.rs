@@ -44,6 +44,7 @@ where
     loop {
         rounds += 1;
         if R::ENABLED {
+            rec.span_enter("wing_round");
             rec.incr(Counter::PeelRounds, 1);
             // Every surviving edge is re-scored from scratch this round.
             rec.incr(Counter::RecomputeEdges, current.nedges() as u64);
@@ -69,6 +70,9 @@ where
             rec.series_push("wing_removed_per_round", removed as f64);
         }
         if removed == 0 {
+            if R::ENABLED {
+                rec.span_exit("wing_round");
+            }
             break;
         }
         let kept_edges: Vec<(u32, u32)> = original_edges
@@ -79,6 +83,9 @@ where
             .collect();
         current = BipartiteGraph::from_edges(g.nv1(), g.nv2(), &kept_edges)
             .expect("kept edges are in range");
+        if R::ENABLED {
+            rec.span_exit("wing_round");
+        }
     }
     WingResult {
         keep,

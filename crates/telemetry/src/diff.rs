@@ -1,0 +1,348 @@
+//! Report comparison for the perf regression gate.
+//!
+//! [`diff_reports`] lines up two [`RunReport`]s and produces a row per
+//! comparable quantity. Only **counters** gate (exceed the threshold →
+//! failure): they are deterministic for a fixed graph and algorithm, so
+//! the CI gate is immune to machine noise. Wall-clock rows — phase and
+//! span totals, histogram quantiles, gauges — are reported for humans
+//! but never fail the gate.
+
+use crate::report::RunReport;
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Quantity class: `"counter"`, `"gauge"`, `"phase"`, `"span"`, or
+    /// `"hist"`.
+    pub kind: &'static str,
+    /// Quantity name (histograms carry a `/p50` style suffix).
+    pub name: String,
+    /// Value in the base report (0 when absent).
+    pub base: f64,
+    /// Value in the new report (0 when absent).
+    pub new: f64,
+    /// Relative change in percent; `INFINITY` when appearing from zero.
+    pub delta_pct: f64,
+    /// Whether this row participates in the pass/fail decision.
+    pub gated: bool,
+}
+
+impl DiffRow {
+    /// Does this row alone exceed `threshold_pct`?
+    pub fn exceeds(&self, threshold_pct: f64) -> bool {
+        self.delta_pct.abs() > threshold_pct
+    }
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone)]
+pub struct ReportDiff {
+    /// All compared rows, gated (counters) first.
+    pub rows: Vec<DiffRow>,
+    /// Threshold the gate was evaluated against, percent.
+    pub threshold_pct: f64,
+}
+
+impl ReportDiff {
+    /// Gated rows whose change exceeds the threshold.
+    pub fn failures(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.gated && r.exceeds(self.threshold_pct))
+            .collect()
+    }
+
+    /// True when no gated row exceeds the threshold.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Human table of all rows with changes, plus the verdict line.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<28} {:>16} {:>16} {:>10}  gate",
+            "kind", "name", "base", "new", "delta"
+        );
+        for r in &self.rows {
+            if r.base == r.new {
+                continue; // unchanged rows stay out of the way
+            }
+            let delta = if r.delta_pct.is_infinite() {
+                "new".to_string()
+            } else {
+                format!("{:+.2}%", r.delta_pct)
+            };
+            let gate = if !r.gated {
+                "info"
+            } else if r.exceeds(self.threshold_pct) {
+                "FAIL"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:<28} {:>16} {:>16} {:>10}  {}",
+                r.kind,
+                r.name,
+                trim_num(r.base),
+                trim_num(r.new),
+                delta,
+                gate
+            );
+        }
+        let fails = self.failures();
+        if fails.is_empty() {
+            let _ = writeln!(
+                out,
+                "diff: ok ({} rows compared, threshold {}%)",
+                self.rows.len(),
+                self.threshold_pct
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "diff: {} counter(s) past the {}% threshold",
+                fails.len(),
+                self.threshold_pct
+            );
+        }
+        out
+    }
+}
+
+/// Integers print without a fraction; everything else gets 4 digits.
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Relative change in percent. Equal values (including 0 → 0) are 0;
+/// appearing from zero is `INFINITY` (always past any threshold).
+fn delta_pct(base: f64, new: f64) -> f64 {
+    if base == new {
+        0.0
+    } else if base == 0.0 {
+        f64::INFINITY
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Union of names from two keyed row sets, base order first.
+fn name_union<'a>(
+    base: impl Iterator<Item = &'a str>,
+    new: impl Iterator<Item = &'a str>,
+) -> Vec<String> {
+    let mut names: Vec<String> = base.map(str::to_string).collect();
+    for n in new {
+        if !names.iter().any(|b| b == n) {
+            names.push(n.to_string());
+        }
+    }
+    names
+}
+
+/// Compare two reports. Counters gate at `threshold_pct`; phases, span
+/// totals, histogram quantiles, and gauges are informational.
+pub fn diff_reports(base: &RunReport, new: &RunReport, threshold_pct: f64) -> ReportDiff {
+    let mut rows = Vec::new();
+
+    let counter = |r: &RunReport, n: &str| r.counter(n).unwrap_or(0) as f64;
+    for name in name_union(
+        base.counters.iter().map(|(n, _)| n.as_str()),
+        new.counters.iter().map(|(n, _)| n.as_str()),
+    ) {
+        let (b, v) = (counter(base, &name), counter(new, &name));
+        rows.push(DiffRow {
+            kind: "counter",
+            name,
+            base: b,
+            new: v,
+            delta_pct: delta_pct(b, v),
+            gated: true,
+        });
+    }
+
+    let gauge = |r: &RunReport, n: &str| {
+        r.gauges
+            .iter()
+            .find(|(gn, _)| gn == n)
+            .map_or(0.0, |&(_, v)| v)
+    };
+    for name in name_union(
+        base.gauges.iter().map(|(n, _)| n.as_str()),
+        new.gauges.iter().map(|(n, _)| n.as_str()),
+    ) {
+        let (b, v) = (gauge(base, &name), gauge(new, &name));
+        rows.push(DiffRow {
+            kind: "gauge",
+            name,
+            base: b,
+            new: v,
+            delta_pct: delta_pct(b, v),
+            gated: false,
+        });
+    }
+
+    let phase = |r: &RunReport, n: &str| {
+        r.phases
+            .iter()
+            .find(|p| p.name == n)
+            .map_or(0.0, |p| p.seconds)
+    };
+    for name in name_union(
+        base.phases.iter().map(|p| p.name.as_str()),
+        new.phases.iter().map(|p| p.name.as_str()),
+    ) {
+        let (b, v) = (phase(base, &name), phase(new, &name));
+        rows.push(DiffRow {
+            kind: "phase",
+            name,
+            base: b,
+            new: v,
+            delta_pct: delta_pct(b, v),
+            gated: false,
+        });
+    }
+
+    let (base_spans, new_spans) = (base.span_totals(), new.span_totals());
+    let span_total = |rows: &[(String, f64, u64)], n: &str| {
+        rows.iter().find(|(sn, _, _)| sn == n).map_or(0.0, |r| r.1)
+    };
+    for name in name_union(
+        base_spans.iter().map(|(n, _, _)| n.as_str()),
+        new_spans.iter().map(|(n, _, _)| n.as_str()),
+    ) {
+        let (b, v) = (
+            span_total(&base_spans, &name),
+            span_total(&new_spans, &name),
+        );
+        rows.push(DiffRow {
+            kind: "span",
+            name,
+            base: b,
+            new: v,
+            delta_pct: delta_pct(b, v),
+            gated: false,
+        });
+    }
+
+    for name in name_union(
+        base.histograms.iter().map(|(n, _)| n.as_str()),
+        new.histograms.iter().map(|(n, _)| n.as_str()),
+    ) {
+        for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            let quant = |r: &RunReport| r.histogram(&name).map_or(0.0, |h| h.quantile(q));
+            let (b, v) = (quant(base), quant(new));
+            rows.push(DiffRow {
+                kind: "hist",
+                name: format!("{name}/{suffix}"),
+                base: b,
+                new: v,
+                delta_pct: delta_pct(b, v),
+                gated: false,
+            });
+        }
+    }
+
+    ReportDiff {
+        rows,
+        threshold_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::json::Json;
+    use crate::report::PhaseRow;
+
+    fn base_report() -> RunReport {
+        let mut h = Histogram::new();
+        h.record(100);
+        RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            meta: vec![("dataset".into(), Json::Str("g".into()))],
+            counters: vec![("wedges_expanded".into(), 1000), ("spa_scatters".into(), 0)],
+            gauges: vec![("par_imbalance".into(), 1.0)],
+            phases: vec![PhaseRow {
+                name: "count".into(),
+                seconds: 0.5,
+                count: 1,
+            }],
+            series: vec![],
+            spans: vec![],
+            histograms: vec![("vertex_wedges".into(), h)],
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rep = base_report();
+        let d = diff_reports(&rep, &rep, 10.0);
+        assert!(d.passed());
+        assert!(d.failures().is_empty());
+        assert!(d.render_table().contains("diff: ok"));
+    }
+
+    #[test]
+    fn inflated_counter_fails_the_gate() {
+        let base = base_report();
+        let mut new = base_report();
+        new.counters[0].1 = 1200; // +20% past a 10% threshold
+        let d = diff_reports(&base, &new, 10.0);
+        assert!(!d.passed());
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].name, "wedges_expanded");
+        assert!((fails[0].delta_pct - 20.0).abs() < 1e-9);
+        assert!(d.render_table().contains("FAIL"));
+    }
+
+    #[test]
+    fn within_threshold_counter_passes() {
+        let base = base_report();
+        let mut new = base_report();
+        new.counters[0].1 = 1050; // +5% under a 10% threshold
+        assert!(diff_reports(&base, &new, 10.0).passed());
+    }
+
+    #[test]
+    fn counter_appearing_from_zero_always_gates() {
+        let base = base_report();
+        let mut new = base_report();
+        new.counters[1].1 = 3; // spa_scatters: 0 → 3
+        let d = diff_reports(&base, &new, 1e9);
+        assert!(!d.passed());
+        assert!(d.render_table().contains("new"));
+    }
+
+    #[test]
+    fn timing_rows_never_gate() {
+        let base = base_report();
+        let mut new = base_report();
+        new.phases[0].seconds = 50.0; // 100x slower wall clock
+        new.gauges[0].1 = 99.0;
+        let d = diff_reports(&base, &new, 10.0);
+        assert!(d.passed(), "wall-clock rows must not gate");
+        // ... but they do show up in the table.
+        assert!(d.render_table().contains("phase"));
+    }
+
+    #[test]
+    fn names_only_in_new_report_are_compared() {
+        let base = base_report();
+        let mut new = base_report();
+        new.counters.push(("par_chunks".into(), 8));
+        let d = diff_reports(&base, &new, 10.0);
+        assert!(d.rows.iter().any(|r| r.name == "par_chunks"));
+        assert!(!d.passed());
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal JSON document model with emitter and parser.
+//!
+//! Hand-rolled because the build environment has no serde; the emitter and
+//! the recursive-descent parser round-trip every report (property-tested in
+//! `crates/telemetry/tests`). Numbers keep their u64/i64/f64 identity so
+//! counters survive a round trip exactly.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (counters).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point (timings, gauges).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered pairs (insertion order is preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Unsigned integer view (accepts `UInt` and non-negative `Int`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Number view: any numeric variant as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Member of an object by key, if this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(n, _)| n == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Single-line rendering.
+    pub fn compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Indented rendering (two spaces per level).
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    // Keep floats recognizably floats across a round trip.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (full input must be consumed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // We emit \u only for C0 controls; accept any BMP
+                        // scalar here, mapping surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&b[start..end]).map_err(|_| "invalid utf-8")?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("invalid number `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parse_basics() {
+        let j = Json::parse(r#"{"a": [1, -2, 3.5, "x\n", true, null]}"#).unwrap();
+        let arr = j.as_obj().unwrap()[0].1.as_arr().unwrap();
+        assert_eq!(arr[0], Json::UInt(1));
+        assert_eq!(arr[1], Json::Int(-2));
+        assert_eq!(arr[2], Json::Float(3.5));
+        assert_eq!(arr[3], Json::Str("x\n".into()));
+        assert_eq!(arr[4], Json::Bool(true));
+        assert_eq!(arr[5], Json::Null);
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let j = Json::parse(r#"{"a": {"b": 7}}"#).unwrap();
+        assert_eq!(j.get("a").and_then(|a| a.get("b")), Some(&Json::UInt(7)));
+        assert_eq!(j.get("missing"), None);
+    }
+}

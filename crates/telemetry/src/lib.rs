@@ -1,4 +1,5 @@
-//! Work counters, phase timers, and machine-readable run reports.
+//! Work counters, phase timers, hierarchical spans, histograms, and
+//! machine-readable run reports.
 //!
 //! The counting engine, the peeling drivers, and the incremental
 //! maintainer are all instrumented against the [`Recorder`] trait. The
@@ -9,15 +10,24 @@
 //!
 //! [`InMemoryRecorder`] is the one real implementation: it aggregates
 //! counters into a flat array, folds repeated phases by name, keeps
-//! named series (e.g. vertices peeled per round), and renders everything
-//! as a [`RunReport`] — a schema-versioned, JSON-serializable record of
-//! one run that the CLI (`--stats` / `--report`) and the bench binaries
+//! named series, collects hierarchical [`SpanRow`]s with attached
+//! counter deltas, buckets values into [`Histogram`]s, and renders
+//! everything as a [`RunReport`] — a schema-versioned (v2, v1 still
+//! parses), JSON-serializable record of one run that the CLI
+//! (`--stats` / `--report` / `--trace`) and the bench binaries
 //! (`BENCH_*.json`) emit.
 //!
-//! Parallel code cannot share one `&mut Recorder` across workers; it
-//! accumulates a plain [`WorkTally`] per chunk and merges the tallies
-//! after the join ([`Recorder::merge`]), recording per-chunk work as a
-//! series so load imbalance stays visible.
+//! Parallel code cannot share one `&mut Recorder` across workers; each
+//! worker records into its own [`ThreadTrace`] (counters + spans +
+//! histograms against the global monotonic clock) and the caller folds
+//! the traces in after the join ([`Recorder::merge_thread`]), giving
+//! every worker its own span track. Plain counter-only workers can
+//! still use [`WorkTally`] + [`Recorder::merge`].
+//!
+//! Reports export further as Chrome Trace Event JSON
+//! ([`RunReport::to_chrome_trace`], for `chrome://tracing` / Perfetto)
+//! and a self-contained HTML flame view ([`RunReport::to_flame_html`]);
+//! two reports compare via [`diff_reports`] — the CI perf gate.
 //!
 //! JSON is hand-rolled ([`Json`]) because the build environment has no
 //! serde; the emitter and the recursive-descent parser round-trip every
@@ -25,9 +35,23 @@
 
 use std::time::Instant;
 
-/// Every work counter the engine knows. Adding a variant: extend
-/// [`Counter::ALL`] and [`Counter::name`], nothing else — storage is a
-/// flat array indexed by discriminant.
+mod diff;
+mod hist;
+mod json;
+mod report;
+mod span;
+mod trace;
+
+pub use diff::{diff_reports, DiffRow, ReportDiff};
+pub use hist::Histogram;
+pub use json::Json;
+pub use report::{PhaseRow, RunReport};
+pub use span::{SpanRow, ThreadTrace};
+
+/// Every work counter the engine knows. Adding a variant: append it to
+/// [`Counter::TABLE`] **in discriminant order** — `ALL`, `name`, and
+/// `from_name` all derive from that one table (and a test pins the
+/// order), so a new variant cannot silently break report parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Counter {
@@ -61,48 +85,49 @@ pub enum Counter {
 }
 
 impl Counter {
-    /// All counters, in report order.
-    pub const ALL: [Counter; 13] = [
-        Counter::WedgesExpanded,
-        Counter::SpaScatters,
-        Counter::AccumEntries,
-        Counter::VerticesExposed,
-        Counter::BlocksProcessed,
-        Counter::ParChunks,
-        Counter::PeelRounds,
-        Counter::PeeledVertices,
-        Counter::PeeledEdges,
-        Counter::RecomputeEdges,
-        Counter::IncInserts,
-        Counter::IncDeletes,
-        Counter::IncWedgeWork,
+    /// Single source of truth: every counter with its stable report
+    /// name, in discriminant order.
+    const TABLE: [(Counter, &'static str); 13] = [
+        (Counter::WedgesExpanded, "wedges_expanded"),
+        (Counter::SpaScatters, "spa_scatters"),
+        (Counter::AccumEntries, "accum_entries"),
+        (Counter::VerticesExposed, "vertices_exposed"),
+        (Counter::BlocksProcessed, "blocks_processed"),
+        (Counter::ParChunks, "par_chunks"),
+        (Counter::PeelRounds, "peel_rounds"),
+        (Counter::PeeledVertices, "peeled_vertices"),
+        (Counter::PeeledEdges, "peeled_edges"),
+        (Counter::RecomputeEdges, "recompute_edges"),
+        (Counter::IncInserts, "inc_inserts"),
+        (Counter::IncDeletes, "inc_deletes"),
+        (Counter::IncWedgeWork, "inc_wedge_work"),
     ];
 
     /// Number of counters (length of [`Counter::ALL`]).
-    pub const COUNT: usize = Counter::ALL.len();
+    pub const COUNT: usize = Counter::TABLE.len();
+
+    /// All counters, in report order (derived from [`Counter::TABLE`]).
+    pub const ALL: [Counter; Counter::COUNT] = {
+        let mut all = [Counter::WedgesExpanded; Counter::COUNT];
+        let mut i = 0;
+        while i < Counter::COUNT {
+            all[i] = Counter::TABLE[i].0;
+            i += 1;
+        }
+        all
+    };
 
     /// Stable snake_case name used in reports.
     pub fn name(self) -> &'static str {
-        match self {
-            Counter::WedgesExpanded => "wedges_expanded",
-            Counter::SpaScatters => "spa_scatters",
-            Counter::AccumEntries => "accum_entries",
-            Counter::VerticesExposed => "vertices_exposed",
-            Counter::BlocksProcessed => "blocks_processed",
-            Counter::ParChunks => "par_chunks",
-            Counter::PeelRounds => "peel_rounds",
-            Counter::PeeledVertices => "peeled_vertices",
-            Counter::PeeledEdges => "peeled_edges",
-            Counter::RecomputeEdges => "recompute_edges",
-            Counter::IncInserts => "inc_inserts",
-            Counter::IncDeletes => "inc_deletes",
-            Counter::IncWedgeWork => "inc_wedge_work",
-        }
+        Counter::TABLE[self as usize].1
     }
 
     /// Parse a report name back to the counter.
     pub fn from_name(name: &str) -> Option<Counter> {
-        Counter::ALL.into_iter().find(|c| c.name() == name)
+        Counter::TABLE
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|&(c, _)| c)
     }
 }
 
@@ -146,6 +171,16 @@ impl WorkTally {
             *a += b;
         }
     }
+
+    /// Element-wise difference against an earlier snapshot of the same
+    /// tally — the work done since that snapshot (span counter deltas).
+    pub fn delta_since(&self, earlier: &WorkTally) -> WorkTally {
+        let mut out = WorkTally::new();
+        for (i, slot) in out.counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
 }
 
 /// Instrumentation sink. All methods have empty defaults so a recorder
@@ -186,10 +221,40 @@ pub trait Recorder {
         let _ = name;
     }
 
+    /// Open a span: a named, nestable slice of wall-clock time that
+    /// carries the counter work done inside it as a delta.
+    #[inline]
+    fn span_enter(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Close the innermost open span named `name`.
+    #[inline]
+    fn span_exit(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Record one sample into the named histogram.
+    #[inline]
+    fn hist_record(&mut self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
     /// Fold a worker tally into the recorder.
     #[inline]
     fn merge(&mut self, tally: &WorkTally) {
         let _ = tally;
+    }
+
+    /// Fold a worker's event stream in after its join: counters always,
+    /// spans/histograms if the recorder keeps them. `thread` is the
+    /// track id (0 is the caller's own track, so workers should be
+    /// numbered from 1).
+    #[inline]
+    fn merge_thread(&mut self, thread: u32, mut trace: ThreadTrace) {
+        let _ = thread;
+        trace.finish();
+        self.merge(trace.tally());
     }
 }
 
@@ -201,6 +266,11 @@ impl Recorder for WorkTally {
     #[inline]
     fn incr(&mut self, c: Counter, n: u64) {
         self.add(c, n);
+    }
+
+    #[inline]
+    fn merge(&mut self, tally: &WorkTally) {
+        self.absorb(tally);
     }
 }
 
@@ -244,36 +314,70 @@ impl<R: Recorder> Recorder for &mut R {
     }
 
     #[inline]
+    fn span_enter(&mut self, name: &'static str) {
+        (**self).span_enter(name);
+    }
+
+    #[inline]
+    fn span_exit(&mut self, name: &'static str) {
+        (**self).span_exit(name);
+    }
+
+    #[inline]
+    fn hist_record(&mut self, name: &'static str, value: u64) {
+        (**self).hist_record(name, value);
+    }
+
+    #[inline]
     fn merge(&mut self, tally: &WorkTally) {
         (**self).merge(tally);
     }
+
+    #[inline]
+    fn merge_thread(&mut self, thread: u32, trace: ThreadTrace) {
+        (**self).merge_thread(thread, trace);
+    }
 }
 
-/// One aggregated phase row in a report.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PhaseRow {
-    /// Phase name as given to [`Recorder::phase_start`].
-    pub name: String,
-    /// Total wall-clock seconds across all occurrences.
-    pub seconds: f64,
-    /// Number of start/end pairs folded into this row.
-    pub count: u64,
-}
-
-/// Aggregating recorder backing `--stats` / `--report`.
-#[derive(Debug, Default)]
+/// Aggregating recorder backing `--stats` / `--report` / `--trace`.
+/// Spans recorded directly on it land on track 0 (the main thread);
+/// worker traces keep their own tracks via [`Recorder::merge_thread`].
+#[derive(Debug)]
 pub struct InMemoryRecorder {
+    /// Timeline origin: all span timestamps are offsets from here.
+    epoch: Instant,
     tally: WorkTally,
     gauges: Vec<(&'static str, f64)>,
     series: Vec<(&'static str, Vec<f64>)>,
     phases: Vec<(String, f64, u64)>,
     open: Vec<(&'static str, Instant)>,
+    spans: Vec<SpanRow>,
+    open_spans: Vec<(&'static str, Instant, WorkTally)>,
+    hists: Vec<(&'static str, Histogram)>,
+    spans_dropped: u64,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        InMemoryRecorder::new()
+    }
 }
 
 impl InMemoryRecorder {
-    /// Fresh, empty recorder.
+    /// Fresh, empty recorder; the span timeline starts now.
     pub fn new() -> Self {
-        Self::default()
+        InMemoryRecorder {
+            epoch: Instant::now(),
+            tally: WorkTally::new(),
+            gauges: Vec::new(),
+            series: Vec::new(),
+            phases: Vec::new(),
+            open: Vec::new(),
+            spans: Vec::new(),
+            open_spans: Vec::new(),
+            hists: Vec::new(),
+            spans_dropped: 0,
+        }
     }
 
     /// Current value of a counter.
@@ -298,12 +402,33 @@ impl InMemoryRecorder {
             .map(|(_, v)| v.as_slice())
     }
 
+    /// Finished spans collected so far (all tracks).
+    pub fn spans(&self) -> &[SpanRow] {
+        &self.spans
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
     /// Render the recorder into a report. `meta` carries run context
-    /// (dataset, invariant, threads, …); unfinished phases are closed at
-    /// render time so an aborted path still reports.
+    /// (dataset, invariant, threads, …); unfinished phases and spans are
+    /// closed at render time so an aborted path still reports.
     pub fn report(&mut self, meta: Vec<(String, Json)>) -> RunReport {
         while let Some((name, _)) = self.open.last().copied() {
             self.phase_end(name);
+        }
+        while let Some((name, _, _)) = self.open_spans.last().copied() {
+            self.span_exit(name);
+        }
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .iter()
+            .map(|&(n, v)| (n.to_string(), v))
+            .collect();
+        if self.spans_dropped > 0 {
+            gauges.push(("spans_dropped".to_string(), self.spans_dropped as f64));
         }
         RunReport {
             schema_version: RunReport::SCHEMA_VERSION,
@@ -312,11 +437,7 @@ impl InMemoryRecorder {
                 .into_iter()
                 .map(|c| (c.name().to_string(), self.tally.get(c)))
                 .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .map(|&(n, v)| (n.to_string(), v))
-                .collect(),
+            gauges,
             phases: self
                 .phases
                 .iter()
@@ -330,6 +451,12 @@ impl InMemoryRecorder {
                 .series
                 .iter()
                 .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+            spans: self.spans.clone(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|(n, h)| (n.to_string(), h.clone()))
                 .collect(),
         }
     }
@@ -377,8 +504,70 @@ impl Recorder for InMemoryRecorder {
         }
     }
 
+    fn span_enter(&mut self, name: &'static str) {
+        self.open_spans.push((name, Instant::now(), self.tally));
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        let Some(pos) = self.open_spans.iter().rposition(|(n, _, _)| *n == name) else {
+            return; // unmatched exit: ignore rather than corrupt the stack
+        };
+        // Implicitly close anything opened inside the span being exited.
+        while self.open_spans.len() > pos + 1 {
+            let (inner, _, _) = self.open_spans[self.open_spans.len() - 1];
+            self.span_exit(inner);
+        }
+        let (name, start, before) = self.open_spans.pop().expect("span stack non-empty");
+        if self.spans.len() >= span::MAX_SPANS {
+            self.spans_dropped += 1;
+            return;
+        }
+        let start_us = start
+            .checked_duration_since(self.epoch)
+            .unwrap_or_default()
+            .as_micros() as u64;
+        self.spans.push(SpanRow {
+            name: name.to_string(),
+            thread: 0,
+            depth: pos as u32,
+            start_us,
+            dur_us: start.elapsed().as_micros() as u64,
+            counters: span::nonzero_counters(&self.tally.delta_since(&before)),
+        });
+    }
+
+    fn hist_record(&mut self, name: &'static str, value: u64) {
+        if let Some((_, h)) = self.hists.iter_mut().find(|(n, _)| *n == name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.hists.push((name, h));
+        }
+    }
+
     fn merge(&mut self, tally: &WorkTally) {
         self.tally.absorb(tally);
+    }
+
+    fn merge_thread(&mut self, thread: u32, mut trace: ThreadTrace) {
+        trace.finish();
+        self.tally.absorb(trace.tally());
+        for raw in trace.spans.drain(..) {
+            if self.spans.len() >= span::MAX_SPANS {
+                self.spans_dropped += 1;
+                continue;
+            }
+            self.spans.push(raw.into_row(self.epoch, thread));
+        }
+        for (name, h) in &trace.hists {
+            if let Some((_, mine)) = self.hists.iter_mut().find(|(n, _)| n == name) {
+                mine.merge(h);
+            } else {
+                self.hists.push((name, h.clone()));
+            }
+        }
+        self.spans_dropped += trace.dropped;
     }
 }
 
@@ -400,567 +589,23 @@ pub fn timed_phase<R: Recorder, T>(
     out
 }
 
-/// Schema-versioned, machine-readable record of one run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunReport {
-    /// Format version; bump when the shape of the JSON changes.
-    pub schema_version: u64,
-    /// Free-form run context: dataset, invariant, threads, scale, …
-    pub meta: Vec<(String, Json)>,
-    /// `(name, value)` for every [`Counter`], in [`Counter::ALL`] order.
-    pub counters: Vec<(String, u64)>,
-    /// Last-write-wins point measurements.
-    pub gauges: Vec<(String, f64)>,
-    /// Aggregated timed phases.
-    pub phases: Vec<PhaseRow>,
-    /// Named value sequences (per-round, per-chunk, …).
-    pub series: Vec<(String, Vec<f64>)>,
-}
-
-impl RunReport {
-    /// Current report schema version.
-    pub const SCHEMA_VERSION: u64 = 1;
-
-    /// Value of a counter by report name.
-    pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+/// Run `f` inside a named span. Like [`timed_phase`] but produces a
+/// [`SpanRow`] on the recorder's timeline instead of folding into a
+/// flat phase total.
+#[inline]
+pub fn timed_span<R: Recorder, T>(
+    rec: &mut R,
+    name: &'static str,
+    f: impl FnOnce(&mut R) -> T,
+) -> T {
+    if R::ENABLED {
+        rec.span_enter(name);
     }
-
-    /// Lower the report to a JSON value.
-    pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("schema_version".into(), Json::UInt(self.schema_version)),
-            ("meta".into(), Json::Obj(self.meta.clone())),
-            (
-                "counters".into(),
-                Json::Obj(
-                    self.counters
-                        .iter()
-                        .map(|(n, v)| (n.clone(), Json::UInt(*v)))
-                        .collect(),
-                ),
-            ),
-            (
-                "gauges".into(),
-                Json::Obj(
-                    self.gauges
-                        .iter()
-                        .map(|(n, v)| (n.clone(), Json::Float(*v)))
-                        .collect(),
-                ),
-            ),
-            (
-                "phases".into(),
-                Json::Arr(
-                    self.phases
-                        .iter()
-                        .map(|p| {
-                            Json::Obj(vec![
-                                ("name".into(), Json::Str(p.name.clone())),
-                                ("seconds".into(), Json::Float(p.seconds)),
-                                ("count".into(), Json::UInt(p.count)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "series".into(),
-                Json::Obj(
-                    self.series
-                        .iter()
-                        .map(|(n, v)| {
-                            (
-                                n.clone(),
-                                Json::Arr(v.iter().map(|&x| Json::Float(x)).collect()),
-                            )
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
+    let out = f(rec);
+    if R::ENABLED {
+        rec.span_exit(name);
     }
-
-    /// Reconstruct a report from [`RunReport::to_json`] output.
-    pub fn from_json(j: &Json) -> Result<RunReport, String> {
-        let obj = j.as_obj().ok_or("report: expected object")?;
-        let field = |name: &str| -> Result<&Json, String> {
-            obj.iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("report: missing field `{name}`"))
-        };
-        let schema_version = field("schema_version")?
-            .as_u64()
-            .ok_or("schema_version: expected unsigned integer")?;
-        let meta = field("meta")?
-            .as_obj()
-            .ok_or("meta: expected object")?
-            .to_vec();
-        let counters = field("counters")?
-            .as_obj()
-            .ok_or("counters: expected object")?
-            .iter()
-            .map(|(n, v)| {
-                v.as_u64()
-                    .map(|v| (n.clone(), v))
-                    .ok_or_else(|| format!("counter `{n}`: expected unsigned integer"))
-            })
-            .collect::<Result<_, _>>()?;
-        let gauges = field("gauges")?
-            .as_obj()
-            .ok_or("gauges: expected object")?
-            .iter()
-            .map(|(n, v)| {
-                v.as_f64()
-                    .map(|v| (n.clone(), v))
-                    .ok_or_else(|| format!("gauge `{n}`: expected number"))
-            })
-            .collect::<Result<_, _>>()?;
-        let phases = field("phases")?
-            .as_arr()
-            .ok_or("phases: expected array")?
-            .iter()
-            .map(|p| {
-                let row = p.as_obj().ok_or("phase: expected object")?;
-                let get = |k: &str| {
-                    row.iter()
-                        .find(|(n, _)| n == k)
-                        .map(|(_, v)| v)
-                        .ok_or_else(|| format!("phase: missing `{k}`"))
-                };
-                Ok(PhaseRow {
-                    name: get("name")?
-                        .as_str()
-                        .ok_or("phase name: expected string")?
-                        .to_string(),
-                    seconds: get("seconds")?.as_f64().ok_or("phase seconds: number")?,
-                    count: get("count")?.as_u64().ok_or("phase count: integer")?,
-                })
-            })
-            .collect::<Result<_, String>>()?;
-        let series = field("series")?
-            .as_obj()
-            .ok_or("series: expected object")?
-            .iter()
-            .map(|(n, v)| {
-                let vals = v
-                    .as_arr()
-                    .ok_or_else(|| format!("series `{n}`: expected array"))?
-                    .iter()
-                    .map(|x| {
-                        x.as_f64()
-                            .ok_or_else(|| format!("series `{n}`: expected numbers"))
-                    })
-                    .collect::<Result<_, _>>()?;
-                Ok((n.clone(), vals))
-            })
-            .collect::<Result<_, String>>()?;
-        Ok(RunReport {
-            schema_version,
-            meta,
-            counters,
-            gauges,
-            phases,
-            series,
-        })
-    }
-
-    /// Serialize as pretty-printed JSON text.
-    pub fn to_json_string(&self) -> String {
-        self.to_json().pretty()
-    }
-
-    /// Parse JSON text produced by [`RunReport::to_json_string`].
-    pub fn parse(text: &str) -> Result<RunReport, String> {
-        RunReport::from_json(&Json::parse(text)?)
-    }
-
-    /// Human-oriented table for `--stats`: all meta, non-zero counters,
-    /// every gauge, phase, and series.
-    pub fn render_table(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        let _ = writeln!(out, "run report (schema v{})", self.schema_version);
-        for (k, v) in &self.meta {
-            let _ = writeln!(out, "  {k:<22} {}", v.compact());
-        }
-        for (n, v) in &self.counters {
-            if *v != 0 {
-                let _ = writeln!(out, "  {n:<22} {v}");
-            }
-        }
-        for (n, v) in &self.gauges {
-            let _ = writeln!(out, "  {n:<22} {v:.4}");
-        }
-        for p in &self.phases {
-            let _ = writeln!(
-                out,
-                "  phase {:<16} {:>12.6}s  x{}",
-                p.name, p.seconds, p.count
-            );
-        }
-        for (n, v) in &self.series {
-            let shown: Vec<String> = v.iter().take(8).map(|x| format!("{x}")).collect();
-            let ell = if v.len() > 8 { ", …" } else { "" };
-            let _ = writeln!(
-                out,
-                "  series {:<15} [{}{}] ({} values)",
-                n,
-                shown.join(", "),
-                ell,
-                v.len()
-            );
-        }
-        out
-    }
-}
-
-/// Minimal JSON document model with emitter and parser. Numbers keep
-/// their u64/i64/f64 identity so counters survive a round trip exactly.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Non-negative integer (counters).
-    UInt(u64),
-    /// Negative integer.
-    Int(i64),
-    /// Floating point (timings, gauges).
-    Float(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object as ordered pairs (insertion order is preserved).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Unsigned integer view (accepts `UInt` and non-negative `Int`).
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::UInt(v) => Some(*v),
-            Json::Int(v) if *v >= 0 => Some(*v as u64),
-            _ => None,
-        }
-    }
-
-    /// Number view: any numeric variant as f64.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::UInt(v) => Some(*v as f64),
-            Json::Int(v) => Some(*v as f64),
-            Json::Float(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// String view.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Array view.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Object view.
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Single-line rendering.
-    pub fn compact(&self) -> String {
-        let mut s = String::new();
-        self.write(&mut s, None, 0);
-        s
-    }
-
-    /// Indented rendering (two spaces per level).
-    pub fn pretty(&self) -> String {
-        let mut s = String::new();
-        self.write(&mut s, Some(2), 0);
-        s.push('\n');
-        s
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        let (nl, pad, pad_in) = match indent {
-            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
-            None => ("", String::new(), String::new()),
-        };
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(v) => out.push_str(&v.to_string()),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Float(v) => {
-                if v.is_finite() {
-                    let s = format!("{v}");
-                    out.push_str(&s);
-                    // Keep floats recognizably floats across a round trip.
-                    if !s.contains(['.', 'e', 'E']) {
-                        out.push_str(".0");
-                    }
-                } else {
-                    out.push_str("null"); // JSON has no NaN/Inf
-                }
-            }
-            Json::Str(s) => write_json_string(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    item.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    write_json_string(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parse a JSON document (full input must be consumed).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
-        }
-        Ok(v)
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {}", c as char, *pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
-        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(b, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut pairs = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
-                pairs.push((key, val));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
-                }
-            }
-        }
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(v)
-    } else {
-        Err(format!("invalid literal at byte {}", *pos))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        // We emit \u only for C0 controls; accept any BMP
-                        // scalar here, mapping surrogates to U+FFFD.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Advance over one UTF-8 scalar.
-                let start = *pos;
-                let mut end = start + 1;
-                while end < b.len() && (b[end] & 0xC0) == 0x80 {
-                    end += 1;
-                }
-                let s = std::str::from_utf8(&b[start..end]).map_err(|_| "invalid utf-8")?;
-                out.push_str(s);
-                *pos = end;
-            }
-        }
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let mut is_float = false;
-    while let Some(&c) = b.get(*pos) {
-        match c {
-            b'0'..=b'9' => *pos += 1,
-            b'.' | b'e' | b'E' | b'+' | b'-' => {
-                is_float = true;
-                *pos += 1;
-            }
-            _ => break,
-        }
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
-    if text.is_empty() || text == "-" {
-        return Err(format!("expected number at byte {start}"));
-    }
-    if !is_float {
-        if let Ok(v) = text.parse::<u64>() {
-            return Ok(Json::UInt(v));
-        }
-        if let Ok(v) = text.parse::<i64>() {
-            return Ok(Json::Int(v));
-        }
-    }
-    text.parse::<f64>()
-        .map(Json::Float)
-        .map_err(|_| format!("invalid number `{text}`"))
+    out
 }
 
 #[cfg(test)]
@@ -974,6 +619,23 @@ mod tests {
     }
 
     #[test]
+    fn counter_table_is_in_discriminant_order() {
+        // `Counter::name` indexes TABLE by discriminant; this pins the
+        // invariant the table comment demands.
+        for (i, (c, _)) in Counter::TABLE.iter().enumerate() {
+            assert_eq!(*c as usize, i, "TABLE out of order at index {i}");
+        }
+    }
+
+    #[test]
+    fn every_counter_name_round_trips() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c), "{c:?}");
+        }
+        assert_eq!(Counter::from_name("nope"), None);
+    }
+
+    #[test]
     fn counters_aggregate() {
         let mut r = InMemoryRecorder::new();
         r.incr(Counter::WedgesExpanded, 10);
@@ -984,6 +646,18 @@ mod tests {
         r.merge(&t);
         assert_eq!(r.counter(Counter::WedgesExpanded), 22);
         assert_eq!(r.counter(Counter::SpaScatters), 3);
+    }
+
+    #[test]
+    fn tally_delta_since_snapshot() {
+        let mut t = WorkTally::new();
+        t.add(Counter::WedgesExpanded, 5);
+        let snap = t;
+        t.add(Counter::WedgesExpanded, 7);
+        t.add(Counter::SpaScatters, 2);
+        let d = t.delta_since(&snap);
+        assert_eq!(d.get(Counter::WedgesExpanded), 7);
+        assert_eq!(d.get(Counter::SpaScatters), 2);
     }
 
     #[test]
@@ -1010,32 +684,66 @@ mod tests {
     }
 
     #[test]
-    fn unclosed_phase_closes_at_report() {
+    fn unclosed_phase_and_span_close_at_report() {
         let mut r = InMemoryRecorder::new();
         r.phase_start("outer");
+        r.span_enter("left-open");
         let rep = r.report(vec![]);
         assert_eq!(rep.phases.len(), 1);
         assert_eq!(rep.phases[0].name, "outer");
+        assert_eq!(rep.spans.len(), 1);
+        assert_eq!(rep.spans[0].name, "left-open");
     }
 
     #[test]
-    fn counter_names_round_trip() {
-        for c in Counter::ALL {
-            assert_eq!(Counter::from_name(c.name()), Some(c));
-        }
-        assert_eq!(Counter::from_name("nope"), None);
+    fn main_thread_spans_nest_with_deltas() {
+        let mut r = InMemoryRecorder::new();
+        timed_span(&mut r, "outer", |r| {
+            r.incr(Counter::VerticesExposed, 1);
+            timed_span(r, "inner", |r| {
+                r.incr(Counter::WedgesExpanded, 4);
+            });
+        });
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].thread, 0);
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].counters, vec![("wedges_expanded".to_string(), 4)]);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].counters.len(), 2);
     }
 
     #[test]
-    fn json_parse_basics() {
-        let j = Json::parse(r#"{"a": [1, -2, 3.5, "x\n", true, null]}"#).unwrap();
-        let arr = j.as_obj().unwrap()[0].1.as_arr().unwrap();
-        assert_eq!(arr[0], Json::UInt(1));
-        assert_eq!(arr[1], Json::Int(-2));
-        assert_eq!(arr[2], Json::Float(3.5));
-        assert_eq!(arr[3], Json::Str("x\n".into()));
-        assert_eq!(arr[4], Json::Bool(true));
-        assert_eq!(arr[5], Json::Null);
+    fn merge_thread_brings_counters_spans_hists() {
+        let mut r = InMemoryRecorder::new();
+        let mut t = ThreadTrace::new();
+        t.span_enter("chunk");
+        t.incr(Counter::WedgesExpanded, 11);
+        t.hist_record("chunk_us", 42);
+        t.span_exit("chunk");
+        r.hist_record("chunk_us", 7);
+        r.merge_thread(3, t);
+        assert_eq!(r.counter(Counter::WedgesExpanded), 11);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.spans()[0].thread, 3);
+        let h = r.histogram("chunk_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn default_merge_thread_keeps_counters() {
+        // A counters-only recorder (WorkTally) still absorbs worker
+        // counters through the default merge_thread, even with spans
+        // left open.
+        let mut sink = WorkTally::new();
+        let mut t = ThreadTrace::new();
+        t.span_enter("chunk");
+        t.incr(Counter::SpaScatters, 9);
+        sink.merge_thread(1, t);
+        assert_eq!(sink.get(Counter::SpaScatters), 9);
     }
 
     #[test]
@@ -1047,6 +755,9 @@ mod tests {
         r.series_push("peel_removed", 10.0);
         r.series_push("peel_removed", 4.0);
         timed_phase(&mut r, "count", |_| ());
+        timed_span(&mut r, "count", |r| {
+            r.hist_record("vertex_wedges", 17);
+        });
         let rep = r.report(vec![
             ("dataset".into(), Json::Str("k33".into())),
             ("threads".into(), Json::UInt(4)),

@@ -1,0 +1,125 @@
+//! Stress: per-thread trace recording must not change what is counted.
+//!
+//! The parallel family records each chunk into its own
+//! [`bfly::core::telemetry::ThreadTrace`] and merges the streams at join
+//! time. These tests pin the contract that merging is lossless: for every
+//! invariant, thread count, and seed, the merged counter totals equal the
+//! sequential recorder's, the butterfly count is unchanged, and the
+//! per-thread span streams cover every chunk exactly once.
+
+use bfly::core::telemetry::{Counter, InMemoryRecorder};
+use bfly::core::{count_parallel_recorded, count_recorded, Invariant};
+use bfly::graph::generators::{chung_lu, uniform_exact};
+use bfly::graph::BipartiteGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graphs() -> Vec<BipartiteGraph> {
+    let mut out = Vec::new();
+    for seed in [7u64, 99, 2024] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push(uniform_exact(120, 90, 900, &mut rng));
+    }
+    let mut rng = StdRng::seed_from_u64(5150);
+    out.push(chung_lu(200, 160, 1400, 0.8, 0.8, &mut rng));
+    out.push(BipartiteGraph::complete(12, 10));
+    out.push(BipartiteGraph::empty(40, 40));
+    out
+}
+
+fn sequential_tally(g: &BipartiteGraph, inv: Invariant) -> (u64, Vec<(Counter, u64)>) {
+    let mut rec = InMemoryRecorder::new();
+    let xi = count_recorded(g, inv, &mut rec);
+    let tally = Counter::ALL
+        .into_iter()
+        .map(|c| (c, rec.counter(c)))
+        .collect();
+    (xi, tally)
+}
+
+/// The work counters shared by the sequential and parallel paths. The
+/// parallel path additionally bumps `ParChunks`, which the sequential one
+/// never touches, so it is compared separately.
+fn comparable(c: Counter) -> bool {
+    c != Counter::ParChunks
+}
+
+#[test]
+fn merged_parallel_counters_equal_sequential_for_all_invariants() {
+    for g in graphs() {
+        for inv in Invariant::ALL {
+            let (seq_xi, seq_tally) = sequential_tally(&g, inv);
+            for threads in [1usize, 2, 3, 4, 7] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut rec = InMemoryRecorder::new();
+                let par_xi = pool.install(|| count_parallel_recorded(&g, inv, &mut rec));
+                assert_eq!(par_xi, seq_xi, "{inv} with {threads} threads: count");
+                for &(c, want) in seq_tally.iter().filter(|(c, _)| comparable(*c)) {
+                    assert_eq!(
+                        rec.counter(c),
+                        want,
+                        "{inv} with {threads} threads: counter {}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_chunk_leaves_exactly_one_span_and_latency_sample() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = uniform_exact(150, 150, 1200, &mut rng);
+    for threads in [2usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let mut rec = InMemoryRecorder::new();
+        pool.install(|| count_parallel_recorded(&g, Invariant::Inv2, &mut rec));
+        let nchunks = rec.counter(Counter::ParChunks);
+        assert!(nchunks >= 1);
+        let chunk_spans = rec
+            .spans()
+            .iter()
+            .filter(|s| s.name == "chunk")
+            .collect::<Vec<_>>();
+        assert_eq!(chunk_spans.len() as u64, nchunks, "{threads} threads");
+        // Worker tracks are numbered from 1 and each chunk has its own.
+        let mut tids: Vec<u32> = chunk_spans.iter().map(|s| s.thread).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len() as u64, nchunks);
+        assert!(tids.iter().all(|&t| t >= 1));
+        // Per-chunk latency histogram has one sample per chunk.
+        let hist = rec.histogram("chunk_us").expect("chunk_us histogram");
+        assert_eq!(hist.count(), nchunks);
+    }
+}
+
+#[test]
+fn repeated_recorded_runs_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(616);
+    let g = chung_lu(180, 140, 1100, 0.7, 0.7, &mut rng);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let tally_of = || {
+        let mut rec = InMemoryRecorder::new();
+        let xi = pool.install(|| count_parallel_recorded(&g, Invariant::Inv6, &mut rec));
+        let tally: Vec<(Counter, u64)> = Counter::ALL
+            .into_iter()
+            .map(|c| (c, rec.counter(c)))
+            .collect();
+        (xi, tally)
+    };
+    let first = tally_of();
+    for _ in 0..4 {
+        assert_eq!(tally_of(), first);
+    }
+}

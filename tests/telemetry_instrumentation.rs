@@ -124,3 +124,48 @@ fn noop_and_recorded_paths_agree() {
         assert_eq!(count_recorded(&g, inv, &mut rec), count(&g, inv));
     }
 }
+
+#[test]
+fn spans_and_histograms_survive_the_json_round_trip() {
+    let g = BipartiteGraph::complete(8, 7);
+    let mut rec = InMemoryRecorder::new();
+    count_parallel_recorded(&g, Invariant::Inv2, &mut rec);
+    let rep = rec.report(Vec::new());
+    assert!(!rep.spans.is_empty(), "parallel run must leave chunk spans");
+    assert!(
+        rep.histograms.iter().any(|(n, _)| n == "chunk_us"),
+        "parallel run must record chunk latencies"
+    );
+    let back = RunReport::parse(&rep.to_json_string()).unwrap();
+    assert_eq!(back.spans, rep.spans);
+    assert_eq!(back.to_json_string(), rep.to_json_string());
+    // The trace exporter produces one named track per worker thread.
+    let trace = rep.to_chrome_trace_string();
+    for t in rep.span_threads() {
+        if t > 0 {
+            assert!(trace.contains(&format!("worker-{t}")), "track {t} missing");
+        }
+    }
+}
+
+#[test]
+fn v1_reports_parse_and_future_schemas_are_rejected() {
+    // A schema v1 document (no spans/histograms fields) still loads.
+    let v1 = r#"{
+        "schema_version": 1,
+        "meta": {"dataset": "legacy"},
+        "counters": {"wedges_expanded": 42},
+        "gauges": {},
+        "phases": [],
+        "series": {}
+    }"#;
+    let rep = RunReport::parse(v1).expect("v1 must stay readable");
+    assert_eq!(rep.counter("wedges_expanded"), Some(42));
+    assert!(rep.spans.is_empty());
+    assert!(rep.histograms.is_empty());
+
+    // A report from a future build is refused with a pointed message.
+    let future = v1.replace("\"schema_version\": 1", "\"schema_version\": 3");
+    let msg = RunReport::parse(&future).unwrap_err();
+    assert!(msg.contains("newer"), "unhelpful error: {msg}");
+}
