@@ -14,8 +14,9 @@
 use bfly_bench::{
     best_of, load_datasets, print_invariant_table, scale_from_env, write_bench_report,
 };
+use bfly_core::adaptive::count_adaptive_recorded;
 use bfly_core::telemetry::{InMemoryRecorder, Json};
-use bfly_core::{count, count_recorded, Invariant};
+use bfly_core::{count, count_adaptive, count_recorded, Invariant};
 use bfly_graph::Side;
 
 fn main() {
@@ -26,6 +27,7 @@ fn main() {
     let mut reference = Vec::new();
     let mut reports = Vec::new();
     let mut wedge_hists = Vec::new();
+    let mut adaptive_rows = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -55,6 +57,25 @@ fn main() {
             ]));
         }
         assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
+        // Adaptive row: the cost model picks a member (and possibly degree
+        // ordering) from the graph profile; it must agree with the family
+        // and land near the best fixed invariant.
+        let (t_adaptive, (xi_adaptive, plan)) = best_of(2, || count_adaptive(g));
+        assert_eq!(xi_adaptive, counts[0], "adaptive diverged");
+        let mut rec = InMemoryRecorder::new();
+        let (xi_rec, _) = count_adaptive_recorded(g, &mut rec);
+        assert_eq!(xi_rec, xi_adaptive, "instrumented adaptive run diverged");
+        reports.push(rec.report(vec![
+            ("bench".to_string(), Json::Str("fig10".to_string())),
+            ("dataset".to_string(), Json::Str(spec.name.to_string())),
+            ("invariant".to_string(), Json::Str("adaptive".to_string())),
+            ("plan".to_string(), plan.to_json()),
+            ("scale".to_string(), Json::Float(scale)),
+            ("threads".to_string(), Json::UInt(1)),
+            ("seconds".to_string(), Json::Float(t_adaptive)),
+            ("butterflies".to_string(), Json::UInt(xi_adaptive)),
+        ]));
+        adaptive_rows.push((spec.name, t_adaptive, plan));
         reference.push((spec.name, counts[0]));
         rows.push((spec.name.to_string(), times));
     }
@@ -85,6 +106,19 @@ fn main() {
             winner,
             best_v2,
             best_v1
+        );
+    }
+    // Adaptive row: the selection should match or beat the best fixed
+    // member (ratio ~1.0x; selection overhead is one degree-array pass).
+    println!("\nAdaptive selection vs best fixed invariant:");
+    for ((_, times), (name, t_adaptive, plan)) in rows.iter().zip(&adaptive_rows) {
+        let best_fixed = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {name:<16} adaptive {t_adaptive:.3}s, best fixed {best_fixed:.3}s \
+             ({:.2}x), picked {} (degree_ordered = {})",
+            t_adaptive / best_fixed,
+            plan.invariant,
+            plan.degree_ordered,
         );
     }
     // Skew check: per-vertex wedge cost distribution (invariant 1). Heavy

@@ -6,8 +6,11 @@ use bfly_bench::{
     best_of, load_datasets, print_invariant_table, scale_from_env, threads_from_env,
     write_bench_report,
 };
+use bfly_core::adaptive::count_adaptive_parallel_recorded;
 use bfly_core::telemetry::{InMemoryRecorder, Json};
-use bfly_core::{count, count_parallel, count_parallel_recorded, Invariant};
+use bfly_core::{
+    count, count_adaptive_parallel, count_parallel, count_parallel_recorded, Invariant,
+};
 
 fn main() {
     let scale = scale_from_env();
@@ -24,6 +27,8 @@ fn main() {
     let mut speedups = Vec::new();
     let mut reports = Vec::new();
     let mut chunk_hists = Vec::new();
+    let mut adaptive_chunk_hists = Vec::new();
+    let mut adaptive_rows = Vec::new();
     for (d, g) in &datasets {
         let spec = d.spec();
         let mut times = [0f64; 8];
@@ -54,6 +59,29 @@ fn main() {
             ]));
         }
         assert!(counts.iter().all(|&c| c == counts[0]), "family disagrees");
+        // Adaptive row: degree-balanced chunks instead of equal ranges;
+        // the imbalance gauge of this run is directly comparable to the
+        // fixed-invariant rows above.
+        let (t_adaptive, (xi_adaptive, plan)) =
+            best_of(2, || pool.install(|| count_adaptive_parallel(g)));
+        assert_eq!(xi_adaptive, counts[0], "adaptive diverged");
+        let mut rec = InMemoryRecorder::new();
+        let (xi_rec, _) = pool.install(|| count_adaptive_parallel_recorded(g, &mut rec));
+        assert_eq!(xi_rec, xi_adaptive, "instrumented adaptive run diverged");
+        if let Some(h) = rec.histogram("chunk_us") {
+            adaptive_chunk_hists.push((spec.name, h.summary()));
+        }
+        reports.push(rec.report(vec![
+            ("bench".to_string(), Json::Str("fig11".to_string())),
+            ("dataset".to_string(), Json::Str(spec.name.to_string())),
+            ("invariant".to_string(), Json::Str("adaptive".to_string())),
+            ("plan".to_string(), plan.to_json()),
+            ("scale".to_string(), Json::Float(scale)),
+            ("threads".to_string(), Json::UInt(threads as u64)),
+            ("seconds".to_string(), Json::Float(t_adaptive)),
+            ("butterflies".to_string(), Json::UInt(xi_adaptive)),
+        ]));
+        adaptive_rows.push((spec.name, t_adaptive));
         // One sequential reference point for the speedup column.
         let (ts, xs) = best_of(2, || count(g, Invariant::Inv2));
         assert_eq!(xs, counts[0]);
@@ -69,9 +97,21 @@ fn main() {
     }
     // Chunk latency spread (invariant 2): the histogram view of the
     // par_imbalance gauge — a wide p99/p50 gap means straggler chunks.
-    println!("\nPer-chunk latency in µs (invariant 2):");
+    println!("\nPer-chunk latency in µs (invariant 2, equal vertex ranges):");
     for (name, summary) in &chunk_hists {
         println!("  {name:<16} {summary}");
+    }
+    println!("\nPer-chunk latency in µs (adaptive, degree-balanced chunks):");
+    for (name, summary) in &adaptive_chunk_hists {
+        println!("  {name:<16} {summary}");
+    }
+    println!("\nAdaptive (balanced chunks) vs best fixed parallel member:");
+    for ((_, times), (name, t_adaptive)) in rows.iter().zip(&adaptive_rows) {
+        let best_fixed = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {name:<16} adaptive {t_adaptive:.3}s, best fixed {best_fixed:.3}s ({:.2}x)",
+            t_adaptive / best_fixed
+        );
     }
     match write_bench_report("fig11", &reports) {
         Ok(path) => println!("\nmachine-readable report: {path}"),

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! bfly stats    <file> [--format konect|edgelist|mtx]
-//! bfly count    <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
-//!                      [--parallel] [--threads N]
+//! bfly count    <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum]
+//!                      [--adaptive] [--explain] [--parallel] [--threads N]
 //! bfly tip      <file> --k K [--side v1|v2]
 //! bfly wing     <file> --k K
 //! bfly tip-numbers <file> [--side v1|v2] [--top N]
@@ -27,6 +27,9 @@
 //! with `--format`. All analysis follows the paper's §V guidance by
 //! default (`--algorithm auto` partitions the smaller vertex set).
 
+use bfly_core::adaptive::{
+    count_adaptive_parallel_recorded, count_adaptive_recorded, select_plan, GraphProfile,
+};
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
 use bfly_core::peel::{k_tip_recorded, k_wing_recorded, tip_numbers};
 use bfly_core::telemetry::{
@@ -63,6 +66,9 @@ pub enum Command {
         parallel: bool,
         /// Pinned thread count (0 = rayon default).
         threads: usize,
+        /// Print the graph profile and the adaptively selected plan as
+        /// JSON (computed even when a fixed algorithm runs).
+        explain: bool,
         /// Print work counters / phase timers after the count.
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
@@ -228,6 +234,9 @@ pub enum Format {
 pub enum Algorithm {
     /// §V rule: partition the smaller side.
     Auto,
+    /// Profile-driven cost model ([`bfly_core::adaptive`]): partition side
+    /// by wedge-work estimate, degree ordering, balanced parallel chunks.
+    Adaptive,
     /// A specific family member.
     Family(Invariant),
     /// SpGEMM specification counter.
@@ -300,8 +309,9 @@ bfly — butterfly counting and peeling for bipartite graphs
 
 USAGE:
   bfly stats       <file> [--format konect|edgelist|mtx]
-  bfly count       <file> [--algorithm auto|inv1..inv8|spgemm|hash|vp|enum]
-                          [--parallel] [--threads N] [--format ...]
+  bfly count       <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum]
+                          [--adaptive] [--explain] [--parallel] [--threads N]
+                          [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
   bfly tip         <file> --k K [--side v1|v2] [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
@@ -335,7 +345,7 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            if matches!(name, "parallel" | "help" | "stats") {
+            if matches!(name, "parallel" | "help" | "stats" | "adaptive" | "explain") {
                 flags.push((name.to_string(), None));
             } else {
                 let v = it
@@ -393,6 +403,7 @@ fn parse_side(s: &str) -> Result<Side, CliError> {
 fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
     match s {
         "auto" => Ok(Algorithm::Auto),
+        "adaptive" => Ok(Algorithm::Adaptive),
         "spgemm" => Ok(Algorithm::Spgemm),
         "hash" => Ok(Algorithm::Hash),
         "vp" | "vertex-priority" => Ok(Algorithm::VertexPriority),
@@ -443,12 +454,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "count" => Ok(Command::Count {
             file: file()?,
             format,
-            algorithm: match rest.flag("algorithm") {
-                Some(a) => parse_algorithm(a)?,
-                None => Algorithm::Auto,
+            algorithm: if rest.has("adaptive") {
+                Algorithm::Adaptive
+            } else {
+                match rest.flag("algorithm") {
+                    Some(a) => parse_algorithm(a)?,
+                    None => Algorithm::Auto,
+                }
             },
             parallel: rest.has("parallel"),
             threads: rest.parse_flag("threads", 0usize)?,
+            explain: rest.has("explain"),
             stats: rest.has("stats"),
             report: rest.flag("report").map(str::to_string),
             trace: rest.flag("trace").map(str::to_string),
@@ -743,11 +759,27 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             algorithm,
             parallel,
             threads,
+            explain,
             stats,
             report,
             trace,
         } => {
             let g = load_graph(&file, format)?;
+            // The profile and the plan the cost model selects for this
+            // graph — printed by --explain and embedded in report meta.
+            // Deterministic, so it matches what an adaptive run executes.
+            let planned = if explain || algorithm == Algorithm::Adaptive {
+                let profile = GraphProfile::compute(&g);
+                let workers = if threads > 0 {
+                    threads
+                } else {
+                    rayon::current_num_threads()
+                };
+                let plan = select_plan(&profile, parallel, workers);
+                Some((profile, plan))
+            } else {
+                None
+            };
             let mut telem = Telem::new(stats, report, trace);
             let (xi, label) = with_recorder!(telem, |rec| if threads > 0 {
                 let pool = rayon::ThreadPoolBuilder::new()
@@ -759,16 +791,26 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 run_count(&g, algorithm, parallel, rec)
             });
             w(out, format!("butterflies = {xi}  [{label}]"))?;
-            telem.emit(
-                vec![
-                    ("command".to_string(), Json::Str("count".to_string())),
-                    ("dataset".to_string(), Json::Str(file.clone())),
-                    ("algorithm".to_string(), Json::Str(label)),
-                    ("threads".to_string(), Json::UInt(threads as u64)),
-                    ("butterflies".to_string(), Json::UInt(xi)),
-                ],
-                out,
-            )
+            let mut meta = vec![
+                ("command".to_string(), Json::Str("count".to_string())),
+                ("dataset".to_string(), Json::Str(file.clone())),
+                ("algorithm".to_string(), Json::Str(label)),
+                ("threads".to_string(), Json::UInt(threads as u64)),
+                ("butterflies".to_string(), Json::UInt(xi)),
+            ];
+            if let Some((profile, plan)) = &planned {
+                meta.push(("profile".to_string(), profile.to_json()));
+                meta.push(("plan".to_string(), plan.to_json()));
+            }
+            if explain {
+                let (profile, plan) = planned.as_ref().expect("planned when explain");
+                let doc = Json::Obj(vec![
+                    ("profile".to_string(), profile.to_json()),
+                    ("plan".to_string(), plan.to_json()),
+                ]);
+                w(out, doc.pretty())?;
+            }
+            telem.emit(meta, out)
         }
         Command::Tip {
             file,
@@ -1071,6 +1113,15 @@ fn run_count<R: Recorder>(
                 (xi, format!("{inv} (auto)"))
             }
         }
+        Algorithm::Adaptive => {
+            if parallel {
+                let (xi, plan) = count_adaptive_parallel_recorded(g, rec);
+                (xi, format!("{} (adaptive, parallel)", plan.invariant))
+            } else {
+                let (xi, plan) = count_adaptive_recorded(g, rec);
+                (xi, format!("{} (adaptive)", plan.invariant))
+            }
+        }
         Algorithm::Family(inv) => {
             if parallel {
                 (
@@ -1124,11 +1175,43 @@ mod tests {
                 algorithm: Algorithm::Family(Invariant::Inv3),
                 parallel: true,
                 threads: 4,
+                explain: false,
                 stats: false,
                 report: None,
                 trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_adaptive_and_explain_flags() {
+        // --adaptive is boolean and overrides --algorithm.
+        let cmd = parse(&sv(&["count", "g.tsv", "--adaptive", "--explain"])).unwrap();
+        match cmd {
+            Command::Count {
+                algorithm, explain, ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Adaptive);
+                assert!(explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --algorithm adaptive spells the same thing.
+        assert_eq!(parse_algorithm("adaptive").unwrap(), Algorithm::Adaptive);
+        // --explain alone keeps the requested algorithm.
+        let cmd = parse(&sv(&["count", "g.tsv", "--algorithm", "inv4", "--explain"])).unwrap();
+        match cmd {
+            Command::Count {
+                algorithm, explain, ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Family(Invariant::Inv4));
+                assert!(explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Boolean flags do not eat the following token.
+        let cmd = parse(&sv(&["count", "--adaptive", "g.tsv"])).unwrap();
+        assert!(matches!(cmd, Command::Count { file, .. } if file == "g.tsv"));
     }
 
     #[test]
@@ -1774,6 +1857,101 @@ mod tests {
             &mut Vec::new(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn adaptive_count_and_explain_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-adaptive");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        // Lopsided Chung-Lu graph: the adaptive path has a real decision
+        // to make (wedge work differs across sides).
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "chunglu",
+                "--m",
+                "120",
+                "--n",
+                "30",
+                "--edges",
+                "500",
+                "--exp1",
+                "0.9",
+                "--exp2",
+                "0.4",
+                "--seed",
+                "23",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let count_of = |args: &[&str]| -> u64 {
+            let mut sink = Vec::new();
+            run(parse(&sv(args)).unwrap(), &mut sink).unwrap();
+            String::from_utf8(sink)
+                .unwrap()
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let gp = gpath.to_str().unwrap();
+        let want = count_of(&["count", gp, "--algorithm", "spgemm"]);
+        assert_eq!(count_of(&["count", gp, "--adaptive"]), want);
+        assert_eq!(count_of(&["count", gp, "--adaptive", "--parallel"]), want);
+
+        // --explain prints a JSON object with profile and plan; the plan
+        // names a valid invariant and the cheaper side.
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["count", gp, "--adaptive", "--explain"])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        let json_start = text.find('{').expect("explain JSON in output");
+        let doc = Json::parse(&text[json_start..]).unwrap();
+        let plan = doc.get("plan").expect("plan object");
+        let profile = doc.get("profile").expect("profile object");
+        let inv = plan.get("invariant").and_then(|v| v.as_u64()).unwrap();
+        assert!((1..=8).contains(&inv));
+        assert!(
+            plan.get("est_work").and_then(|v| v.as_u64()).unwrap()
+                <= plan.get("est_work_alt").and_then(|v| v.as_u64()).unwrap()
+        );
+        assert!(profile.get("wedges_v1").and_then(|v| v.as_u64()).is_some());
+
+        // --report embeds the plan in meta and records the selection
+        // gauges, so CI can archive the decision.
+        let rpath = dir.join("adaptive.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gp,
+                "--adaptive",
+                "--report",
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let rep = RunReport::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert!(rep.meta.iter().any(|(n, _)| n == "plan"));
+        assert!(rep
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "plan.invariant" && *v == inv as f64));
     }
 
     #[test]

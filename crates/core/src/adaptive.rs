@@ -1,0 +1,613 @@
+//! Adaptive invariant selection: the paper's §V findings as a cost model.
+//!
+//! Section V reports that the fastest member of the eight-algorithm family
+//! is predicted by graph shape: partition the vertex set whose *opposite*
+//! side does the least wedge work, and (in the paper's measurements)
+//! prefer the look-ahead members. The partition rule reproduces here; the
+//! look-ahead preference does not (EXPERIMENTS.md, E2 — the A₀-readers
+//! are consistently faster in this implementation), so the cost model
+//! keeps the paper's side rule and follows our own measurements within a
+//! side. Instead of making the caller hand-pick an invariant, this module
+//!
+//! 1. computes a cheap [`GraphProfile`] — side sizes, degree extrema, the
+//!    `Σ C(deg, 2)` wedge-work estimate per side, and degree skew — in one
+//!    pass over the two CSR/CSC degree arrays;
+//! 2. runs a cost model ([`select_invariant`] / [`select_plan`]) that picks
+//!    the partition side, traversal direction, look-ahead vs. look-behind,
+//!    blocked vs. flat execution, and (for parallel runs) degree-balanced
+//!    chunk boundaries instead of equal vertex ranges; and
+//! 3. optionally renumbers the partitioned side by descending degree
+//!    before counting ([`Plan::degree_ordered`]) — the ordering heuristic
+//!    of Wang et al. (VLDB'19) and ParButterfly's ranking phase — mapping
+//!    per-vertex results back through the permutation afterwards.
+//!
+//! The whole decision is recorded in telemetry (`select` span plus
+//! `plan.*` gauges), so `bfly report diff` can gate on it and
+//! `bfly count --explain` can print it.
+//!
+//! The wedge-work estimate is exact, not heuristic: a full run of any
+//! family member that partitions side `P` expands exactly
+//! `Σ_{j ∈ other(P)} C(deg(j), 2)` wedges (each unordered pair of
+//! partitioned-side vertices sharing the opposite-side neighbour `j` is
+//! expanded once, whichever of `A₀`/`A₂` the update reads). The property
+//! tests pin this identity against the `wedges_expanded` counter.
+
+use crate::family::{
+    count_blocked_recorded, count_partitioned_parallel_balanced_recorded, count_recorded, Invariant,
+};
+use bfly_graph::ordering::{degree_descending, relabel};
+use bfly_graph::{BipartiteGraph, Side};
+use bfly_sparse::choose2;
+use bfly_telemetry::{timed_span, Json, NoopRecorder, Recorder};
+
+/// One-pass structural profile of a bipartite graph — everything the cost
+/// model reads. Cheap: `O(|V1| + |V2|)` over the stored degree arrays, no
+/// edge traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProfile {
+    /// `|V1|` (rows of `A`).
+    pub nv1: usize,
+    /// `|V2|` (columns of `A`).
+    pub nv2: usize,
+    /// `|E|`.
+    pub nedges: usize,
+    /// Maximum degree on V1.
+    pub max_deg_v1: usize,
+    /// Maximum degree on V2.
+    pub max_deg_v2: usize,
+    /// `Σ_{u ∈ V1} C(deg(u), 2)` — the wedge work of partitioning **V2**
+    /// (invariants 1–4 expand their wedges through V1 vertices).
+    pub wedges_v1: u64,
+    /// `Σ_{v ∈ V2} C(deg(v), 2)` — the wedge work of partitioning **V1**.
+    pub wedges_v2: u64,
+    /// Degree skew of V1: `max_deg_v1 / mean_deg_v1` (0 when edgeless).
+    pub skew_v1: f64,
+    /// Degree skew of V2: `max_deg_v2 / mean_deg_v2` (0 when edgeless).
+    pub skew_v2: f64,
+}
+
+impl GraphProfile {
+    /// Profile `g` in one pass over each side's degree array.
+    pub fn compute(g: &BipartiteGraph) -> GraphProfile {
+        let (nv1, nv2) = (g.nv1(), g.nv2());
+        let mut max_deg_v1 = 0usize;
+        let mut wedges_v1 = 0u64;
+        for u in 0..nv1 {
+            let d = g.deg_v1(u);
+            max_deg_v1 = max_deg_v1.max(d);
+            wedges_v1 += choose2(d as u64);
+        }
+        let mut max_deg_v2 = 0usize;
+        let mut wedges_v2 = 0u64;
+        for v in 0..nv2 {
+            let d = g.deg_v2(v);
+            max_deg_v2 = max_deg_v2.max(d);
+            wedges_v2 += choose2(d as u64);
+        }
+        let nedges = g.nedges();
+        let skew = |max_deg: usize, count: usize| {
+            if nedges == 0 || count == 0 {
+                0.0
+            } else {
+                max_deg as f64 * count as f64 / nedges as f64
+            }
+        };
+        GraphProfile {
+            nv1,
+            nv2,
+            nedges,
+            max_deg_v1,
+            max_deg_v2,
+            wedges_v1,
+            wedges_v2,
+            skew_v1: skew(max_deg_v1, nv1),
+            skew_v2: skew(max_deg_v2, nv2),
+        }
+    }
+
+    /// Exact wedge work of a full family run that partitions `side`
+    /// (wedges are expanded through the *other* side's vertices).
+    pub fn partition_cost(&self, side: Side) -> u64 {
+        match side {
+            Side::V1 => self.wedges_v2,
+            Side::V2 => self.wedges_v1,
+        }
+    }
+
+    /// Degree skew of the given side.
+    pub fn skew(&self, side: Side) -> f64 {
+        match side {
+            Side::V1 => self.skew_v1,
+            Side::V2 => self.skew_v2,
+        }
+    }
+
+    /// Render as a JSON object (the `--explain` payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nv1".into(), Json::UInt(self.nv1 as u64)),
+            ("nv2".into(), Json::UInt(self.nv2 as u64)),
+            ("nedges".into(), Json::UInt(self.nedges as u64)),
+            ("max_deg_v1".into(), Json::UInt(self.max_deg_v1 as u64)),
+            ("max_deg_v2".into(), Json::UInt(self.max_deg_v2 as u64)),
+            ("wedges_v1".into(), Json::UInt(self.wedges_v1)),
+            ("wedges_v2".into(), Json::UInt(self.wedges_v2)),
+            ("skew_v1".into(), Json::Float(self.skew_v1)),
+            ("skew_v2".into(), Json::Float(self.skew_v2)),
+        ])
+    }
+}
+
+/// How the selected invariant is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The plain sequential loop of [`crate::family::count`].
+    Flat,
+    /// The cache-blocked sibling ([`crate::family::count_blocked`]).
+    Blocked {
+        /// Columns/rows exposed per block.
+        block_size: usize,
+    },
+    /// Rayon-parallel with degree-balanced chunk boundaries
+    /// ([`crate::family::count_partitioned_parallel_balanced`]).
+    Parallel {
+        /// Number of work chunks (normally the worker count).
+        chunks: usize,
+    },
+}
+
+/// The cost model's full decision for one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The family member to run (fixes partition side, traversal
+    /// direction, and `A₀` vs. `A₂`).
+    pub invariant: Invariant,
+    /// Renumber the partitioned side by descending degree first.
+    pub degree_ordered: bool,
+    /// Flat, blocked, or parallel execution.
+    pub mode: ExecMode,
+    /// Exact wedge work of the chosen partition side.
+    pub est_work: u64,
+    /// Wedge work the rejected side would have done.
+    pub est_work_alt: u64,
+}
+
+impl Plan {
+    /// The vertex set the plan partitions.
+    pub fn partition_side(&self) -> Side {
+        self.invariant.partitioned_side()
+    }
+
+    /// Render as a JSON object (the `--explain` payload).
+    pub fn to_json(&self) -> Json {
+        let (mode, block_size, chunks) = match self.mode {
+            ExecMode::Flat => ("flat", 0u64, 0u64),
+            ExecMode::Blocked { block_size } => ("blocked", block_size as u64, 0),
+            ExecMode::Parallel { chunks } => ("parallel", 0, chunks as u64),
+        };
+        Json::Obj(vec![
+            (
+                "invariant".into(),
+                Json::UInt(self.invariant.number() as u64),
+            ),
+            (
+                "partition_side".into(),
+                Json::Str(format!("{:?}", self.partition_side())),
+            ),
+            (
+                "lookahead".into(),
+                Json::Bool(self.invariant.is_lookahead()),
+            ),
+            ("degree_ordered".into(), Json::Bool(self.degree_ordered)),
+            ("mode".into(), Json::Str(mode.into())),
+            ("block_size".into(), Json::UInt(block_size)),
+            ("chunks".into(), Json::UInt(chunks)),
+            ("est_work".into(), Json::UInt(self.est_work)),
+            ("est_work_alt".into(), Json::UInt(self.est_work_alt)),
+        ])
+    }
+}
+
+/// Degree skew of the partitioned side past which the plan renumbers it
+/// by descending degree (concentrating the heavy accumulator rows early,
+/// the locality effect degree ordering buys).
+pub const DEGREE_ORDER_SKEW_THRESHOLD: f64 = 8.0;
+
+/// Minimum wedge work *per edge* before degree ordering is worth the
+/// relabel: renumbering is a sort plus a CSR/CSC rebuild — a few passes
+/// over the edge list — so it only pays once the counting loop does far
+/// more work than the rebuild (measured ~30% overhead on the stand-in
+/// datasets when applied unconditionally).
+pub const DEGREE_ORDER_MIN_WORK_PER_EDGE: u64 = 256;
+
+/// Partitioned-side size past which the sequential plan switches to the
+/// blocked kernel for cache locality.
+pub const BLOCKED_MIN_PARTITION: usize = 1 << 16;
+
+/// Block size used when the plan goes blocked.
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// Sequential selection: [`select_plan`] with `parallel = false`.
+pub fn select_invariant(profile: &GraphProfile) -> Plan {
+    select_plan(profile, false, 0)
+}
+
+/// The cost model. Chooses:
+///
+/// * **partition side** — the side whose opposite does less wedge work
+///   (`Σ C(deg, 2)` over the non-partitioned side is the *exact* inner-loop
+///   volume), ties broken toward the smaller side per the paper's rule;
+/// * **invariant** — the forward *processed-prefix* member of the chosen
+///   side (Inv. 1 / Inv. 5). The paper's §V prefers the look-ahead
+///   members, but that finding does not reproduce in this implementation:
+///   the A₀-readers run ~5–25% faster here (EXPERIMENTS.md, E2), so the
+///   cost model follows the measurement. Conveniently these are also the
+///   members the blocked kernel realises, so blocked and flat plans name
+///   the same invariant;
+/// * **degree ordering** — renumber the partitioned side by descending
+///   degree when its skew crosses [`DEGREE_ORDER_SKEW_THRESHOLD`] *and*
+///   the wedge work is at least [`DEGREE_ORDER_MIN_WORK_PER_EDGE`] times
+///   the edge count (otherwise the relabel costs more than it saves);
+/// * **mode** — parallel (degree-balanced chunks, one per worker) when
+///   requested, else blocked when the partitioned side exceeds
+///   [`BLOCKED_MIN_PARTITION`], else flat.
+pub fn select_plan(profile: &GraphProfile, parallel: bool, workers: usize) -> Plan {
+    let cost_v2 = profile.partition_cost(Side::V2);
+    let cost_v1 = profile.partition_cost(Side::V1);
+    let side = if cost_v2 != cost_v1 {
+        if cost_v2 < cost_v1 {
+            Side::V2
+        } else {
+            Side::V1
+        }
+    } else if profile.nv2 <= profile.nv1 {
+        Side::V2
+    } else {
+        Side::V1
+    };
+    let (est_work, est_work_alt) = match side {
+        Side::V2 => (cost_v2, cost_v1),
+        Side::V1 => (cost_v1, cost_v2),
+    };
+    let partition_len = match side {
+        Side::V1 => profile.nv1,
+        Side::V2 => profile.nv2,
+    };
+    let mode = if parallel {
+        ExecMode::Parallel {
+            chunks: workers.max(1),
+        }
+    } else if partition_len >= BLOCKED_MIN_PARTITION {
+        ExecMode::Blocked {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    } else {
+        ExecMode::Flat
+    };
+    let invariant = match side {
+        Side::V2 => Invariant::Inv1,
+        Side::V1 => Invariant::Inv5,
+    };
+    let degree_ordered = profile.skew(side) >= DEGREE_ORDER_SKEW_THRESHOLD
+        && est_work >= DEGREE_ORDER_MIN_WORK_PER_EDGE * profile.nedges as u64;
+    Plan {
+        invariant,
+        degree_ordered,
+        mode,
+        est_work,
+        est_work_alt,
+    }
+}
+
+/// Profile `g` and select a plan, recording the decision: the work happens
+/// inside a `select` span and the choice lands in `plan.*` gauges so
+/// saved reports carry it.
+pub fn profile_and_plan_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    parallel: bool,
+    workers: usize,
+    rec: &mut R,
+) -> (GraphProfile, Plan) {
+    timed_span(rec, "select", |rec| {
+        let profile = GraphProfile::compute(g);
+        let plan = select_plan(&profile, parallel, workers);
+        if R::ENABLED {
+            rec.gauge("plan.invariant", plan.invariant.number() as f64);
+            rec.gauge(
+                "plan.partition_side",
+                match plan.partition_side() {
+                    Side::V1 => 1.0,
+                    Side::V2 => 2.0,
+                },
+            );
+            rec.gauge(
+                "plan.lookahead",
+                if plan.invariant.is_lookahead() {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+            rec.gauge(
+                "plan.degree_ordered",
+                if plan.degree_ordered { 1.0 } else { 0.0 },
+            );
+            let (blocked, block_size, chunks) = match plan.mode {
+                ExecMode::Flat => (0.0, 0.0, 0.0),
+                ExecMode::Blocked { block_size } => (1.0, block_size as f64, 0.0),
+                ExecMode::Parallel { chunks } => (0.0, 0.0, chunks as f64),
+            };
+            rec.gauge("plan.blocked", blocked);
+            rec.gauge("plan.block_size", block_size);
+            rec.gauge("plan.par_chunks", chunks);
+            rec.gauge("plan.est_work", plan.est_work as f64);
+            rec.gauge("plan.est_work_alt", plan.est_work_alt as f64);
+        }
+        (profile, plan)
+    })
+}
+
+/// Execute a previously selected plan on `g`.
+pub fn execute_plan(g: &BipartiteGraph, plan: &Plan) -> u64 {
+    execute_plan_recorded(g, plan, &mut NoopRecorder)
+}
+
+/// [`execute_plan`] reporting work counters through `rec`. Degree-ordered
+/// plans count an isomorphic renumbering of `g`; the total is unchanged
+/// (counting is permutation-invariant — pinned by the differential tests),
+/// so no inverse mapping is needed here. Per-vertex consumers go through
+/// [`butterflies_per_vertex_degree_ordered`], which does map back.
+pub fn execute_plan_recorded<R: Recorder>(g: &BipartiteGraph, plan: &Plan, rec: &mut R) -> u64 {
+    let side = plan.partition_side();
+    let ordered;
+    let g_exec: &BipartiteGraph = if plan.degree_ordered {
+        ordered = timed_span(rec, "degree_order", |_| {
+            relabel(g, side, &degree_descending(g, side))
+        });
+        &ordered
+    } else {
+        g
+    };
+    match plan.mode {
+        ExecMode::Flat => count_recorded(g_exec, plan.invariant, rec),
+        ExecMode::Blocked { block_size } => count_blocked_recorded(g_exec, side, block_size, rec),
+        ExecMode::Parallel { chunks } => {
+            let (part_adj, other_adj) = match side {
+                Side::V2 => (g_exec.biadjacency_t(), g_exec.biadjacency()),
+                Side::V1 => (g_exec.biadjacency(), g_exec.biadjacency_t()),
+            };
+            bfly_telemetry::timed_phase(rec, "count_parallel", |rec| {
+                count_partitioned_parallel_balanced_recorded(
+                    part_adj,
+                    other_adj,
+                    plan.invariant.traversal(),
+                    plan.invariant.update_part(),
+                    chunks,
+                    rec,
+                )
+            })
+        }
+    }
+}
+
+/// Count with the adaptively selected sequential plan. Returns the count
+/// and the plan that produced it.
+pub fn count_adaptive(g: &BipartiteGraph) -> (u64, Plan) {
+    count_adaptive_recorded(g, &mut NoopRecorder)
+}
+
+/// [`count_adaptive`] reporting the selection and the work through `rec`.
+pub fn count_adaptive_recorded<R: Recorder>(g: &BipartiteGraph, rec: &mut R) -> (u64, Plan) {
+    let (_, plan) = profile_and_plan_recorded(g, false, 0, rec);
+    let xi = execute_plan_recorded(g, &plan, rec);
+    (xi, plan)
+}
+
+/// Count with the adaptively selected plan on rayon's current pool, using
+/// degree-balanced chunk boundaries (one chunk per worker).
+pub fn count_adaptive_parallel(g: &BipartiteGraph) -> (u64, Plan) {
+    count_adaptive_parallel_recorded(g, &mut NoopRecorder)
+}
+
+/// [`count_adaptive_parallel`] reporting through `rec`.
+pub fn count_adaptive_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    rec: &mut R,
+) -> (u64, Plan) {
+    let workers = rayon::current_num_threads().max(1);
+    let (_, plan) = profile_and_plan_recorded(g, true, workers, rec);
+    let xi = execute_plan_recorded(g, &plan, rec);
+    (xi, plan)
+}
+
+/// Per-vertex butterfly counts computed on the descending-degree
+/// renumbering of `side`, mapped back to the original vertex ids — the
+/// result-mapping half of the degree-ordered execution mode. Equal to
+/// [`crate::vertex_counts::butterflies_per_vertex`] on the original graph
+/// (pinned by `tests/degree_order_permutation.rs`).
+pub fn butterflies_per_vertex_degree_ordered(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    let perm = degree_descending(g, side);
+    let h = relabel(g, side, &perm);
+    let renumbered = crate::vertex_counts::butterflies_per_vertex(&h, side);
+    let mut out = vec![0u64; renumbered.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        out[old as usize] = renumbered[new];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::count_brute_force;
+    use bfly_graph::generators::{chung_lu, uniform_exact};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profile_matches_graph_accessors() {
+        let g =
+            BipartiteGraph::from_edges(3, 4, &[(0, 0), (0, 1), (0, 2), (1, 0), (2, 1)]).unwrap();
+        let p = GraphProfile::compute(&g);
+        assert_eq!(p.nv1, 3);
+        assert_eq!(p.nv2, 4);
+        assert_eq!(p.nedges, 5);
+        assert_eq!(p.max_deg_v1, 3);
+        assert_eq!(p.max_deg_v2, 2);
+        assert_eq!(p.wedges_v1, g.wedges_through_v1());
+        assert_eq!(p.wedges_v2, g.wedges_through_v2());
+        assert_eq!(p.partition_cost(Side::V2), p.wedges_v1);
+        assert_eq!(p.partition_cost(Side::V1), p.wedges_v2);
+    }
+
+    #[test]
+    fn empty_graph_profile_is_all_zero() {
+        let p = GraphProfile::compute(&BipartiteGraph::empty(4, 7));
+        assert_eq!(p.wedges_v1, 0);
+        assert_eq!(p.wedges_v2, 0);
+        assert_eq!(p.skew_v1, 0.0);
+        assert_eq!(p.skew_v2, 0.0);
+        // Tie on work → the paper's smaller-side rule decides (V1 here).
+        assert_eq!(select_invariant(&p).partition_side(), Side::V1);
+    }
+
+    #[test]
+    fn selection_minimises_wedge_work() {
+        // One V1 hub of degree 12: partitioning V2 would expand C(12,2)
+        // wedges through it, partitioning V1 only the C(1,2)=0 wedges of
+        // the leaves. The plan must partition V1.
+        let edges: Vec<(u32, u32)> = (0..12).map(|v| (0, v)).collect();
+        let star = BipartiteGraph::from_edges(1, 12, &edges).unwrap();
+        let p = GraphProfile::compute(&star);
+        let plan = select_invariant(&p);
+        assert_eq!(plan.partition_side(), Side::V1);
+        assert!(plan.est_work <= plan.est_work_alt);
+        // And the mirrored star flips the decision.
+        let plan_t = select_invariant(&GraphProfile::compute(&star.swap_sides()));
+        assert_eq!(plan_t.partition_side(), Side::V2);
+    }
+
+    #[test]
+    fn prefix_reader_members_are_preferred() {
+        // The measured within-side preference (EXPERIMENTS.md E2): the
+        // forward A₀-reading member of whichever side is chosen.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = uniform_exact(40, 30, 200, &mut rng);
+        let plan = select_invariant(&GraphProfile::compute(&g));
+        assert!(matches!(plan.mode, ExecMode::Flat));
+        assert!(matches!(plan.invariant, Invariant::Inv1 | Invariant::Inv5));
+        assert!(!plan.invariant.is_lookahead());
+    }
+
+    #[test]
+    fn skewed_graphs_trigger_degree_ordering() {
+        // A hub of degree 60 among 100 mostly degree-1 V2 vertices: skew
+        // well past the threshold on V2... the *partitioned* side is what
+        // matters, so build skew there.
+        let mut edges: Vec<(u32, u32)> = (0..60).map(|u| (u, 0)).collect();
+        edges.extend((0..40u32).map(|u| (u, 1 + u % 30)));
+        let g = BipartiteGraph::from_edges(60, 31, &edges).unwrap();
+        let p = GraphProfile::compute(&g);
+        let plan = select_invariant(&p);
+        if plan.degree_ordered {
+            assert!(p.skew(plan.partition_side()) >= DEGREE_ORDER_SKEW_THRESHOLD);
+        }
+        // Whatever was selected, it still counts correctly.
+        assert_eq!(execute_plan(&g, &plan), count_brute_force(&g));
+    }
+
+    #[test]
+    fn adaptive_count_is_correct_across_regimes() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for g in [
+            uniform_exact(30, 50, 220, &mut rng),
+            chung_lu(80, 20, 300, 0.9, 0.4, &mut rng),
+            BipartiteGraph::complete(7, 5),
+            BipartiteGraph::empty(9, 3),
+        ] {
+            let want = count_brute_force(&g);
+            let (xi, _) = count_adaptive(&g);
+            assert_eq!(xi, want);
+            let (xi_par, plan_par) = count_adaptive_parallel(&g);
+            assert_eq!(xi_par, want);
+            assert!(matches!(plan_par.mode, ExecMode::Parallel { .. }));
+        }
+    }
+
+    #[test]
+    fn forced_modes_all_agree() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = chung_lu(60, 45, 280, 0.8, 0.6, &mut rng);
+        let want = count_brute_force(&g);
+        let base = select_invariant(&GraphProfile::compute(&g));
+        for (mode, invariant) in [
+            (ExecMode::Flat, base.invariant),
+            (ExecMode::Blocked { block_size: 16 }, base.invariant),
+            (ExecMode::Parallel { chunks: 3 }, base.invariant),
+        ] {
+            for degree_ordered in [false, true] {
+                let plan = Plan {
+                    invariant,
+                    degree_ordered,
+                    mode,
+                    est_work: base.est_work,
+                    est_work_alt: base.est_work_alt,
+                };
+                assert_eq!(execute_plan(&g, &plan), want, "{plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_plan_lands_in_gauges_and_select_span() {
+        use bfly_telemetry::InMemoryRecorder;
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = uniform_exact(50, 20, 180, &mut rng);
+        let mut rec = InMemoryRecorder::new();
+        let (xi, plan) = count_adaptive_recorded(&g, &mut rec);
+        assert_eq!(xi, count_brute_force(&g));
+        assert_eq!(
+            rec.gauge_value("plan.invariant"),
+            Some(plan.invariant.number() as f64)
+        );
+        assert_eq!(rec.gauge_value("plan.est_work"), Some(plan.est_work as f64));
+        assert!(rec.spans().iter().any(|s| s.name == "select"));
+    }
+
+    #[test]
+    fn degree_ordered_per_vertex_counts_map_back() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = chung_lu(40, 35, 220, 0.9, 0.9, &mut rng);
+        for side in [Side::V1, Side::V2] {
+            assert_eq!(
+                butterflies_per_vertex_degree_ordered(&g, side),
+                crate::vertex_counts::butterflies_per_vertex(&g, side)
+            );
+        }
+    }
+
+    #[test]
+    fn json_payloads_name_every_field() {
+        let g = BipartiteGraph::complete(3, 9);
+        let p = GraphProfile::compute(&g);
+        let plan = select_invariant(&p);
+        let pj = p.to_json();
+        for key in ["nv1", "nv2", "nedges", "wedges_v1", "wedges_v2", "skew_v1"] {
+            assert!(pj.get(key).is_some(), "profile missing {key}");
+        }
+        let lj = plan.to_json();
+        for key in [
+            "invariant",
+            "partition_side",
+            "mode",
+            "degree_ordered",
+            "est_work",
+        ] {
+            assert!(lj.get(key).is_some(), "plan missing {key}");
+        }
+        assert_eq!(
+            lj.get("invariant").and_then(Json::as_u64),
+            Some(plan.invariant.number() as u64)
+        );
+    }
+}

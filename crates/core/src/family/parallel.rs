@@ -108,6 +108,157 @@ pub fn count_partitioned_parallel_recorded<R: Recorder>(
     total
 }
 
+/// Exact wedge work each partitioned vertex will trigger: vertex `k`'s
+/// update scans `Σ_{j ∈ N(k)} deg_other(j)` adjacency entries (its wedge
+/// midpoints), which is what the `chunk_us` histogram showed to be wildly
+/// unequal across equal-length vertex ranges on skewed graphs.
+pub fn wedge_weights(part_adj: &Pattern, other_adj: &Pattern) -> Vec<u64> {
+    (0..part_adj.nrows())
+        .map(|k| {
+            part_adj
+                .row(k)
+                .iter()
+                .map(|&j| other_adj.row(j as usize).len() as u64)
+                .sum()
+        })
+        .collect()
+}
+
+/// Chunk boundaries that equalise *work*, not vertex count: boundary `c`
+/// is placed at the first index whose weight prefix sum reaches
+/// `total · c / nchunks`. Returns `nchunks + 1` monotone bounds with
+/// `bounds[0] == 0` and `bounds[nchunks] == weights.len()`; chunks may be
+/// empty on degenerate inputs (all weight in one vertex). With all-zero
+/// weights this degrades to equal vertex ranges.
+pub fn balanced_chunk_bounds(weights: &[u64], nchunks: usize) -> Vec<usize> {
+    let n = weights.len();
+    let nchunks = nchunks.max(1);
+    let total: u64 = weights.iter().sum();
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(0);
+    if total == 0 {
+        for c in 1..=nchunks {
+            bounds.push(n * c / nchunks);
+        }
+        return bounds;
+    }
+    let mut prefix = 0u64;
+    let mut i = 0usize;
+    for c in 1..nchunks {
+        // u64·usize can overflow u64 only past ~2^64 wedges; use u128.
+        let target = (total as u128 * c as u128).div_ceil(nchunks as u128) as u64;
+        while i < n && prefix < target {
+            prefix += weights[i];
+            i += 1;
+        }
+        bounds.push(i);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// [`count_partitioned_parallel`] with degree-balanced chunk boundaries:
+/// the partitioned vertices are split into `nchunks` contiguous ranges of
+/// roughly equal *wedge work* (per [`balanced_chunk_bounds`]) rather than
+/// equal length, fixing the chunk imbalance the `chunk_us` histogram
+/// exposes on skewed graphs.
+pub fn count_partitioned_parallel_balanced(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    nchunks: usize,
+) -> u64 {
+    count_partitioned_parallel_balanced_recorded(
+        part_adj,
+        other_adj,
+        traversal,
+        filter,
+        nchunks,
+        &mut NoopRecorder,
+    )
+}
+
+/// Instrumented [`count_partitioned_parallel_balanced`]. Emits the same
+/// stream as [`count_partitioned_parallel_recorded`] — per-worker
+/// [`ThreadTrace`]s with `chunk` spans, the `chunk_us` histogram, the
+/// `par_chunk_wedges` series, and the `par_imbalance` gauge — so balanced
+/// and equal-range runs diff directly in `bfly report diff`. Unlike the
+/// equal-range path, the balanced boundaries are also used when the
+/// recorder is disabled.
+pub fn count_partitioned_parallel_balanced_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    nchunks: usize,
+    rec: &mut R,
+) -> u64 {
+    let nverts = part_adj.nrows();
+    let order: Vec<usize> = match traversal {
+        Traversal::Forward => (0..nverts).collect(),
+        Traversal::Backward => (0..nverts).rev().collect(),
+    };
+    // Weights follow traversal order so boundaries balance the order
+    // actually processed (weights are direction-independent per vertex).
+    let weights_by_vertex = wedge_weights(part_adj, other_adj);
+    let weights: Vec<u64> = order.iter().map(|&k| weights_by_vertex[k]).collect();
+    let bounds = balanced_chunk_bounds(&weights, nchunks);
+    let chunks: Vec<&[usize]> = bounds
+        .windows(2)
+        .map(|w| &order[w[0]..w[1]])
+        .filter(|c| !c.is_empty())
+        .collect();
+    if !R::ENABLED {
+        return chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut spa = Spa::<u64>::new(nverts);
+                chunk
+                    .iter()
+                    .map(|&k| update_for_vertex(part_adj, other_adj, filter, k, &mut spa))
+                    .sum::<u64>()
+            })
+            .sum();
+    }
+    let per_chunk: Vec<(u64, ThreadTrace)> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut spa = Spa::<u64>::new(nverts);
+            let mut trace = ThreadTrace::new();
+            let t0 = std::time::Instant::now();
+            trace.span_enter("chunk");
+            let mut sum = 0u64;
+            for &k in chunk {
+                sum += update_for_vertex_recorded(
+                    part_adj, other_adj, filter, k, &mut spa, &mut trace,
+                );
+            }
+            trace.span_exit("chunk");
+            trace.hist_record("chunk_us", t0.elapsed().as_micros() as u64);
+            (sum, trace)
+        })
+        .collect();
+    rec.incr(Counter::ParChunks, per_chunk.len() as u64);
+    let nchunks_run = per_chunk.len();
+    let mut total = 0u64;
+    let mut max_wedges = 0u64;
+    let mut sum_wedges = 0u64;
+    for (i, (sub, trace)) in per_chunk.into_iter().enumerate() {
+        total += sub;
+        let w = trace.tally().get(Counter::WedgesExpanded);
+        rec.series_push("par_chunk_wedges", w as f64);
+        max_wedges = max_wedges.max(w);
+        sum_wedges += w;
+        rec.merge_thread(i as u32 + 1, trace);
+    }
+    if nchunks_run > 0 && sum_wedges > 0 {
+        let mean = sum_wedges as f64 / nchunks_run as f64;
+        rec.gauge("par_imbalance", max_wedges as f64 / mean);
+    }
+    total
+}
+
 /// Count butterflies with the given invariant using rayon's current pool.
 pub fn count_parallel(g: &BipartiteGraph, inv: Invariant) -> u64 {
     count_parallel_recorded(g, inv, &mut NoopRecorder)
@@ -203,6 +354,81 @@ mod tests {
                 want
             );
         }
+    }
+
+    #[test]
+    fn balanced_bounds_are_monotone_and_cover() {
+        let weights = [0u64, 10, 0, 0, 50, 1, 1, 1, 200, 0];
+        for nchunks in 1..=6 {
+            let b = balanced_chunk_bounds(&weights, nchunks);
+            assert_eq!(b.len(), nchunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), weights.len());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]), "{b:?}");
+        }
+        // All-zero weights fall back to equal vertex ranges.
+        assert_eq!(balanced_chunk_bounds(&[0, 0, 0, 0], 2), vec![0, 2, 4]);
+        assert_eq!(balanced_chunk_bounds(&[], 3), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn balanced_bounds_equalise_heavy_prefix() {
+        // All weight up front: the first chunk must not also swallow the
+        // light tail.
+        let weights = [100u64, 100, 1, 1, 1, 1];
+        let b = balanced_chunk_bounds(&weights, 2);
+        assert_eq!(b, vec![0, 2, 6]);
+    }
+
+    #[test]
+    fn balanced_parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for g in [
+            uniform_exact(60, 40, 300, &mut rng),
+            chung_lu(120, 30, 600, 0.95, 0.3, &mut rng),
+        ] {
+            let want = count_via_spgemm(&g);
+            for inv in Invariant::ALL {
+                let (part_adj, other_adj) = match inv.partitioned_side() {
+                    Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+                    Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+                };
+                for nchunks in [1, 3, 8] {
+                    assert_eq!(
+                        count_partitioned_parallel_balanced(
+                            part_adj,
+                            other_adj,
+                            inv.traversal(),
+                            inv.update_part(),
+                            nchunks,
+                        ),
+                        want,
+                        "{inv} nchunks={nchunks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_recorded_preserves_total_wedge_work() {
+        use bfly_telemetry::InMemoryRecorder;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = chung_lu(100, 40, 500, 0.9, 0.5, &mut rng);
+        let want = count_via_spgemm(&g);
+        let mut rec = InMemoryRecorder::new();
+        let got = count_partitioned_parallel_balanced_recorded(
+            g.biadjacency_t(),
+            g.biadjacency(),
+            Traversal::Forward,
+            PartFilter::After,
+            4,
+            &mut rec,
+        );
+        assert_eq!(got, want);
+        // Wedge-work conservation: chunking never changes total work.
+        assert_eq!(rec.counter(Counter::WedgesExpanded), g.wedges_through_v1());
+        assert!(rec.counter(Counter::ParChunks) >= 1);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   is validated against these.
 //! * [`family`] — the eight derived algorithms ([`Invariant`]), sequential
 //!   ([`count`]), rayon-parallel ([`count_parallel`]), and blocked.
+//! * [`adaptive`] — profile-driven selection among the family members
+//!   ([`count_adaptive`]): partition side by exact wedge-work estimate,
+//!   degree-ordered execution, degree-balanced parallel chunking.
 //! * [`vertex_counts`] / [`edge_support`] — per-vertex butterfly counts
 //!   (paper eq. 19) and per-edge support `S_w` (eq. 25), each in both
 //!   wedge-expansion and literal-algebra form.
@@ -48,6 +51,7 @@
 // workspace; the indexed loops clippy flags are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod adaptive;
 pub mod approx;
 pub mod baseline;
 pub mod edge_support;
@@ -59,9 +63,15 @@ pub mod pair_matrix;
 pub mod partitioned;
 pub mod peel;
 pub mod spec;
+#[cfg(feature = "testkit")]
+pub mod testkit;
 pub mod vertex_counts;
 pub mod wedges;
 
+pub use adaptive::{
+    count_adaptive, count_adaptive_parallel, count_adaptive_parallel_recorded,
+    count_adaptive_recorded, select_invariant, select_plan, ExecMode, GraphProfile, Plan,
+};
 pub use enumerate::{count_by_enumeration, enumerate_butterflies, for_each_butterfly, Butterfly};
 pub use family::{
     count, count_auto, count_auto_recorded, count_parallel, count_parallel_recorded,

@@ -1,0 +1,179 @@
+//! Shared test fixtures and proptest strategies (feature `testkit`).
+//!
+//! The integration tests under `tests/` all need the same thing: a spread
+//! of bipartite graphs across the regimes where butterfly counters
+//! misbehave differently — uniform, power-law-ish skewed, star-heavy,
+//! near-empty, and complete-biclique — generated deterministically from
+//! the vendored RNG shim. Before this module each test file carried its
+//! own copy of that battery; now they (and future differential harnesses)
+//! share one.
+//!
+//! Enable with the `testkit` cargo feature; the module is test support,
+//! not library API, and makes no stability promises.
+
+use bfly_graph::generators::{chung_lu, uniform_exact, with_planted_biclique};
+use bfly_graph::BipartiteGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Upper bound per side used by the bounded [`arb_graph`] strategy.
+pub const MAX_SIDE: u32 = 24;
+
+/// Uniform random graph with exactly `nedges` distinct edges.
+pub fn uniform_graph(m: usize, n: usize, nedges: usize, seed: u64) -> BipartiteGraph {
+    uniform_exact(m, n, nedges, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Power-law-ish skewed graph (Chung–Lu with exponent `exp` on both
+/// sides); larger `exp` → heavier hubs.
+pub fn skewed_graph(m: usize, n: usize, nedges: usize, exp: f64, seed: u64) -> BipartiteGraph {
+    chung_lu(m, n, nedges, exp, exp, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Star-heavy graph: `hubs` V1 vertices each adjacent to every V2 leaf,
+/// plus a sprinkle of random background edges — the shape where one
+/// partition side does catastrophically more wedge work than the other.
+pub fn star_heavy_graph(hubs: usize, leaves: usize, noise: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = hubs + noise.max(1);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for h in 0..hubs as u32 {
+        for v in 0..leaves as u32 {
+            edges.push((h, v));
+        }
+    }
+    for _ in 0..noise {
+        let u = hubs as u32 + rng.random_range(0..noise.max(1) as u32);
+        let v = rng.random_range(0..leaves.max(1) as u32);
+        edges.push((u, v));
+    }
+    BipartiteGraph::from_edges(m, leaves.max(1), &edges).expect("generated edges in range")
+}
+
+/// Near-empty graph: at most a handful of edges scattered over a large
+/// vertex set (exercises the all-zero-degree paths).
+pub fn near_empty_graph(m: usize, n: usize, nedges: usize, seed: u64) -> BipartiteGraph {
+    uniform_exact(m, n, nedges.min(3), &mut StdRng::seed_from_u64(seed))
+}
+
+/// Complete biclique `K_{m,n}` — the densest regime, `C(m,2)·C(n,2)`
+/// butterflies.
+pub fn biclique(m: usize, n: usize) -> BipartiteGraph {
+    BipartiteGraph::complete(m, n)
+}
+
+/// The named fixture battery: one representative per regime plus the
+/// degenerate shapes every counter must survive. Deterministic across
+/// runs (fixed seeds), so failures name a reproducible graph.
+pub fn fixture_battery() -> Vec<(String, BipartiteGraph)> {
+    let mut out: Vec<(String, BipartiteGraph)> = vec![
+        ("uniform-20x20x80".into(), uniform_graph(20, 20, 80, 1001)),
+        ("uniform-50x10x150".into(), uniform_graph(50, 10, 150, 1001)),
+        ("uniform-10x60x200".into(), uniform_graph(10, 60, 200, 1001)),
+        ("skewed-0.3".into(), skewed_graph(60, 45, 300, 0.3, 1002)),
+        ("skewed-0.7".into(), skewed_graph(60, 45, 300, 0.7, 1002)),
+        ("skewed-1.0".into(), skewed_graph(60, 45, 300, 1.0, 1002)),
+        ("star-heavy".into(), star_heavy_graph(3, 40, 30, 1003)),
+        ("near-empty".into(), near_empty_graph(40, 50, 3, 1004)),
+        ("biclique-6x6".into(), biclique(6, 6)),
+        ("biclique-2x12".into(), biclique(2, 12)),
+        ("empty".into(), BipartiteGraph::empty(10, 10)),
+        ("single-v1".into(), BipartiteGraph::complete(1, 20)),
+        ("single-v2".into(), BipartiteGraph::complete(20, 1)),
+    ];
+    let matching: Vec<(u32, u32)> = (0..15).map(|i| (i, i)).collect();
+    out.push((
+        "perfect-matching".into(),
+        BipartiteGraph::from_edges(15, 15, &matching).expect("matching edges in range"),
+    ));
+    let base = uniform_graph(40, 40, 100, 1005);
+    out.push((
+        "planted-biclique".into(),
+        with_planted_biclique(&base, &[0, 1, 2, 3, 4, 5], &[10, 11, 12, 13]),
+    ));
+    out
+}
+
+/// Strategy: arbitrary simple bipartite graph with up to [`MAX_SIDE`]
+/// vertices per side and up to 80 (pre-dedup) edges. This is the bounded
+/// edge-list generator previously copy-pasted into each proptest file.
+pub fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1..=MAX_SIDE, 1..=MAX_SIDE).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..80).prop_map(move |edges| {
+            BipartiteGraph::from_edges(m as usize, n as usize, &edges)
+                .expect("bounded edges are valid")
+        })
+    })
+}
+
+/// Strategy: a graph drawn from one of the five named regimes (uniform,
+/// skewed, star-heavy, near-empty, complete-biclique), selected by the
+/// generated `family` index with a generated seed — the differential
+/// harness's input distribution. The shim has no `prop_oneof`, so the
+/// union is a selector integer matched inside one `prop_map`.
+pub fn arb_family_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (0u32..5, 0u64..u64::MAX).prop_map(|(family, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => {
+                let m = rng.random_range(2..40usize);
+                let n = rng.random_range(2..40usize);
+                let e = rng.random_range(0..=(m * n / 2));
+                uniform_exact(m, n, e, &mut rng)
+            }
+            1 => {
+                let m = rng.random_range(4..50usize);
+                let n = rng.random_range(4..50usize);
+                let e = rng.random_range(0..=(m * n / 3));
+                let exp = 0.3 + 0.7 * rng.random_f64();
+                chung_lu(m, n, e, exp, exp, &mut rng)
+            }
+            2 => {
+                let hubs = rng.random_range(1..4usize);
+                let leaves = rng.random_range(2..30usize);
+                let noise = rng.random_range(0..20usize);
+                star_heavy_graph(hubs, leaves, noise, rng.next_u64())
+            }
+            3 => {
+                let m = rng.random_range(1..60usize);
+                let n = rng.random_range(1..60usize);
+                let e = rng.random_range(0..=3usize).min(m * n);
+                uniform_exact(m, n, e, &mut rng)
+            }
+            _ => {
+                let m = rng.random_range(1..10usize);
+                let n = rng.random_range(1..10usize);
+                BipartiteGraph::complete(m, n)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_is_deterministic_and_nonempty() {
+        let a = fixture_battery();
+        let b = fixture_battery();
+        assert!(a.len() >= 10);
+        for ((na, ga), (nb, gb)) in a.iter().zip(b.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ga, gb, "{na} not deterministic");
+        }
+        // At least one fixture from each interesting regime is non-trivial.
+        assert!(a
+            .iter()
+            .any(|(n, g)| n.starts_with("skewed") && g.nedges() > 0));
+        assert!(a.iter().any(|(n, g)| n == "empty" && g.nedges() == 0));
+    }
+
+    #[test]
+    fn star_heavy_has_a_dominant_side() {
+        let g = star_heavy_graph(2, 30, 10, 7);
+        // The hubs see every leaf; wedge work through V1 dwarfs V2's.
+        assert!(g.wedges_through_v1() > g.wedges_through_v2());
+    }
+}

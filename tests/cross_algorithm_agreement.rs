@@ -3,8 +3,10 @@
 //! specification counters, and the two exact baselines — must agree on the
 //! same graph, across a spread of generator regimes and edge cases.
 
+use bfly::core::adaptive::{count_adaptive, count_adaptive_parallel};
 use bfly::core::baseline::{count_hash_aggregation, count_vertex_priority};
 use bfly::core::family::count_blocked;
+use bfly::core::testkit::fixture_battery;
 use bfly::core::{
     count, count_brute_force, count_dense_formula, count_parallel, count_via_spgemm, Invariant,
 };
@@ -36,6 +38,22 @@ fn assert_all_agree(g: &BipartiteGraph, label: &str) {
     }
     assert_eq!(count_hash_aggregation(g), want, "{label}: hash baseline");
     assert_eq!(count_vertex_priority(g), want, "{label}: vertex priority");
+    let (xi, plan) = count_adaptive(g);
+    assert_eq!(xi, want, "{label}: adaptive (plan {plan:?})");
+    let (xi_par, plan_par) = count_adaptive_parallel(g);
+    assert_eq!(
+        xi_par, want,
+        "{label}: adaptive parallel (plan {plan_par:?})"
+    );
+}
+
+#[test]
+fn agreement_on_testkit_fixture_battery() {
+    // The shared fixture battery (testkit) covers uniform, skewed,
+    // star-heavy, near-empty, biclique, and degenerate shapes.
+    for (name, g) in fixture_battery() {
+        assert_all_agree(&g, &name);
+    }
 }
 
 #[test]

@@ -1,29 +1,18 @@
 //! Property-based tests (proptest) over arbitrary bipartite graphs.
 //!
-//! The generators produce arbitrary edge lists over bounded vertex sets;
-//! the properties are the algebraic identities the paper's derivation
-//! rests on, checked end to end on the real implementations.
+//! Graphs come from the shared `bfly_core::testkit` strategies (arbitrary
+//! edge lists over bounded vertex sets); the properties are the algebraic
+//! identities the paper's derivation rests on, checked end to end on the
+//! real implementations.
 
 use bfly::core::baseline::{count_hash_aggregation, count_vertex_priority};
 use bfly::core::edge_support::{edge_supports, total_from_supports};
 use bfly::core::peel::{k_tip, k_wing};
+use bfly::core::testkit::{arb_graph, MAX_SIDE};
 use bfly::core::vertex_counts::{butterflies_per_vertex, butterflies_per_vertex_algebraic};
 use bfly::core::{count, count_brute_force, count_via_spgemm, Invariant};
 use bfly::graph::{BipartiteGraph, Side};
 use proptest::prelude::*;
-
-const MAX_SIDE: u32 = 24;
-
-/// Strategy: arbitrary simple bipartite graph with up to `MAX_SIDE`
-/// vertices per side and up to 80 (pre-dedup) edges.
-fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
-    (1..=MAX_SIDE, 1..=MAX_SIDE).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 0..80).prop_map(move |edges| {
-            BipartiteGraph::from_edges(m as usize, n as usize, &edges)
-                .expect("bounded edges are valid")
-        })
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
