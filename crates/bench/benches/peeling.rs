@@ -3,8 +3,10 @@
 //! and the full decompositions, on a noisy graph with a planted biclique.
 
 use bfly_core::peel::{
-    k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers, wing_numbers,
+    k_tip, k_tip_lookahead, k_tip_matrix, k_wing, k_wing_matrix, tip_numbers,
+    tip_numbers_with_chunks, wing_numbers, wing_numbers_with_chunks,
 };
+use bfly_core::telemetry::NoopRecorder;
 use bfly_graph::generators::{uniform_exact, with_planted_biclique};
 use bfly_graph::Side;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -42,5 +44,37 @@ fn bench_peeling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_peeling);
+/// Sequential vs chunked bucket-engine decompositions on a graph dense
+/// enough to exceed `PAR_FRONTIER_MIN` per round (a fat planted block
+/// over background noise), at the chunk widths the differential tests
+/// pin.
+fn bench_peel_throughput(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let base = uniform_exact(3_000, 3_000, 12_000, &mut rng);
+    let block: Vec<u32> = (0..24).collect();
+    let g = with_planted_biclique(&base, &block, &block);
+
+    let mut group = c.benchmark_group("peel_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for chunks in [1usize, 2, 4] {
+        group.bench_function(format!("tip/chunks={chunks}"), |b| {
+            b.iter(|| {
+                black_box(tip_numbers_with_chunks(
+                    &g,
+                    Side::V1,
+                    chunks,
+                    &mut NoopRecorder,
+                ))
+            })
+        });
+        group.bench_function(format!("wing/chunks={chunks}"), |b| {
+            b.iter(|| black_box(wing_numbers_with_chunks(&g, chunks, &mut NoopRecorder)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_peeling, bench_peel_throughput);
 criterion_main!(benches);

@@ -2,16 +2,18 @@
 //! k-wing extraction on a stand-in with planted dense blocks, timing the
 //! production (wedge-expansion), matrix-formulation (eqs. 19–22 / 25–27),
 //! and look-ahead (Fig. 8) variants, and checking they extract identical
-//! subgraphs.
+//! subgraphs. A second sweep times the full tip/wing decompositions on
+//! the bucket-peeling engine per dataset × thread count, asserting the
+//! parallel numbers are bitwise-identical to sequential.
 
 use bfly_bench::{scale_from_env, time_one, write_bench_report};
 use bfly_core::peel::{
     k_tip, k_tip_lookahead, k_tip_matrix, k_tip_recorded, k_wing, k_wing_matrix, k_wing_recorded,
-    tip_numbers, wing_numbers,
+    tip_numbers, tip_numbers_with_chunks, wing_numbers, wing_numbers_with_chunks,
 };
-use bfly_core::telemetry::{InMemoryRecorder, Json};
+use bfly_core::telemetry::{InMemoryRecorder, Json, NoopRecorder};
 use bfly_graph::generators::{uniform_exact, with_planted_biclique};
-use bfly_graph::Side;
+use bfly_graph::{BipartiteGraph, Side, StandIn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -112,6 +114,75 @@ fn main() {
     // The planted K(20,20) block members should top both decompositions.
     let planted_min_tip = b1.iter().map(|&u| tips[u as usize]).min().unwrap();
     println!("  min tip number inside planted K(20,20): {planted_min_tip}");
+
+    // Dataset × threads sweep over the bucket-peeling engine. GitHub is
+    // the largest (most edges / most butterflies) of the five stand-ins,
+    // so it is where the frontier-parallel repair has the most to win.
+    println!("\nParallel bucket-peeling decomposition (dataset x threads):");
+    println!(
+        "{:>16}{:>9}{:>12}{:>12}{:>20}",
+        "dataset", "threads", "tip (s)", "wing (s)", "speedup (tip/wing)"
+    );
+    let sweep: Vec<(&str, BipartiteGraph)> = vec![
+        ("planted", g.clone()),
+        ("github-standin", StandIn::GitHub.generate_scaled(scale)),
+    ];
+    for (name, d) in &sweep {
+        let (mut tip_seq, mut wing_seq) = (0.0f64, 0.0f64);
+        let (tip_base, wing_base) = (tip_numbers(d, Side::V1), wing_numbers(d));
+        for threads in [1usize, 2, 4, 6] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let chunks = threads;
+            let (tt, tips) = time_one(|| {
+                pool.install(|| tip_numbers_with_chunks(d, Side::V1, chunks, &mut NoopRecorder))
+            });
+            assert_eq!(tips, tip_base, "{name}: tip diverged at {threads} threads");
+            let (tw, wings) = time_one(|| {
+                pool.install(|| wing_numbers_with_chunks(d, chunks, &mut NoopRecorder))
+            });
+            assert_eq!(
+                wings, wing_base,
+                "{name}: wing diverged at {threads} threads"
+            );
+            if threads == 1 {
+                tip_seq = tt;
+                wing_seq = tw;
+            }
+            println!(
+                "{name:>16}{threads:>9}{tt:>12.3}{tw:>12.3}        x{:.2} / x{:.2}",
+                tip_seq / tt.max(1e-9),
+                wing_seq / tw.max(1e-9)
+            );
+            // One instrumented pass per cell so the report carries the
+            // engine's round/bucket/repair counters alongside the times.
+            let mut rec = InMemoryRecorder::new();
+            pool.install(|| {
+                tip_numbers_with_chunks(d, Side::V1, chunks, &mut rec);
+                wing_numbers_with_chunks(d, chunks, &mut rec);
+            });
+            reports.push(rec.report(vec![
+                ("bench".to_string(), Json::Str("peeling".to_string())),
+                ("structure".to_string(), Json::Str("decompose".to_string())),
+                ("dataset".to_string(), Json::Str(name.to_string())),
+                ("scale".to_string(), Json::Float(scale)),
+                ("threads".to_string(), Json::UInt(threads as u64)),
+                ("tip_seconds".to_string(), Json::Float(tt)),
+                ("wing_seconds".to_string(), Json::Float(tw)),
+                (
+                    "max_tip".to_string(),
+                    Json::UInt(tip_base.iter().max().copied().unwrap_or(0)),
+                ),
+                (
+                    "max_wing".to_string(),
+                    Json::UInt(wing_base.iter().max().copied().unwrap_or(0)),
+                ),
+            ]));
+        }
+    }
+
     match write_bench_report("peeling", &reports) {
         Ok(path) => println!("\nmachine-readable report: {path}"),
         Err(e) => eprintln!("warning: could not write report: {e}"),

@@ -28,10 +28,13 @@
 //! default (`--algorithm auto` partitions the smaller vertex set).
 
 use bfly_core::adaptive::{
-    count_adaptive_parallel_recorded, count_adaptive_recorded, select_plan, GraphProfile,
+    count_adaptive_parallel_recorded, count_adaptive_recorded, profile_and_peel_plan_recorded,
+    select_plan, GraphProfile, PeelPlan,
 };
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
-use bfly_core::peel::{k_tip_recorded, k_wing_recorded, tip_numbers};
+use bfly_core::peel::{
+    k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_with_chunks, wing_numbers_with_chunks,
+};
 use bfly_core::telemetry::{
     diff_reports, timed_phase, InMemoryRecorder, Json, NoopRecorder, Recorder, RunReport,
 };
@@ -82,10 +85,15 @@ pub enum Command {
         file: String,
         /// Forced format.
         format: Option<Format>,
-        /// Peeling threshold.
-        k: u64,
-        /// Side to peel.
-        side: Side,
+        /// Peeling threshold (`None` only with `--decompose`).
+        k: Option<u64>,
+        /// Side to peel; `None` lets `--decompose` take the adaptive
+        /// peel plan's side (plain `--k` runs default to V1).
+        side: Option<Side>,
+        /// Compute the full tip decomposition instead of one k-tip.
+        decompose: bool,
+        /// Pinned thread count for `--decompose` (0 = rayon default).
+        threads: usize,
         /// Print work counters / phase timers after peeling.
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
@@ -99,8 +107,12 @@ pub enum Command {
         file: String,
         /// Forced format.
         format: Option<Format>,
-        /// Peeling threshold.
-        k: u64,
+        /// Peeling threshold (`None` only with `--decompose`).
+        k: Option<u64>,
+        /// Compute the full wing decomposition instead of one k-wing.
+        decompose: bool,
+        /// Pinned thread count for `--decompose` (0 = rayon default).
+        threads: usize,
         /// Print work counters / phase timers after peeling.
         stats: bool,
         /// Write a machine-readable [`RunReport`] to this path.
@@ -313,9 +325,11 @@ USAGE:
                           [--adaptive] [--explain] [--parallel] [--threads N]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
-  bfly tip         <file> --k K [--side v1|v2] [--format ...]
+  bfly tip         <file> (--k K | --decompose) [--side v1|v2] [--threads N]
+                          [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
-  bfly wing        <file> --k K [--format ...]
+  bfly wing        <file> (--k K | --decompose) [--threads N]
+                          [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
   bfly tip-numbers <file> [--side v1|v2] [--top N] [--format ...]
   bfly enumerate   <file> [--limit N] [--format ...]
@@ -345,7 +359,10 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            if matches!(name, "parallel" | "help" | "stats" | "adaptive" | "explain") {
+            if matches!(
+                name,
+                "parallel" | "help" | "stats" | "adaptive" | "explain" | "decompose"
+            ) {
                 flags.push((name.to_string(), None));
             } else {
                 let v = it
@@ -469,34 +486,44 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             report: rest.flag("report").map(str::to_string),
             trace: rest.flag("trace").map(str::to_string),
         }),
-        "tip" => Ok(Command::Tip {
-            file: file()?,
-            format,
-            k: rest
-                .flag("k")
-                .ok_or_else(|| err("tip requires --k"))?
-                .parse()
-                .map_err(|_| err("bad --k"))?,
-            side: match rest.flag("side") {
-                Some(s) => parse_side(s)?,
-                None => Side::V1,
-            },
-            stats: rest.has("stats"),
-            report: rest.flag("report").map(str::to_string),
-            trace: rest.flag("trace").map(str::to_string),
-        }),
-        "wing" => Ok(Command::Wing {
-            file: file()?,
-            format,
-            k: rest
-                .flag("k")
-                .ok_or_else(|| err("wing requires --k"))?
-                .parse()
-                .map_err(|_| err("bad --k"))?,
-            stats: rest.has("stats"),
-            report: rest.flag("report").map(str::to_string),
-            trace: rest.flag("trace").map(str::to_string),
-        }),
+        "tip" => {
+            let decompose = rest.has("decompose");
+            Ok(Command::Tip {
+                file: file()?,
+                format,
+                k: match rest.flag("k") {
+                    Some(v) => Some(v.parse().map_err(|_| err("bad --k"))?),
+                    None if decompose => None,
+                    None => return Err(err("tip requires --k (or --decompose)")),
+                },
+                side: match rest.flag("side") {
+                    Some(s) => Some(parse_side(s)?),
+                    None => None,
+                },
+                decompose,
+                threads: rest.parse_flag("threads", 0usize)?,
+                stats: rest.has("stats"),
+                report: rest.flag("report").map(str::to_string),
+                trace: rest.flag("trace").map(str::to_string),
+            })
+        }
+        "wing" => {
+            let decompose = rest.has("decompose");
+            Ok(Command::Wing {
+                file: file()?,
+                format,
+                k: match rest.flag("k") {
+                    Some(v) => Some(v.parse().map_err(|_| err("bad --k"))?),
+                    None if decompose => None,
+                    None => return Err(err("wing requires --k (or --decompose)")),
+                },
+                decompose,
+                threads: rest.parse_flag("threads", 0usize)?,
+                stats: rest.has("stats"),
+                report: rest.flag("report").map(str::to_string),
+                trace: rest.flag("trace").map(str::to_string),
+            })
+        }
         "tip-numbers" => Ok(Command::TipNumbers {
             file: file()?,
             format,
@@ -720,6 +747,56 @@ macro_rules! with_recorder {
     };
 }
 
+/// Print the one-line summary of a full tip/wing decomposition and emit
+/// the telemetry outputs. `side` is `Some` for tip (the side actually
+/// peeled, plan-selected unless `--side` forced it), `None` for wing.
+#[allow(clippy::too_many_arguments)]
+fn emit_decomposition(
+    telem: Telem,
+    out: &mut impl std::io::Write,
+    command: &str,
+    file: &str,
+    numbers: &[u64],
+    threads: usize,
+    plan: PeelPlan,
+    side: Option<Side>,
+) -> Result<(), CliError> {
+    let max = numbers.iter().copied().max().unwrap_or(0);
+    let mut levels: Vec<u64> = numbers.iter().copied().filter(|&t| t > 0).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    let unit = if side.is_some() { "vertices" } else { "edges" };
+    let at = side.map(|s| format!(" on {s:?}")).unwrap_or_default();
+    let mode = if plan.parallel {
+        format!("parallel x{}", plan.chunks)
+    } else {
+        "sequential".to_string()
+    };
+    writeln!(
+        out,
+        "{command} decomposition{at}: {} {unit}, max level {max}, {} distinct nonzero levels [{mode}]",
+        numbers.len(),
+        levels.len(),
+    )
+    .map_err(|e| err(format!("write error: {e}")))?;
+    let mut meta = vec![
+        ("command".to_string(), Json::Str(command.to_string())),
+        ("dataset".to_string(), Json::Str(file.to_string())),
+        ("decompose".to_string(), Json::Bool(true)),
+        ("threads".to_string(), Json::UInt(threads as u64)),
+        ("max_level".to_string(), Json::UInt(max)),
+        (
+            "distinct_levels".to_string(),
+            Json::UInt(levels.len() as u64),
+        ),
+        ("plan".to_string(), plan.to_json()),
+    ];
+    if let Some(s) = side {
+        meta.push(("side".to_string(), Json::Str(format!("{s:?}"))));
+    }
+    telem.emit(meta, out)
+}
+
 /// Read and parse a saved [`RunReport`] from `path`.
 fn load_report(path: &str) -> Result<RunReport, CliError> {
     let text =
@@ -817,12 +894,56 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             format,
             k,
             side,
+            decompose,
+            threads,
             stats,
             report,
             trace,
         } => {
             let g = load_graph(&file, format)?;
             let mut telem = Telem::new(stats, report, trace);
+            if decompose {
+                let workers = if threads > 0 {
+                    threads
+                } else {
+                    rayon::current_num_threads()
+                };
+                let pool = if threads > 0 {
+                    Some(
+                        rayon::ThreadPoolBuilder::new()
+                            .num_threads(threads)
+                            .build()
+                            .map_err(|e| err(format!("thread pool: {e}")))?,
+                    )
+                } else {
+                    None
+                };
+                let (plan, side, numbers) = with_recorder!(telem, |rec| {
+                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
+                    // The plan picks the cheaper side; an explicit --side
+                    // overrides it but keeps the parallel/chunks decision.
+                    let side = side.unwrap_or(plan.side);
+                    let numbers = timed_phase(rec, "tip_decompose", |rec| match &pool {
+                        Some(p) => {
+                            p.install(|| tip_numbers_with_chunks(&g, side, plan.chunks, rec))
+                        }
+                        None => tip_numbers_with_chunks(&g, side, plan.chunks, rec),
+                    });
+                    (plan, side, numbers)
+                });
+                return emit_decomposition(
+                    telem,
+                    out,
+                    "tip",
+                    &file,
+                    &numbers,
+                    threads,
+                    plan,
+                    Some(side),
+                );
+            }
+            let k = k.ok_or_else(|| err("tip requires --k (or --decompose)"))?;
+            let side = side.unwrap_or(Side::V1);
             let r = with_recorder!(telem, |rec| timed_phase(rec, "k_tip", |rec| {
                 k_tip_recorded(&g, side, k, rec)
             }));
@@ -856,12 +977,43 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             file,
             format,
             k,
+            decompose,
+            threads,
             stats,
             report,
             trace,
         } => {
             let g = load_graph(&file, format)?;
             let mut telem = Telem::new(stats, report, trace);
+            if decompose {
+                let workers = if threads > 0 {
+                    threads
+                } else {
+                    rayon::current_num_threads()
+                };
+                let pool = if threads > 0 {
+                    Some(
+                        rayon::ThreadPoolBuilder::new()
+                            .num_threads(threads)
+                            .build()
+                            .map_err(|e| err(format!("thread pool: {e}")))?,
+                    )
+                } else {
+                    None
+                };
+                let (plan, numbers) = with_recorder!(telem, |rec| {
+                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
+                    let numbers = timed_phase(rec, "wing_decompose", |rec| match &pool {
+                        Some(p) => p.install(|| wing_numbers_with_chunks(&g, plan.chunks, rec)),
+                        None => wing_numbers_with_chunks(&g, plan.chunks, rec),
+                    });
+                    (plan, numbers)
+                });
+                return emit_decomposition(
+                    telem, out, "wing", &file, &numbers, threads, plan, None,
+                );
+            }
+            let k = k.ok_or_else(|| err("wing requires --k (or --decompose)"))?;
             let r = with_recorder!(telem, |rec| timed_phase(rec, "k_wing", |rec| {
                 k_wing_recorded(&g, k, rec)
             }));
@@ -1259,8 +1411,10 @@ mod tests {
             Command::Tip {
                 file: "g.tsv".into(),
                 format: None,
-                k: 5,
-                side: Side::V2,
+                k: Some(5),
+                side: Some(Side::V2),
+                decompose: false,
+                threads: 0,
                 stats: false,
                 report: None,
                 trace: None,
@@ -1268,7 +1422,50 @@ mod tests {
         );
         assert!(parse(&sv(&["tip", "g.tsv"])).is_err()); // missing --k
         let cmd = parse(&sv(&["wing", "g.tsv", "--k", "2"])).unwrap();
-        assert!(matches!(cmd, Command::Wing { k: 2, .. }));
+        assert!(matches!(cmd, Command::Wing { k: Some(2), .. }));
+    }
+
+    #[test]
+    fn parses_decompose_flags() {
+        // --decompose lifts the --k requirement and carries --threads.
+        let cmd = parse(&sv(&["tip", "g.tsv", "--decompose", "--threads", "4"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Tip {
+                file: "g.tsv".into(),
+                format: None,
+                k: None,
+                side: None,
+                decompose: true,
+                threads: 4,
+                stats: false,
+                report: None,
+                trace: None,
+            }
+        );
+        // --decompose is boolean: the next token stays positional.
+        let cmd = parse(&sv(&["wing", "--decompose", "g.tsv"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Wing {
+                file,
+                k: None,
+                decompose: true,
+                ..
+            } if file == "g.tsv"
+        ));
+        // Both --k and --decompose may be given; --k is kept for meta.
+        let cmd = parse(&sv(&["wing", "g.tsv", "--k", "3", "--decompose"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Wing {
+                k: Some(3),
+                decompose: true,
+                ..
+            }
+        ));
+        // Without --decompose, wing still insists on --k.
+        assert!(parse(&sv(&["wing", "g.tsv"])).is_err());
     }
 
     #[test]

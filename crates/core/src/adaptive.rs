@@ -299,6 +299,104 @@ pub fn select_plan(profile: &GraphProfile, parallel: bool, workers: usize) -> Pl
     }
 }
 
+/// Wedge-work floor below which a peel decomposition stays sequential:
+/// the frontier-parallel engine pays a join (delta merge plus, with the
+/// vendored rayon shim, a thread handoff) per large round, which only
+/// amortises once the repair kernels have real work to split.
+pub const PEEL_PARALLEL_MIN_WORK: u64 = 1 << 14;
+
+/// The cost model's decision for one peeling run — which side to tip-peel
+/// and whether the bucket engine chunks its frontiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeelPlan {
+    /// The side whose decomposition does less wedge work (tip peeling
+    /// wedge-expands removed vertices through the *other* side).
+    pub side: Side,
+    /// Chunk each large frontier over rayon workers.
+    pub parallel: bool,
+    /// Number of frontier chunks when parallel (normally the worker
+    /// count; `1` otherwise).
+    pub chunks: usize,
+    /// Exact wedge work of the chosen side's repair kernels.
+    pub est_work: u64,
+    /// Wedge work the rejected side would have done.
+    pub est_work_alt: u64,
+}
+
+impl PeelPlan {
+    /// Render as a JSON object (the `--explain` payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("side".into(), Json::Str(format!("{:?}", self.side))),
+            ("parallel".into(), Json::Bool(self.parallel)),
+            ("chunks".into(), Json::UInt(self.chunks as u64)),
+            ("est_work".into(), Json::UInt(self.est_work)),
+            ("est_work_alt".into(), Json::UInt(self.est_work_alt)),
+        ])
+    }
+}
+
+/// Peel-mode selection, sharing the counting model's side rule: peel the
+/// side whose opposite does less wedge work (the repair kernel expands
+/// exactly the counting engine's wedges), ties toward the smaller side;
+/// go parallel when `workers > 1` and the wedge work clears
+/// [`PEEL_PARALLEL_MIN_WORK`] (below it the per-round join dominates).
+pub fn select_peel_plan(profile: &GraphProfile, workers: usize) -> PeelPlan {
+    let cost_v2 = profile.partition_cost(Side::V2);
+    let cost_v1 = profile.partition_cost(Side::V1);
+    let side = if cost_v2 != cost_v1 {
+        if cost_v2 < cost_v1 {
+            Side::V2
+        } else {
+            Side::V1
+        }
+    } else if profile.nv2 <= profile.nv1 {
+        Side::V2
+    } else {
+        Side::V1
+    };
+    let (est_work, est_work_alt) = match side {
+        Side::V2 => (cost_v2, cost_v1),
+        Side::V1 => (cost_v1, cost_v2),
+    };
+    let parallel = workers > 1 && est_work >= PEEL_PARALLEL_MIN_WORK;
+    PeelPlan {
+        side,
+        parallel,
+        chunks: if parallel { workers } else { 1 },
+        est_work,
+        est_work_alt,
+    }
+}
+
+/// Profile `g` and select a peel plan, recording the decision inside a
+/// `select` span with `peel.*` gauges (the peeling counterpart of
+/// [`profile_and_plan_recorded`]).
+pub fn profile_and_peel_plan_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    workers: usize,
+    rec: &mut R,
+) -> (GraphProfile, PeelPlan) {
+    timed_span(rec, "select", |rec| {
+        let profile = GraphProfile::compute(g);
+        let plan = select_peel_plan(&profile, workers);
+        if R::ENABLED {
+            rec.gauge(
+                "peel.side",
+                match plan.side {
+                    Side::V1 => 1.0,
+                    Side::V2 => 2.0,
+                },
+            );
+            rec.gauge("peel.parallel", if plan.parallel { 1.0 } else { 0.0 });
+            rec.gauge("peel.chunks", plan.chunks as f64);
+            rec.gauge("peel.est_work", plan.est_work as f64);
+            rec.gauge("peel.est_work_alt", plan.est_work_alt as f64);
+        }
+        (profile, plan)
+    })
+}
+
 /// Profile `g` and select a plan, recording the decision: the work happens
 /// inside a `select` span and the choice lands in `plan.*` gauges so
 /// saved reports carry it.
@@ -583,6 +681,54 @@ mod tests {
                 butterflies_per_vertex_degree_ordered(&g, side),
                 crate::vertex_counts::butterflies_per_vertex(&g, side)
             );
+        }
+    }
+
+    #[test]
+    fn peel_plan_picks_the_cheap_side_and_gates_parallelism() {
+        // One V1 hub of degree 12: tip-peeling V2 would wedge-expand
+        // through the hub; peeling V1 is near-free. The plan must pick V1.
+        let edges: Vec<(u32, u32)> = (0..12).map(|v| (0, v)).collect();
+        let star = BipartiteGraph::from_edges(1, 12, &edges).unwrap();
+        let p = GraphProfile::compute(&star);
+        let plan = select_peel_plan(&p, 6);
+        assert_eq!(plan.side, Side::V1);
+        assert!(plan.est_work <= plan.est_work_alt);
+        // Tiny work: sequential even with workers available.
+        assert!(!plan.parallel);
+        assert_eq!(plan.chunks, 1);
+        // Mirrored star flips the side.
+        assert_eq!(
+            select_peel_plan(&GraphProfile::compute(&star.swap_sides()), 6).side,
+            Side::V2
+        );
+        // Past the work floor with workers, the plan goes parallel.
+        let big = GraphProfile {
+            wedges_v1: PEEL_PARALLEL_MIN_WORK * 4,
+            wedges_v2: PEEL_PARALLEL_MIN_WORK * 8,
+            ..p
+        };
+        let plan = select_peel_plan(&big, 4);
+        assert!(plan.parallel);
+        assert_eq!(plan.chunks, 4);
+        assert!(!select_peel_plan(&big, 1).parallel);
+    }
+
+    #[test]
+    fn recorded_peel_plan_lands_in_gauges() {
+        use bfly_telemetry::InMemoryRecorder;
+        let g = BipartiteGraph::complete(9, 5);
+        let mut rec = InMemoryRecorder::new();
+        let (_, plan) = profile_and_peel_plan_recorded(&g, 4, &mut rec);
+        assert_eq!(
+            rec.gauge_value("peel.parallel"),
+            Some(if plan.parallel { 1.0 } else { 0.0 })
+        );
+        assert_eq!(rec.gauge_value("peel.est_work"), Some(plan.est_work as f64));
+        assert!(rec.spans().iter().any(|s| s.name == "select"));
+        let pj = plan.to_json();
+        for key in ["side", "parallel", "chunks", "est_work", "est_work_alt"] {
+            assert!(pj.get(key).is_some(), "peel plan missing {key}");
         }
     }
 

@@ -6,9 +6,22 @@
 //! wants: membership at any `k`, the subgraph at any level, the hierarchy
 //! of distinct levels, and summary statistics.
 
+use super::parallel::{tip_numbers_parallel, wing_numbers_parallel};
 use super::tip::tip_numbers;
 use super::wing::wing_numbers;
 use bfly_graph::{BipartiteGraph, Side};
+
+/// Survivors at each threshold from one sort of the level vector: with
+/// the levels ascending, the count at `k` is everything at or past the
+/// first element `≥ k` — `O((n + q) log n)` total instead of one `O(n)`
+/// scan per query.
+fn survivors_by_sorted_levels(numbers: &[u64], ks: &[u64]) -> Vec<usize> {
+    let mut sorted = numbers.to_vec();
+    sorted.sort_unstable();
+    ks.iter()
+        .map(|&k| sorted.len() - sorted.partition_point(|&t| t < k))
+        .collect()
+}
 
 /// The full tip hierarchy of one side.
 #[derive(Debug, Clone)]
@@ -25,6 +38,16 @@ impl TipDecomposition {
             graph: g.clone(),
             side,
             numbers: tip_numbers(g, side),
+        }
+    }
+
+    /// [`TipDecomposition::compute`] with the peel frontier chunked over
+    /// rayon's current pool; identical numbers at any thread count.
+    pub fn compute_parallel(g: &BipartiteGraph, side: Side) -> Self {
+        Self {
+            graph: g.clone(),
+            side,
+            numbers: tip_numbers_parallel(g, side),
         }
     }
 
@@ -72,9 +95,7 @@ impl TipDecomposition {
 
     /// Number of vertices surviving at each requested level.
     pub fn survivor_counts(&self, ks: &[u64]) -> Vec<usize> {
-        ks.iter()
-            .map(|&k| self.numbers.iter().filter(|&&t| t >= k).count())
-            .collect()
+        survivors_by_sorted_levels(&self.numbers, ks)
     }
 }
 
@@ -91,6 +112,15 @@ impl WingDecomposition {
         Self {
             graph: g.clone(),
             numbers: wing_numbers(g),
+        }
+    }
+
+    /// [`WingDecomposition::compute`] with the peel frontier chunked over
+    /// rayon's current pool; identical numbers at any thread count.
+    pub fn compute_parallel(g: &BipartiteGraph) -> Self {
+        Self {
+            graph: g.clone(),
+            numbers: wing_numbers_parallel(g),
         }
     }
 
@@ -122,9 +152,7 @@ impl WingDecomposition {
 
     /// Number of edges surviving at each requested level.
     pub fn survivor_counts(&self, ks: &[u64]) -> Vec<usize> {
-        ks.iter()
-            .map(|&k| self.numbers.iter().filter(|&&w| w >= k).count())
-            .collect()
+        survivors_by_sorted_levels(&self.numbers, ks)
     }
 }
 
@@ -189,6 +217,38 @@ mod tests {
         let ks = [1u64, 2, 4, 8];
         let wc = w.survivor_counts(&ks);
         assert!(wc.windows(2).all(|x| x[0] >= x[1]));
+    }
+
+    #[test]
+    fn survivor_counts_match_naive_scan() {
+        let g = sample();
+        let d = TipDecomposition::compute(&g, Side::V1);
+        let w = WingDecomposition::compute(&g);
+        // Thresholds below, at, between, and past the observed levels.
+        let mut ks = vec![0u64, 1, d.max_level(), d.max_level() + 5, u64::MAX];
+        ks.extend(d.levels());
+        let naive = |numbers: &[u64]| -> Vec<usize> {
+            ks.iter()
+                .map(|&k| numbers.iter().filter(|&&t| t >= k).count())
+                .collect()
+        };
+        assert_eq!(d.survivor_counts(&ks), naive(d.numbers()));
+        assert_eq!(w.survivor_counts(&ks), naive(w.numbers()));
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential() {
+        let g = sample();
+        for side in [Side::V1, Side::V2] {
+            assert_eq!(
+                TipDecomposition::compute_parallel(&g, side).numbers(),
+                TipDecomposition::compute(&g, side).numbers()
+            );
+        }
+        assert_eq!(
+            WingDecomposition::compute_parallel(&g).numbers(),
+            WingDecomposition::compute(&g).numbers()
+        );
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! The bucket-peeling engine: one driver for tip and wing decomposition,
+//! sequential or frontier-parallel (ParButterfly's peeling strategy on
+//! top of the [`super::bucket::BucketQueue`]).
+//!
+//! Each round extracts the *entire* minimum bucket — every item whose
+//! current score equals the minimum — assigns all of them the current
+//! peel level, and repairs the scores of the surviving items they shared
+//! butterflies with. The repair is expressed as a per-item *kernel* that
+//! scatters score decrements into a sparse accumulator; the driver
+//! either runs the kernel over the frontier in place (sequential) or
+//! splits the frontier into contiguous chunks, gives each worker a
+//! private [`PeelScratch`], and merges the per-chunk delta lists into
+//! one accumulator after the join — exactly the per-thread-SPA pattern
+//! `family/parallel.rs` uses for counting, and the reason the result is
+//! deterministic: the applied delta for each survivor is an integer sum
+//! that does not depend on chunk boundaries or thread count.
+//!
+//! Scores are *clamped from below* at the current level when applied
+//! (`new = max(level, old − delta)`). Peel numbers are the running
+//! maximum of extraction scores, so an item whose true score drops below
+//! the current level is peeled at that level either way; the clamp keeps
+//! the bucket cursor monotone within a window without changing any peel
+//! number.
+//!
+//! Why simultaneous removal matches one-at-a-time peeling:
+//!
+//! * **tip** — the pairwise count `C(|N(u) ∩ N(w)|, 2)` between two
+//!   same-side vertices goes through the *other* side, which tip peeling
+//!   never removes, so it is constant all run; removing a frontier set
+//!   decreases each survivor by the plain sum over frontier members.
+//! * **wing** — removing an edge set destroys each butterfly containing
+//!   at least one of them exactly once; the kernel charges a butterfly
+//!   to its minimum-id frontier edge, which decrements only the
+//!   butterfly's non-frontier edges.
+
+use super::bucket::{BucketQueue, StampSet};
+use super::wing::edge_id;
+use crate::edge_support::{edge_supports, edge_supports_parallel};
+use crate::vertex_counts::{butterflies_per_vertex, butterflies_per_vertex_parallel};
+use bfly_graph::{BipartiteGraph, Side};
+use bfly_sparse::{choose2, Spa};
+use bfly_telemetry::{Counter, NoopRecorder, Recorder, ThreadTrace};
+use rayon::prelude::*;
+
+/// Smallest frontier worth chunking across workers: below this the
+/// per-round join (and the thread handoff of the vendored rayon shim)
+/// costs more than the kernel work it distributes, so the round runs
+/// inline on the caller's scratch.
+pub const PAR_FRONTIER_MIN: usize = 128;
+
+/// Per-worker peeling scratch: `cnt` accumulates wedge multiplicities
+/// inside a single kernel invocation (tip only), `delta` accumulates the
+/// chunk's score decrements across the whole round.
+pub(super) struct PeelScratch {
+    pub(super) cnt: Spa<u64>,
+    pub(super) delta: Spa<u64>,
+}
+
+impl PeelScratch {
+    fn new(n: usize) -> Self {
+        PeelScratch {
+            cnt: Spa::new(n),
+            delta: Spa::new(n),
+        }
+    }
+}
+
+/// The shared driver. `scores` are the initial butterfly counts or edge
+/// supports; `kernel(item, alive, frontier, scratch)` scatters the score
+/// decrements caused by removing `item` into `scratch.delta`. Returns
+/// the peel number of every item.
+///
+/// Recorded per round: a `peel_round` span, [`Counter::PeelRounds`], the
+/// peeled-item counter given by `peeled`, the `bucket_size` and
+/// `support_updates` histograms, and [`Counter::SupportsRecomputed`]
+/// (touched delta entries). Parallel rounds additionally merge one
+/// `chunk` span per worker and bump [`Counter::ParChunks`].
+fn peel_with_kernel<R, K>(
+    mut scores: Vec<u64>,
+    chunks: usize,
+    peeled: Counter,
+    rec: &mut R,
+    kernel: K,
+) -> Vec<u64>
+where
+    R: Recorder,
+    K: Fn(u32, &[bool], &StampSet, &mut PeelScratch) + Sync,
+{
+    let n = scores.len();
+    let mut alive = vec![true; n];
+    let mut peel = vec![0u64; n];
+    let mut queue = BucketQueue::new();
+    for (i, &s) in scores.iter().enumerate() {
+        queue.push(i as u32, s);
+    }
+    let mut frontier_set = StampSet::new(n);
+    let mut main = PeelScratch::new(n);
+    // Worker scratches persist across rounds; allocated on first use.
+    let mut pool: Vec<PeelScratch> = Vec::new();
+    let mut level = 0u64;
+    while let Some((score, frontier)) = queue.pop_min_bucket(&scores, &mut alive) {
+        level = level.max(score);
+        if R::ENABLED {
+            rec.span_enter("peel_round");
+            rec.incr(Counter::PeelRounds, 1);
+            rec.incr(peeled, frontier.len() as u64);
+            rec.hist_record("bucket_size", frontier.len() as u64);
+        }
+        for &v in &frontier {
+            peel[v as usize] = level;
+        }
+        // Score-0 items sit in no surviving butterfly (their stored score
+        // upper-bounds the true one), so their removal repairs nothing.
+        if score > 0 {
+            frontier_set.clear();
+            for &v in &frontier {
+                frontier_set.insert(v);
+            }
+            if chunks > 1 && frontier.len() >= PAR_FRONTIER_MIN {
+                while pool.len() < chunks {
+                    pool.push(PeelScratch::new(n));
+                }
+                let chunk_len = frontier.len().div_ceil(chunks);
+                let mut parts: Vec<(&[u32], PeelScratch)> = Vec::with_capacity(chunks);
+                for part in frontier.chunks(chunk_len) {
+                    parts.push((part, pool.pop().expect("pool sized to chunks")));
+                }
+                let (alive_ref, set_ref, kernel_ref) = (&alive, &frontier_set, &kernel);
+                type ChunkOut = ((Vec<u32>, Vec<u64>), Option<ThreadTrace>, PeelScratch);
+                let results: Vec<ChunkOut> = parts
+                    .into_par_iter()
+                    .map(|(part, mut scratch)| {
+                        let mut trace = R::ENABLED.then(ThreadTrace::new);
+                        let t0 = std::time::Instant::now();
+                        if let Some(t) = trace.as_mut() {
+                            t.span_enter("chunk");
+                        }
+                        for &v in part {
+                            kernel_ref(v, alive_ref, set_ref, &mut scratch);
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            t.span_exit("chunk");
+                            t.hist_record("chunk_us", t0.elapsed().as_micros() as u64);
+                        }
+                        (scratch.delta.drain_sorted(), trace, scratch)
+                    })
+                    .collect();
+                if R::ENABLED {
+                    rec.incr(Counter::ParChunks, results.len() as u64);
+                }
+                // Merge every chunk's deltas before applying any of them:
+                // a survivor's total decrement must be summed first, as
+                // clamped partial applications would not commute.
+                for (i, ((idx, vals), trace, scratch)) in results.into_iter().enumerate() {
+                    for (&w, &d) in idx.iter().zip(vals.iter()) {
+                        main.delta.scatter(w, d);
+                    }
+                    pool.push(scratch);
+                    if let Some(t) = trace {
+                        // Track 0 is the caller's stream; workers from 1.
+                        rec.merge_thread(i as u32 + 1, t);
+                    }
+                }
+            } else {
+                for &v in &frontier {
+                    kernel(v, &alive, &frontier_set, &mut main);
+                }
+            }
+            let (idx, vals) = main.delta.drain_sorted();
+            if R::ENABLED {
+                rec.incr(Counter::SupportsRecomputed, idx.len() as u64);
+                rec.hist_record("support_updates", idx.len() as u64);
+            }
+            for (&w, &d) in idx.iter().zip(vals.iter()) {
+                let wx = w as usize;
+                let old = scores[wx];
+                let new = level.max(old.saturating_sub(d));
+                if new != old {
+                    scores[wx] = new;
+                    queue.push(w, new);
+                }
+            }
+        } else if R::ENABLED {
+            rec.hist_record("support_updates", 0);
+        }
+        if R::ENABLED {
+            rec.span_exit("peel_round");
+        }
+    }
+    peel
+}
+
+/// [`super::tip::tip_numbers`] through the bucket engine with an explicit
+/// chunk count (`1` = sequential; tests and benches pin exact fan-outs
+/// with this). Output is identical for every chunk count.
+pub fn tip_numbers_with_chunks<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    chunks: usize,
+    rec: &mut R,
+) -> Vec<u64> {
+    let (part_adj, other_adj) = match side {
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+    };
+    let init = if chunks > 1 {
+        butterflies_per_vertex_parallel(g, side)
+    } else {
+        butterflies_per_vertex(g, side)
+    };
+    let kernel = |u: u32, alive: &[bool], _frontier: &StampSet, scratch: &mut PeelScratch| {
+        // Wedge-expand from the removed vertex over surviving partners;
+        // C(multiplicity, 2) butterflies vanish per surviving partner.
+        for &j in part_adj.row(u as usize) {
+            for &w in other_adj.row(j as usize) {
+                if alive[w as usize] {
+                    scratch.cnt.scatter(w, 1);
+                }
+            }
+        }
+        let PeelScratch { cnt, delta } = scratch;
+        for (w, c) in cnt.entries() {
+            let shared = choose2(c);
+            if shared > 0 {
+                delta.scatter(w, shared);
+            }
+        }
+        cnt.clear();
+    };
+    peel_with_kernel(init, chunks, Counter::PeeledVertices, rec, kernel)
+}
+
+/// [`super::wing::wing_numbers`] through the bucket engine with an
+/// explicit chunk count. Output is identical for every chunk count.
+pub fn wing_numbers_with_chunks<R: Recorder>(
+    g: &BipartiteGraph,
+    chunks: usize,
+    rec: &mut R,
+) -> Vec<u64> {
+    let a = g.biadjacency();
+    let at = g.biadjacency_t();
+    let endpoints: Vec<(u32, u32)> = g.edges().collect();
+    let init = if chunks > 1 {
+        edge_supports_parallel(g)
+    } else {
+        edge_supports(g)
+    };
+    let kernel = move |e: u32, alive: &[bool], frontier: &StampSet, scratch: &mut PeelScratch| {
+        let ex = e as usize;
+        let (u, v) = endpoints[ex];
+        // An edge participates in this round's butterflies if it was
+        // alive at round start — still alive now, or in the frontier.
+        let present = |i: usize| alive[i] || frontier.contains(i as u32);
+        for &w in at.row(v as usize) {
+            if w == u {
+                continue;
+            }
+            let wv = edge_id(a, w as usize, v);
+            if !present(wv) {
+                continue;
+            }
+            for &x in a.row(u as usize) {
+                if x == v {
+                    continue;
+                }
+                let ux = edge_id(a, u as usize, x);
+                if !present(ux) {
+                    continue;
+                }
+                let Ok(pos) = a.row(w as usize).binary_search(&x) else {
+                    continue;
+                };
+                let wx = a.ptr()[w as usize] + pos;
+                if !present(wx) {
+                    continue;
+                }
+                // The butterfly {e, ux, wv, wx} dies this round. Charge
+                // it to its minimum-id frontier edge so it is processed
+                // exactly once, decrementing only surviving edges.
+                if [ux, wv, wx]
+                    .iter()
+                    .any(|&o| o < ex && frontier.contains(o as u32))
+                {
+                    continue;
+                }
+                for &o in &[ux, wv, wx] {
+                    if alive[o] {
+                        scratch.delta.scatter(o as u32, 1);
+                    }
+                }
+            }
+        }
+    };
+    peel_with_kernel(init, chunks, Counter::PeeledEdges, rec, kernel)
+}
+
+/// Tip decomposition with the frontier parallelised over rayon's current
+/// pool (one chunk per worker). Bitwise-identical to
+/// [`super::tip::tip_numbers`] at any thread count.
+pub fn tip_numbers_parallel(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    tip_numbers_parallel_recorded(g, side, &mut NoopRecorder)
+}
+
+/// [`tip_numbers_parallel`] reporting rounds, bucket sizes, and repair
+/// volumes through `rec`.
+pub fn tip_numbers_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    rec: &mut R,
+) -> Vec<u64> {
+    let chunks = rayon::current_num_threads().max(1);
+    tip_numbers_with_chunks(g, side, chunks, rec)
+}
+
+/// Wing decomposition with the frontier parallelised over rayon's
+/// current pool. Bitwise-identical to [`super::wing::wing_numbers`] at
+/// any thread count.
+pub fn wing_numbers_parallel(g: &BipartiteGraph) -> Vec<u64> {
+    wing_numbers_parallel_recorded(g, &mut NoopRecorder)
+}
+
+/// [`wing_numbers_parallel`] reporting rounds, bucket sizes, and repair
+/// volumes through `rec`.
+pub fn wing_numbers_parallel_recorded<R: Recorder>(g: &BipartiteGraph, rec: &mut R) -> Vec<u64> {
+    let chunks = rayon::current_num_threads().max(1);
+    wing_numbers_with_chunks(g, chunks, rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_graph::generators::{uniform_exact, with_planted_biclique};
+    use bfly_telemetry::InMemoryRecorder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        with_planted_biclique(
+            &uniform_exact(30, 30, 110, &mut rng),
+            &[0, 1, 2, 3, 4],
+            &[0, 1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn chunk_count_never_changes_tip_numbers() {
+        for seed in [1u64, 2, 3] {
+            let g = sample(seed);
+            for side in [Side::V1, Side::V2] {
+                let want = tip_numbers_with_chunks(&g, side, 1, &mut NoopRecorder);
+                for chunks in [2usize, 4, 6] {
+                    assert_eq!(
+                        tip_numbers_with_chunks(&g, side, chunks, &mut NoopRecorder),
+                        want,
+                        "seed {seed} side {side:?} chunks {chunks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_never_changes_wing_numbers() {
+        for seed in [4u64, 5, 6] {
+            let g = sample(seed);
+            let want = wing_numbers_with_chunks(&g, 1, &mut NoopRecorder);
+            for chunks in [2usize, 4, 6] {
+                assert_eq!(
+                    wing_numbers_with_chunks(&g, chunks, &mut NoopRecorder),
+                    want,
+                    "seed {seed} chunks {chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_records_rounds_buckets_and_repairs() {
+        let g = sample(7);
+        let mut rec = InMemoryRecorder::new();
+        let tn = tip_numbers_with_chunks(&g, Side::V1, 1, &mut rec);
+        let rounds = rec.counter(Counter::PeelRounds);
+        assert!(rounds >= 1);
+        assert_eq!(rec.counter(Counter::PeeledVertices), tn.len() as u64);
+        let buckets = rec.histogram("bucket_size").expect("bucket_size recorded");
+        assert_eq!(buckets.count(), rounds);
+        assert_eq!(
+            buckets.sum(),
+            tn.len() as u64,
+            "bucket sizes sum to the peeled item count"
+        );
+        assert!(rec.counter(Counter::SupportsRecomputed) > 0);
+        assert!(rec.spans().iter().any(|s| s.name == "peel_round"));
+    }
+
+    #[test]
+    fn parallel_rounds_merge_worker_traces() {
+        // A biclique-dominated graph puts hundreds of edges in one
+        // bucket, forcing the chunked path at small PAR_FRONTIER_MIN
+        // multiples.
+        let g = BipartiteGraph::complete(16, 16);
+        let mut rec = InMemoryRecorder::new();
+        let wn = wing_numbers_with_chunks(&g, 4, &mut rec);
+        assert!(wn.iter().all(|&w| w == wn[0]), "biclique peels uniformly");
+        assert!(rec.counter(Counter::ParChunks) >= 2);
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|s| s.name == "chunk" && s.thread > 0));
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs() {
+        for g in [
+            BipartiteGraph::empty(5, 5),
+            BipartiteGraph::complete(1, 8),
+            BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap(),
+        ] {
+            for side in [Side::V1, Side::V2] {
+                let tn = tip_numbers_with_chunks(&g, side, 4, &mut NoopRecorder);
+                assert!(tn.iter().all(|&t| t == 0));
+            }
+            let wn = wing_numbers_with_chunks(&g, 4, &mut NoopRecorder);
+            assert!(wn.iter().all(|&w| w == 0));
+        }
+    }
+}

@@ -15,15 +15,18 @@
 //!   score (and mask bit) as soon as its row has been passed.
 //!
 //! [`tip_numbers`] computes the full decomposition: for each vertex the
-//! largest `k` such that it survives in the k-tip — by bucket-style peeling
-//! with a lazy min-heap and incremental score repair.
+//! largest `k` such that it survives in the k-tip — whole-bucket peeling
+//! with incremental score repair through the engine in
+//! [`super::parallel`] (sequential by default;
+//! [`super::parallel::tip_numbers_parallel`] chunks each frontier over
+//! rayon workers). The original lazy-min-heap formulation survives as
+//! [`tip_numbers_oracle`], a `testkit`-gated witness for the
+//! differential tests.
 
 use crate::vertex_counts::{butterflies_per_vertex, butterflies_per_vertex_algebraic};
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{choose2, Spa};
 use bfly_telemetry::{Counter, NoopRecorder, Recorder};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Result of a k-tip extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -225,11 +228,34 @@ pub fn k_tip_lookahead(g: &BipartiteGraph, side: Side, k: u64) -> TipResult {
 }
 
 /// Tip number of every vertex on `side`: the largest `k` for which the
-/// vertex is contained in the k-tip. Classic peeling: repeatedly remove
-/// the minimum-score vertex, repairing the scores of the vertices it
-/// shared butterflies with (a wedge expansion from the removed vertex over
-/// the *remaining* graph gives the pairwise counts to subtract).
+/// vertex is contained in the k-tip. Runs the flat bucket-queue engine
+/// ([`super::parallel::tip_numbers_with_chunks`]) sequentially: each
+/// round removes the whole minimum bucket and repairs survivors by a
+/// wedge expansion from the removed frontier over the *remaining* graph.
 pub fn tip_numbers(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    super::parallel::tip_numbers_with_chunks(g, side, 1, &mut NoopRecorder)
+}
+
+/// [`tip_numbers`] reporting rounds, bucket sizes, and repair volumes
+/// through `rec`.
+pub fn tip_numbers_recorded<R: Recorder>(g: &BipartiteGraph, side: Side, rec: &mut R) -> Vec<u64> {
+    super::parallel::tip_numbers_with_chunks(g, side, 1, rec)
+}
+
+/// Alias of [`tip_numbers`], retained from when the bucket queue was the
+/// alternative formulation rather than the default.
+pub fn tip_numbers_bucket(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    tip_numbers(g, side)
+}
+
+/// The original one-vertex-at-a-time formulation: a lazy binary min-heap
+/// of (score, vertex), stale entries skipped on pop, scores repaired per
+/// removed vertex. Independently implemented from the bucket engine —
+/// the oracle the differential tests compare against. Test support only.
+#[cfg(any(test, feature = "testkit"))]
+pub fn tip_numbers_oracle(g: &BipartiteGraph, side: Side) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
     let (part_adj, other_adj) = match side {
         Side::V1 => (g.biadjacency(), g.biadjacency_t()),
         Side::V2 => (g.biadjacency_t(), g.biadjacency()),
@@ -266,69 +292,6 @@ pub fn tip_numbers(g: &BipartiteGraph, side: Side) -> Vec<u64> {
                 let wx = w as usize;
                 scores[wx] -= shared;
                 heap.push(Reverse((scores[wx], w)));
-            }
-        }
-        spa.clear();
-    }
-    tip
-}
-
-/// [`tip_numbers`] with a bucket queue (ordered map of score → vertices)
-/// instead of a lazy binary heap. Same output; different constant-factor
-/// profile (no stale entries, but ordered-map overhead per score class).
-/// Kept as an independently-implemented witness for the decomposition.
-pub fn tip_numbers_bucket(g: &BipartiteGraph, side: Side) -> Vec<u64> {
-    use std::collections::BTreeMap;
-    let (part_adj, other_adj) = match side {
-        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
-        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
-    };
-    let n = part_adj.nrows();
-    let mut scores = butterflies_per_vertex(g, side);
-    let mut alive = vec![true; n];
-    let mut tip = vec![0u64; n];
-    let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
-    for (u, &s) in scores.iter().enumerate() {
-        buckets.entry(s).or_default().push(u as u32);
-    }
-    let mut spa = Spa::<u64>::new(n);
-    let mut k = 0u64;
-    let mut processed = 0usize;
-    while processed < n {
-        // Lowest-scored live vertex whose bucket entry is current.
-        let (&score, _) = match buckets.iter().next() {
-            Some(x) => x,
-            None => break,
-        };
-        let u = {
-            let vec = buckets.get_mut(&score).unwrap();
-            let u = vec.pop().unwrap();
-            if vec.is_empty() {
-                buckets.remove(&score);
-            }
-            u
-        };
-        let ux = u as usize;
-        if !alive[ux] || score != scores[ux] {
-            continue; // stale bucket entry
-        }
-        processed += 1;
-        k = k.max(score);
-        tip[ux] = k;
-        alive[ux] = false;
-        for &j in part_adj.row(ux) {
-            for &w in other_adj.row(j as usize) {
-                if alive[w as usize] {
-                    spa.scatter(w, 1);
-                }
-            }
-        }
-        for (w, cnt) in spa.entries() {
-            let shared = choose2(cnt);
-            if shared > 0 {
-                let wx = w as usize;
-                scores[wx] -= shared;
-                buckets.entry(scores[wx]).or_default().push(w);
             }
         }
         spa.clear();
@@ -450,7 +413,7 @@ mod tests {
     }
 
     #[test]
-    fn heap_and_bucket_decompositions_agree() {
+    fn bucket_engine_matches_heap_oracle() {
         let mut rng = StdRng::seed_from_u64(10);
         for trial in 0..4 {
             let g = with_planted_biclique(
@@ -459,10 +422,17 @@ mod tests {
                 &[0, 1, 2],
             );
             for side in [Side::V1, Side::V2] {
+                let want = tip_numbers_oracle(&g, side);
+                assert_eq!(tip_numbers(&g, side), want, "trial {trial} side {side:?}");
                 assert_eq!(
-                    tip_numbers(&g, side),
                     tip_numbers_bucket(&g, side),
-                    "trial {trial} side {side:?}"
+                    want,
+                    "trial {trial} side {side:?} alias"
+                );
+                assert_eq!(
+                    super::super::parallel::tip_numbers_parallel(&g, side),
+                    want,
+                    "trial {trial} side {side:?} parallel"
                 );
             }
         }

@@ -10,16 +10,17 @@
 //! * [`k_wing_matrix`] — the literal eqs. 25–27 loop via SpGEMM (fidelity
 //!   reference).
 //! * [`wing_numbers`] — full decomposition: the largest `k` at which each
-//!   edge survives, by single-edge peeling with support repair (for each
-//!   butterfly containing the removed edge, the other three edges lose one
-//!   unit of support).
+//!   edge survives, by whole-bucket peeling with support repair through
+//!   the engine in [`super::parallel`] (for each butterfly destroyed by
+//!   the removed frontier, its surviving edges lose one unit of support).
+//!   The original single-edge heap formulation survives as
+//!   [`wing_numbers_oracle`], a `testkit`-gated witness for the
+//!   differential tests.
 
 use crate::edge_support::{edge_supports, edge_supports_algebraic};
 use bfly_graph::BipartiteGraph;
 use bfly_sparse::Pattern;
 use bfly_telemetry::{Counter, NoopRecorder, Recorder};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Result of a k-wing extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,20 +141,38 @@ pub fn k_wing_masked_spgemm(g: &BipartiteGraph, k: u64) -> WingResult {
 
 /// Edge id of `(u, v)` in row-major order, via binary search in row `u`.
 #[inline]
-fn edge_id(a: &Pattern, u: usize, v: u32) -> usize {
+pub(super) fn edge_id(a: &Pattern, u: usize, v: u32) -> usize {
     let row = a.row(u);
     let pos = row.binary_search(&v).expect("edge must exist");
     a.ptr()[u] + pos
 }
 
 /// Wing number of every edge (row-major order): the largest `k` for which
-/// the edge is contained in the k-wing.
-///
-/// Single-edge peeling with exact support repair: removing edge `(u, v)`
-/// destroys every butterfly `(u, v, w, x)` with `w ∈ N(v)`, `x ∈ N(u) ∩
-/// N(w)`, `w ≠ u`, `x ≠ v`; each destroyed butterfly decrements the
-/// supports of its three surviving edges `(u, x)`, `(w, v)`, `(w, x)`.
+/// the edge is contained in the k-wing. Runs the flat bucket-queue engine
+/// ([`super::parallel::wing_numbers_with_chunks`]) sequentially: each
+/// round removes the whole minimum-support bucket; every butterfly
+/// destroyed by the round decrements the supports of its surviving edges.
 pub fn wing_numbers(g: &BipartiteGraph) -> Vec<u64> {
+    super::parallel::wing_numbers_with_chunks(g, 1, &mut NoopRecorder)
+}
+
+/// [`wing_numbers`] reporting rounds, bucket sizes, and repair volumes
+/// through `rec`.
+pub fn wing_numbers_recorded<R: Recorder>(g: &BipartiteGraph, rec: &mut R) -> Vec<u64> {
+    super::parallel::wing_numbers_with_chunks(g, 1, rec)
+}
+
+/// The original one-edge-at-a-time formulation: a lazy binary min-heap
+/// with exact support repair — removing edge `(u, v)` destroys every
+/// butterfly `(u, v, w, x)` with `w ∈ N(v)`, `x ∈ N(u) ∩ N(w)`, `w ≠ u`,
+/// `x ≠ v`; each destroyed butterfly decrements the supports of its three
+/// surviving edges `(u, x)`, `(w, v)`, `(w, x)`. Independently
+/// implemented from the bucket engine — the oracle the differential
+/// tests compare against. Test support only.
+#[cfg(any(test, feature = "testkit"))]
+pub fn wing_numbers_oracle(g: &BipartiteGraph) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
     let a = g.biadjacency();
     let at = g.biadjacency_t();
     let ne = g.nedges();
@@ -283,6 +302,25 @@ mod tests {
             if r5.keep[i] {
                 assert!(r1.keep[i], "5-wing edge {i} missing from 2-wing");
             }
+        }
+    }
+
+    #[test]
+    fn bucket_engine_matches_heap_oracle() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for trial in 0..4 {
+            let g = with_planted_biclique(
+                &uniform_exact(22, 22, 60, &mut rng),
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+            );
+            let want = wing_numbers_oracle(&g);
+            assert_eq!(wing_numbers(&g), want, "trial {trial}");
+            assert_eq!(
+                super::super::parallel::wing_numbers_parallel(&g),
+                want,
+                "trial {trial} parallel"
+            );
         }
     }
 

@@ -76,6 +76,10 @@ pub enum Counter {
     /// Edges present in the surviving subgraph each round, summed — the
     /// recomputation volume of the naive "recount after every round" loop.
     RecomputeEdges,
+    /// Scores/supports repaired by the bucket-peeling engine (touched
+    /// delta entries, summed over rounds) — the incremental counterpart
+    /// of [`Counter::RecomputeEdges`].
+    SupportsRecomputed,
     /// Edge insertions applied by the incremental maintainer.
     IncInserts,
     /// Edge deletions applied by the incremental maintainer.
@@ -87,7 +91,7 @@ pub enum Counter {
 impl Counter {
     /// Single source of truth: every counter with its stable report
     /// name, in discriminant order.
-    const TABLE: [(Counter, &'static str); 13] = [
+    const TABLE: [(Counter, &'static str); 14] = [
         (Counter::WedgesExpanded, "wedges_expanded"),
         (Counter::SpaScatters, "spa_scatters"),
         (Counter::AccumEntries, "accum_entries"),
@@ -98,6 +102,7 @@ impl Counter {
         (Counter::PeeledVertices, "peeled_vertices"),
         (Counter::PeeledEdges, "peeled_edges"),
         (Counter::RecomputeEdges, "recompute_edges"),
+        (Counter::SupportsRecomputed, "supports_recomputed"),
         (Counter::IncInserts, "inc_inserts"),
         (Counter::IncDeletes, "inc_deletes"),
         (Counter::IncWedgeWork, "inc_wedge_work"),
