@@ -28,21 +28,22 @@
 //! default (`--algorithm auto` partitions the smaller vertex set).
 
 use bfly_core::adaptive::{
-    count_adaptive_parallel_recorded, count_adaptive_recorded, profile_and_peel_plan_recorded,
-    select_plan, GraphProfile, PeelPlan,
+    count_adaptive_budgeted_recorded, count_adaptive_parallel_recorded, count_adaptive_recorded,
+    profile_and_peel_plan_recorded, select_plan, GraphProfile, PeelPlan,
 };
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
 use bfly_core::peel::{
     k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_with_chunks, wing_numbers_with_chunks,
 };
 use bfly_core::telemetry::{
-    diff_reports, timed_phase, InMemoryRecorder, Json, NoopRecorder, Recorder, RunReport,
+    diff_reports, timed_phase, InMemoryRecorder, Json, NoopRecorder, Recorder, ReportError,
+    RunReport,
 };
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_recorded,
-    count_via_spgemm, enumerate_butterflies, Invariant,
+    count_via_spgemm, enumerate_butterflies, BflyError, Invariant, ResourceBudget,
 };
-use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list};
+use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list, IoError};
 use bfly_graph::matrix_market::read_matrix_market_file;
 use bfly_graph::{BipartiteGraph, GraphStats, Side, StandIn};
 use std::path::Path;
@@ -78,6 +79,13 @@ pub enum Command {
         report: Option<String>,
         /// Write a Chrome Trace Event JSON file to this path.
         trace: Option<String>,
+        /// `--max-bytes`: cap on counting scratch memory.
+        max_bytes: Option<u64>,
+        /// `--max-work`: cap on the wedge-work estimate.
+        max_work: Option<u64>,
+        /// `--deadline-ms`: wall-clock deadline; expiry yields a partial
+        /// (exact lower bound) count rather than an error.
+        deadline_ms: Option<u64>,
     },
     /// `bfly tip`.
     Tip {
@@ -299,20 +307,125 @@ pub enum GenKind {
     },
 }
 
-/// Errors from parsing or execution.
+/// Error classes, each mapped to a documented process exit code so
+/// scripts and CI can dispatch on *why* a run failed without scraping
+/// stderr (see `docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Bad command line: unknown subcommand, flag, or flag value. Exit 2.
+    Usage,
+    /// An input file (graph or report) failed to parse or validate. Exit 3.
+    Parse,
+    /// A resource budget refused the run with no cheaper fallback. Exit 4.
+    Budget,
+    /// A butterfly count exceeded `u64`. Exit 5.
+    Overflow,
+    /// Everything else: I/O, thread pool, a failed diff gate. Exit 1.
+    Runtime,
+}
+
+impl ErrorClass {
+    /// The process exit code for this class.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorClass::Runtime => 1,
+            ErrorClass::Usage => 2,
+            ErrorClass::Parse => 3,
+            ErrorClass::Budget => 4,
+            ErrorClass::Overflow => 5,
+        }
+    }
+
+    /// Stable lower-case name used in `--json-errors` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::Runtime => "runtime",
+            ErrorClass::Usage => "usage",
+            ErrorClass::Parse => "parse",
+            ErrorClass::Budget => "budget",
+            ErrorClass::Overflow => "overflow",
+        }
+    }
+}
+
+/// Errors from parsing or execution, carrying the class that decides
+/// the process exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Exit-code class.
+    pub class: ErrorClass,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CliError {
+    /// Process exit code (`1` runtime, `2` usage, `3` parse, `4` budget,
+    /// `5` overflow).
+    pub fn exit_code(&self) -> i32 {
+        self.class.exit_code()
+    }
+
+    /// The one machine-readable stderr line emitted under `--json-errors`:
+    /// `{"class": "...", "exit_code": N, "message": "..."}`.
+    pub fn to_json_line(&self) -> String {
+        Json::Obj(vec![
+            (
+                "class".to_string(),
+                Json::Str(self.class.name().to_string()),
+            ),
+            ("exit_code".to_string(), Json::UInt(self.exit_code() as u64)),
+            ("message".to_string(), Json::Str(self.msg.clone())),
+        ])
+        .compact()
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.msg)
     }
 }
 
 impl std::error::Error for CliError {}
 
+impl From<BflyError> for CliError {
+    fn from(e: BflyError) -> Self {
+        let class = match &e {
+            BflyError::BudgetExceeded { .. } => ErrorClass::Budget,
+            BflyError::CountOverflow { .. } => ErrorClass::Overflow,
+            BflyError::InvalidGraph { .. }
+            | BflyError::Io(IoError::Parse { .. })
+            | BflyError::Report(_) => ErrorClass::Parse,
+            BflyError::Io(IoError::Io(_)) | BflyError::Sparse(_) => ErrorClass::Runtime,
+        };
+        CliError {
+            class,
+            msg: e.to_string(),
+        }
+    }
+}
+
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        class: ErrorClass::Runtime,
+        msg: msg.into(),
+    }
+}
+
+fn classified(class: ErrorClass, msg: impl Into<String>) -> CliError {
+    CliError {
+        class,
+        msg: msg.into(),
+    }
+}
+
+/// Strip every `--json-errors` occurrence from a raw argv, returning
+/// whether the flag was present. Handled before subcommand parsing so
+/// parse errors themselves can honour it (see `main.rs`).
+pub fn take_json_errors(args: &mut Vec<String>) -> bool {
+    let before = args.len();
+    args.retain(|a| a != "--json-errors");
+    args.len() != before
 }
 
 /// Usage text.
@@ -323,6 +436,7 @@ USAGE:
   bfly stats       <file> [--format konect|edgelist|mtx]
   bfly count       <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum]
                           [--adaptive] [--explain] [--parallel] [--threads N]
+                          [--max-bytes B] [--max-work W] [--deadline-ms MS]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
   bfly tip         <file> (--k K | --decompose) [--side v1|v2] [--threads N]
@@ -345,6 +459,14 @@ USAGE:
   bfly report diff  BASE.json NEW.json [--threshold PCT]
   bfly report flame RUN.json -o FILE
   bfly help
+
+Budget flags route `count` through the adaptive planner, degrading the
+plan (fewer chunks, flat kernel, no degree ordering) before refusing.
+
+Global: --json-errors replaces the human stderr message with one
+machine-readable JSON line {\"class\", \"exit_code\", \"message\"}.
+
+Exit codes: 0 ok, 1 runtime, 2 usage, 3 parse, 4 budget, 5 overflow.
 ";
 
 struct Args {
@@ -361,7 +483,13 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
             // Boolean flags take no value; everything else consumes one.
             if matches!(
                 name,
-                "parallel" | "help" | "stats" | "adaptive" | "explain" | "decompose"
+                "parallel"
+                    | "help"
+                    | "stats"
+                    | "adaptive"
+                    | "explain"
+                    | "decompose"
+                    | "json-errors"
             ) {
                 flags.push((name.to_string(), None));
             } else {
@@ -443,7 +571,12 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
 }
 
 /// Parse a full argv (excluding the program name) into a [`Command`].
+/// Every failure is [`ErrorClass::Usage`] (exit 2).
 pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    parse_inner(argv).map_err(|e| classified(ErrorClass::Usage, e.msg))
+}
+
+fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
     if argv.is_empty() {
         return Ok(Command::Help);
     }
@@ -468,24 +601,55 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             file: file()?,
             format,
         }),
-        "count" => Ok(Command::Count {
-            file: file()?,
-            format,
-            algorithm: if rest.has("adaptive") {
+        "count" => {
+            let opt_u64 = |name: &str| -> Result<Option<u64>, CliError> {
+                match rest.flag(name) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| err(format!("bad value for --{name}: {v:?}"))),
+                }
+            };
+            let max_bytes = opt_u64("max-bytes")?;
+            let max_work = opt_u64("max-work")?;
+            let deadline_ms = opt_u64("deadline-ms")?;
+            let budgeted = max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some();
+            let algorithm = if rest.has("adaptive") {
                 Algorithm::Adaptive
             } else {
                 match rest.flag("algorithm") {
                     Some(a) => parse_algorithm(a)?,
                     None => Algorithm::Auto,
                 }
-            },
-            parallel: rest.has("parallel"),
-            threads: rest.parse_flag("threads", 0usize)?,
-            explain: rest.has("explain"),
-            stats: rest.has("stats"),
-            report: rest.flag("report").map(str::to_string),
-            trace: rest.flag("trace").map(str::to_string),
-        }),
+            };
+            // Budgets degrade through the adaptive planner, so they imply
+            // --adaptive; a fixed algorithm has nothing to degrade to.
+            let algorithm = match (budgeted, algorithm) {
+                (true, Algorithm::Auto) | (true, Algorithm::Adaptive) => Algorithm::Adaptive,
+                (true, other) => {
+                    return Err(err(format!(
+                        "--max-bytes/--max-work/--deadline-ms run through the adaptive \
+                         planner; drop --algorithm {other:?} or use --algorithm adaptive"
+                    )))
+                }
+                (false, a) => a,
+            };
+            Ok(Command::Count {
+                file: file()?,
+                format,
+                algorithm,
+                parallel: rest.has("parallel"),
+                threads: rest.parse_flag("threads", 0usize)?,
+                explain: rest.has("explain"),
+                stats: rest.has("stats"),
+                report: rest.flag("report").map(str::to_string),
+                trace: rest.flag("trace").map(str::to_string),
+                max_bytes,
+                max_work,
+                deadline_ms,
+            })
+        }
         "tip" => {
             let decompose = rest.has("decompose");
             Ok(Command::Tip {
@@ -648,7 +812,13 @@ pub fn load_graph(path: &str, format: Option<Format>) -> Result<BipartiteGraph, 
         Format::EdgeList => read_edge_list_file(path),
         Format::MatrixMarket => read_matrix_market_file(path),
     };
-    res.map_err(|e| err(format!("failed to load {path}: {e}")))
+    res.map_err(|e| {
+        let class = match &e {
+            IoError::Parse { .. } => ErrorClass::Parse,
+            IoError::Io(_) => ErrorClass::Runtime,
+        };
+        classified(class, format!("failed to load {path}: {e}"))
+    })
 }
 
 fn sniff_format(path: &str) -> Result<Format, CliError> {
@@ -801,7 +971,17 @@ fn emit_decomposition(
 fn load_report(path: &str) -> Result<RunReport, CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-    RunReport::parse(&text).map_err(|e| err(format!("{path}: {e}")))
+    RunReport::parse(&text).map_err(|e| {
+        // The typed [`ReportError`] distinguishes byte-level JSON failures
+        // from schema mismatches; all are parse-class exits, but the
+        // prefix tells the user which repair to attempt.
+        let what = match &e {
+            ReportError::Json(_) => "unreadable report",
+            ReportError::Schema(_) => "malformed report",
+            ReportError::FutureSchema { .. } => "incompatible report",
+        };
+        classified(ErrorClass::Parse, format!("{what} {path}: {e}"))
+    })
 }
 
 /// Execute a command, writing human-readable output to `out`.
@@ -840,8 +1020,27 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             stats,
             report,
             trace,
+            max_bytes,
+            max_work,
+            deadline_ms,
         } => {
             let g = load_graph(&file, format)?;
+            if max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some() {
+                let mut budget = ResourceBudget::unlimited();
+                if let Some(v) = max_bytes {
+                    budget = budget.with_max_bytes(v);
+                }
+                if let Some(v) = max_work {
+                    budget = budget.with_max_wedge_work(v);
+                }
+                if let Some(v) = deadline_ms {
+                    budget = budget.with_deadline_in(std::time::Duration::from_millis(v));
+                }
+                let telem = Telem::new(stats, report, trace);
+                return run_count_budgeted(
+                    &g, &file, parallel, threads, explain, telem, &budget, out,
+                );
+            }
             // The profile and the plan the cost model selects for this
             // graph — printed by --explain and embedded in report meta.
             // Deterministic, so it matches what an adaptive run executes.
@@ -1299,6 +1498,70 @@ fn run_count<R: Recorder>(
     }
 }
 
+/// The budget-capped counting path: always adaptive, threaded through
+/// [`count_adaptive_budgeted_recorded`] so byte caps degrade the plan,
+/// work caps refuse it ([`ErrorClass::Budget`], exit 4), overflow maps
+/// to [`ErrorClass::Overflow`] (exit 5), and an expired deadline yields
+/// a partial count that is an exact lower bound over the processed
+/// prefix — flagged on stdout, in report meta, and by the
+/// `budget.degraded` gauge.
+#[allow(clippy::too_many_arguments)]
+fn run_count_budgeted(
+    g: &BipartiteGraph,
+    file: &str,
+    parallel: bool,
+    threads: usize,
+    explain: bool,
+    mut telem: Telem,
+    budget: &ResourceBudget,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let r = with_recorder!(telem, |rec| if threads > 0 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| err(format!("thread pool: {e}")))?;
+        pool.install(|| count_adaptive_budgeted_recorded(g, parallel, budget, rec))
+    } else {
+        count_adaptive_budgeted_recorded(g, parallel, budget, rec)
+    })?;
+    let complete = r.complete;
+    let (xi, plan) = r.value;
+    let label = format!(
+        "{} (adaptive, budgeted{})",
+        plan.invariant,
+        if complete { "" } else { ", partial" }
+    );
+    writeln!(out, "butterflies = {xi}  [{label}]").map_err(|e| err(format!("write error: {e}")))?;
+    if !complete {
+        writeln!(
+            out,
+            "note: deadline expired; the count is an exact lower bound over the processed prefix"
+        )
+        .map_err(|e| err(format!("write error: {e}")))?;
+    }
+    if explain {
+        let profile = GraphProfile::compute(g);
+        let doc = Json::Obj(vec![
+            ("profile".to_string(), profile.to_json()),
+            ("plan".to_string(), plan.to_json()),
+        ]);
+        writeln!(out, "{}", doc.pretty()).map_err(|e| err(format!("write error: {e}")))?;
+    }
+    telem.emit(
+        vec![
+            ("command".to_string(), Json::Str("count".to_string())),
+            ("dataset".to_string(), Json::Str(file.to_string())),
+            ("algorithm".to_string(), Json::Str(label)),
+            ("threads".to_string(), Json::UInt(threads as u64)),
+            ("butterflies".to_string(), Json::UInt(xi)),
+            ("complete".to_string(), Json::Bool(complete)),
+            ("plan".to_string(), plan.to_json()),
+        ],
+        out,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1331,6 +1594,9 @@ mod tests {
                 stats: false,
                 report: None,
                 trace: None,
+                max_bytes: None,
+                max_work: None,
+                deadline_ms: None,
             }
         );
     }
@@ -2149,6 +2415,242 @@ mod tests {
             .gauges
             .iter()
             .any(|(n, v)| n == "plan.invariant" && *v == inv as f64));
+    }
+
+    #[test]
+    fn parses_budget_flags_and_implies_adaptive() {
+        let cmd = parse(&sv(&[
+            "count",
+            "g.tsv",
+            "--max-bytes",
+            "1024",
+            "--deadline-ms",
+            "50",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Count {
+                algorithm,
+                max_bytes,
+                max_work,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Adaptive);
+                assert_eq!(max_bytes, Some(1024));
+                assert_eq!(max_work, None);
+                assert_eq!(deadline_ms, Some(50));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A fixed algorithm has nothing to degrade to: usage error.
+        let e = parse(&sv(&[
+            "count",
+            "g",
+            "--max-work",
+            "9",
+            "--algorithm",
+            "inv3",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Usage);
+        // Every parse failure is usage-class (exit 2).
+        assert_eq!(parse(&sv(&["frobnicate"])).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            parse(&sv(&["count", "g", "--max-bytes", "soup"]))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn error_classes_map_to_documented_exit_codes() {
+        assert_eq!(
+            CliError::from(BflyError::BudgetExceeded {
+                resource: "bytes",
+                limit: 1,
+                requested: 2,
+            })
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            CliError::from(BflyError::CountOverflow {
+                partial: 1 << 70,
+                context: "t",
+            })
+            .exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::from(BflyError::InvalidGraph { reason: "r".into() }).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(BflyError::Io(IoError::Parse {
+                line: 1,
+                msg: "m".into(),
+            }))
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(BflyError::Io(IoError::Io(std::io::Error::other("x")))).exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::from(BflyError::Report(ReportError::Json("j".into()))).exit_code(),
+            3
+        );
+    }
+
+    #[test]
+    fn json_error_line_is_single_parseable_json() {
+        let e = classified(ErrorClass::Budget, "work \"cap\" hit");
+        let line = e.to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("class").and_then(|v| v.as_str()), Some("budget"));
+        assert_eq!(doc.get("exit_code").and_then(|v| v.as_u64()), Some(4));
+        assert!(doc
+            .get("message")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .contains("cap"));
+    }
+
+    #[test]
+    fn take_json_errors_strips_the_flag() {
+        let mut args = sv(&["count", "g.tsv", "--json-errors"]);
+        assert!(take_json_errors(&mut args));
+        assert_eq!(args, sv(&["count", "g.tsv"]));
+        assert!(!take_json_errors(&mut args));
+        // split_args also treats it as boolean, so it never eats a token.
+        let cmd = parse(&sv(&["count", "--json-errors", "g.tsv"])).unwrap();
+        assert!(matches!(cmd, Command::Count { file, .. } if file == "g.tsv"));
+    }
+
+    #[test]
+    fn budgeted_count_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        let gp_owned = gpath.to_str().unwrap().to_string();
+        let gp = gp_owned.as_str();
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "uniform", "--m", "40", "--n", "40", "--edges", "300",
+                "--seed", "31", "--out", gp,
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // A generous budget matches the unbudgeted adaptive count.
+        let count_of = |args: &[&str]| -> u64 {
+            let mut sink = Vec::new();
+            run(parse(&sv(args)).unwrap(), &mut sink).unwrap();
+            String::from_utf8(sink)
+                .unwrap()
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let want = count_of(&["count", gp, "--adaptive"]);
+        assert_eq!(
+            count_of(&[
+                "count",
+                gp,
+                "--max-bytes",
+                "100000000",
+                "--deadline-ms",
+                "60000"
+            ]),
+            want
+        );
+
+        // An impossible work cap is a budget-class refusal (exit 4).
+        let e = run(
+            parse(&sv(&["count", gp, "--max-work", "1"])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Budget);
+        assert_eq!(e.exit_code(), 4);
+
+        // A budgeted report records the limits and the outcome.
+        let rpath = dir.join("budget.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gp,
+                "--max-bytes",
+                "100000000",
+                "--report",
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let rep = RunReport::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert!(rep
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "budget.max_bytes" && *v > 0.0));
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(n, v)| n == "complete" && matches!(v, Json::Bool(true))));
+    }
+
+    #[test]
+    fn corrupt_graphs_and_reports_are_parse_class() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-classes");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Header contradiction: parse class, exit 3.
+        let bad = dir.join("bad.tsv");
+        std::fs::write(&bad, "% 9 2 2\n0 0\n").unwrap();
+        let e = run(
+            parse(&sv(&["stats", bad.to_str().unwrap()])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Parse);
+        // Missing file: runtime class, exit 1.
+        let e = run(
+            parse(&sv(&["stats", "/definitely/not/here.tsv"])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Runtime);
+        // Corrupt and wrong-schema reports are parse class with
+        // distinguishable messages (ReportError::Json vs ::Schema).
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, "{not json").unwrap();
+        let e = run(
+            parse(&sv(&["report", "show", junk.to_str().unwrap()])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert!(e.msg.contains("unreadable report"), "{}", e.msg);
+        let wrong = dir.join("wrong.json");
+        std::fs::write(&wrong, "{\"hello\": 1}").unwrap();
+        let e = run(
+            parse(&sv(&["report", "show", wrong.to_str().unwrap()])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert!(e.msg.contains("malformed report"), "{}", e.msg);
     }
 
     #[test]

@@ -1,17 +1,30 @@
 //! `bfly` — butterfly counting and peeling for bipartite graphs.
+//!
+//! Exit codes (documented in `docs/ROBUSTNESS.md`): 0 success, 1 runtime
+//! failure, 2 usage, 3 parse, 4 budget refused, 5 count overflow. With
+//! `--json-errors` the stderr message becomes one machine-readable JSON
+//! line instead of prose.
+
+use bfly_cli::CliError;
+
+fn fail(e: &CliError, json_errors: bool) -> ! {
+    if json_errors {
+        eprintln!("{}", e.to_json_line());
+    } else {
+        eprintln!("error: {e}");
+    }
+    std::process::exit(e.exit_code());
+}
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_errors = bfly_cli::take_json_errors(&mut argv);
     let cmd = match bfly_cli::parse(&argv) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(&e, json_errors),
     };
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = bfly_cli::run(cmd, &mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        fail(&e, json_errors);
     }
 }

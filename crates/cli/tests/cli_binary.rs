@@ -267,6 +267,109 @@ fn trace_flag_writes_chrome_trace_with_worker_tracks() {
 }
 
 #[test]
+fn exit_codes_follow_error_classes() {
+    let dir = tempdir();
+    // Usage errors exit 2.
+    assert_eq!(
+        bfly().arg("explode").output().unwrap().status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        bfly().args(["count"]).output().unwrap().status.code(),
+        Some(2),
+        "missing <file> is a usage error"
+    );
+    // Parse errors (here: a header contradicting the edge list) exit 3.
+    let bad = dir.join("contradiction.tsv");
+    std::fs::write(&bad, "% 9 2 2\n0 0\n").unwrap();
+    let out = bfly()
+        .args(["count", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("header declares"));
+    // Budget refusals exit 4.
+    let gpath = dir.join("budget.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "60", "--n", "60", "--edges", "400", "--seed",
+            "37", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let out = bfly()
+        .args(["count", gpath_s, "--max-work", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("budget"));
+    // A generous budget still succeeds (exit 0) with the same count.
+    let out = bfly()
+        .args(["count", gpath_s, "--max-bytes", "100000000"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    // Runtime errors (missing file) keep exit 1.
+    let out = bfly()
+        .args(["count", "/nonexistent/nope.tsv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+}
+
+#[test]
+fn json_errors_emit_one_machine_readable_line() {
+    let dir = tempdir();
+    let bad = dir.join("json-errors.tsv");
+    std::fs::write(&bad, "% 9 2 2\n0 0\n").unwrap();
+    let out = bfly()
+        .args(["count", bad.to_str().unwrap(), "--json-errors"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    let doc = bfly_core::telemetry::Json::parse(stderr.trim()).unwrap();
+    assert_eq!(doc.get("class").and_then(|v| v.as_str()), Some("parse"));
+    assert_eq!(doc.get("exit_code").and_then(|v| v.as_u64()), Some(3));
+    assert!(doc
+        .get("message")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .contains("header declares"));
+    // Usage errors honour the flag too (it is stripped before parsing).
+    let out = bfly().args(["--json-errors", "explode"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let doc = bfly_core::telemetry::Json::parse(stderr.trim()).unwrap();
+    assert_eq!(doc.get("class").and_then(|v| v.as_str()), Some("usage"));
+}
+
+#[test]
+fn truncated_input_never_panics_the_binary() {
+    // Fault-injection smoke: every byte-prefix of a KONECT file must
+    // produce a documented exit code — never 101 (Rust panic) and never
+    // a signal death.
+    let dir = tempdir();
+    let konect = "% bip unweighted\n% 4 3 3\n1 1\n1 2\n2 2\n3 3\n";
+    for cut in 0..konect.len() {
+        let path = dir.join("out.truncated");
+        std::fs::write(&path, &konect.as_bytes()[..cut]).unwrap();
+        let out = bfly()
+            .args(["count", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        let code = out.status.code();
+        assert!(
+            matches!(code, Some(0 | 1 | 3)),
+            "cut at {cut}: unexpected exit {code:?}, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
 fn report_show_and_flame_roundtrip() {
     let dir = tempdir();
     let gpath = dir.join("show.tsv");

@@ -32,13 +32,17 @@
 //! expanded once, whichever of `A₀`/`A₂` the update reads). The property
 //! tests pin this identity against the `wedges_expanded` counter.
 
+use crate::budget::{record_degraded, Partial, ResourceBudget};
+use crate::error::BflyError;
 use crate::family::{
-    count_blocked_recorded, count_partitioned_parallel_balanced_recorded, count_recorded, Invariant,
+    count_blocked_recorded, count_partitioned_checked_recorded,
+    count_partitioned_parallel_balanced_recorded, count_recorded, Invariant,
 };
 use bfly_graph::ordering::{degree_descending, relabel};
 use bfly_graph::{BipartiteGraph, Side};
-use bfly_sparse::choose2;
+use bfly_sparse::{choose2, CheckedAccum};
 use bfly_telemetry::{timed_span, Json, NoopRecorder, Recorder};
+use std::time::Instant;
 
 /// One-pass structural profile of a bipartite graph — everything the cost
 /// model reads. Cheap: `O(|V1| + |V2|)` over the stored degree arrays, no
@@ -70,19 +74,23 @@ impl GraphProfile {
     /// Profile `g` in one pass over each side's degree array.
     pub fn compute(g: &BipartiteGraph) -> GraphProfile {
         let (nv1, nv2) = (g.nv1(), g.nv2());
+        // Saturating sums: the profile is a cost *estimate*, and a graph
+        // whose wedge volume exceeds u64 should still profile (and then
+        // fail the work budget or overflow check downstream) rather than
+        // wrap to a tiny bogus estimate in release builds.
         let mut max_deg_v1 = 0usize;
         let mut wedges_v1 = 0u64;
         for u in 0..nv1 {
             let d = g.deg_v1(u);
             max_deg_v1 = max_deg_v1.max(d);
-            wedges_v1 += choose2(d as u64);
+            wedges_v1 = wedges_v1.saturating_add(choose2(d as u64));
         }
         let mut max_deg_v2 = 0usize;
         let mut wedges_v2 = 0u64;
         for v in 0..nv2 {
             let d = g.deg_v2(v);
             max_deg_v2 = max_deg_v2.max(d);
-            wedges_v2 += choose2(d as u64);
+            wedges_v2 = wedges_v2.saturating_add(choose2(d as u64));
         }
         let nedges = g.nedges();
         let skew = |max_deg: usize, count: usize| {
@@ -409,40 +417,46 @@ pub fn profile_and_plan_recorded<R: Recorder>(
     timed_span(rec, "select", |rec| {
         let profile = GraphProfile::compute(g);
         let plan = select_plan(&profile, parallel, workers);
-        if R::ENABLED {
-            rec.gauge("plan.invariant", plan.invariant.number() as f64);
-            rec.gauge(
-                "plan.partition_side",
-                match plan.partition_side() {
-                    Side::V1 => 1.0,
-                    Side::V2 => 2.0,
-                },
-            );
-            rec.gauge(
-                "plan.lookahead",
-                if plan.invariant.is_lookahead() {
-                    1.0
-                } else {
-                    0.0
-                },
-            );
-            rec.gauge(
-                "plan.degree_ordered",
-                if plan.degree_ordered { 1.0 } else { 0.0 },
-            );
-            let (blocked, block_size, chunks) = match plan.mode {
-                ExecMode::Flat => (0.0, 0.0, 0.0),
-                ExecMode::Blocked { block_size } => (1.0, block_size as f64, 0.0),
-                ExecMode::Parallel { chunks } => (0.0, 0.0, chunks as f64),
-            };
-            rec.gauge("plan.blocked", blocked);
-            rec.gauge("plan.block_size", block_size);
-            rec.gauge("plan.par_chunks", chunks);
-            rec.gauge("plan.est_work", plan.est_work as f64);
-            rec.gauge("plan.est_work_alt", plan.est_work_alt as f64);
-        }
+        record_plan_gauges(rec, &plan);
         (profile, plan)
     })
+}
+
+/// Emit the `plan.*` gauges describing a selected plan.
+fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
+    if !R::ENABLED {
+        return;
+    }
+    rec.gauge("plan.invariant", plan.invariant.number() as f64);
+    rec.gauge(
+        "plan.partition_side",
+        match plan.partition_side() {
+            Side::V1 => 1.0,
+            Side::V2 => 2.0,
+        },
+    );
+    rec.gauge(
+        "plan.lookahead",
+        if plan.invariant.is_lookahead() {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    rec.gauge(
+        "plan.degree_ordered",
+        if plan.degree_ordered { 1.0 } else { 0.0 },
+    );
+    let (blocked, block_size, chunks) = match plan.mode {
+        ExecMode::Flat => (0.0, 0.0, 0.0),
+        ExecMode::Blocked { block_size } => (1.0, block_size as f64, 0.0),
+        ExecMode::Parallel { chunks } => (0.0, 0.0, chunks as f64),
+    };
+    rec.gauge("plan.blocked", blocked);
+    rec.gauge("plan.block_size", block_size);
+    rec.gauge("plan.par_chunks", chunks);
+    rec.gauge("plan.est_work", plan.est_work as f64);
+    rec.gauge("plan.est_work_alt", plan.est_work_alt as f64);
 }
 
 /// Execute a previously selected plan on `g`.
@@ -516,6 +530,245 @@ pub fn count_adaptive_parallel_recorded<R: Recorder>(
     let (_, plan) = profile_and_plan_recorded(g, true, workers, rec);
     let xi = execute_plan_recorded(g, &plan, rec);
     (xi, plan)
+}
+
+/// Fallible [`count_adaptive`]: validates the graph and routes every
+/// accumulator through [`CheckedAccum`], so hostile input fails with a
+/// typed [`BflyError`] instead of panicking or silently wrapping.
+pub fn try_count_adaptive(g: &BipartiteGraph) -> crate::error::Result<(u64, Plan)> {
+    try_count_adaptive_recorded(g, &mut NoopRecorder)
+}
+
+/// [`try_count_adaptive`] reporting through `rec`.
+pub fn try_count_adaptive_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    rec: &mut R,
+) -> crate::error::Result<(u64, Plan)> {
+    crate::error::validate_graph(g)?;
+    let (_, plan) = profile_and_plan_recorded(g, false, 0, rec);
+    let r = execute_plan_checked_recorded(g, &plan, None, rec)?;
+    Ok((r.value, plan))
+}
+
+/// Fallible [`count_adaptive_parallel`], overflow-checked per chunk with
+/// the per-chunk partials merged exactly.
+pub fn try_count_adaptive_parallel(g: &BipartiteGraph) -> crate::error::Result<(u64, Plan)> {
+    try_count_adaptive_parallel_recorded(g, &mut NoopRecorder)
+}
+
+/// [`try_count_adaptive_parallel`] reporting through `rec`.
+pub fn try_count_adaptive_parallel_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    rec: &mut R,
+) -> crate::error::Result<(u64, Plan)> {
+    crate::error::validate_graph(g)?;
+    let workers = rayon::current_num_threads().max(1);
+    let (_, plan) = profile_and_plan_recorded(g, true, workers, rec);
+    let r = execute_plan_checked_recorded(g, &plan, None, rec)?;
+    Ok((r.value, plan))
+}
+
+/// Estimated bytes of one [`Spa`](bfly_sparse::Spa) accumulator over `n`
+/// slots (values, stamps, and the touched list — three word-sized arrays).
+fn spa_bytes(n: usize) -> u64 {
+    24 * n as u64
+}
+
+/// Order-of-magnitude scratch estimate for executing `plan` on a graph
+/// of `profile`'s shape: one wedge accumulator per worker (sized by the
+/// partitioned side), the chunk-balancing arrays when parallel, and the
+/// relabelled graph copy when degree-ordered. Deliberately coarse — the
+/// byte budget guards against the order-of-magnitude blowups (a dense
+/// pair matrix, one accumulator per worker on a huge side), not malloc
+/// accounting.
+pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
+    let n = match plan.partition_side() {
+        Side::V1 => profile.nv1,
+        Side::V2 => profile.nv2,
+    };
+    let mode = match plan.mode {
+        ExecMode::Flat | ExecMode::Blocked { .. } => spa_bytes(n),
+        ExecMode::Parallel { chunks } => {
+            (chunks as u64).saturating_mul(spa_bytes(n)) + 16 * n as u64
+        }
+    };
+    let relabel_copy = if plan.degree_ordered {
+        16 * profile.nedges as u64 + 8 * (profile.nv1 + profile.nv2) as u64
+    } else {
+        0
+    };
+    mode.saturating_add(relabel_copy)
+}
+
+/// Budget-aware [`select_plan`]: starts from the unconstrained choice and
+/// degrades it until it fits, in preference order —
+///
+/// 1. halve the parallel chunk count (each chunk owns an accumulator the
+///    size of the partitioned side),
+/// 2. abandon parallelism entirely,
+/// 3. drop the degree-ordered relabel (it copies the graph).
+///
+/// Each applied degradation is recorded once via
+/// [`record_degraded`]`(rec, "bytes")`. A byte cap below the floor — one
+/// accumulator over the partitioned side — and a wedge-work cap below
+/// `est_work` (already the minimum over both sides, so no cheaper shape
+/// exists) fail with [`BflyError::BudgetExceeded`].
+pub fn select_plan_budgeted<R: Recorder>(
+    profile: &GraphProfile,
+    parallel: bool,
+    workers: usize,
+    budget: &ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<Plan> {
+    let mut plan = select_plan(profile, parallel, workers);
+    budget.check_wedge_work(plan.est_work)?;
+    let mut degraded = false;
+    loop {
+        if budget.bytes_fit(plan_scratch_bytes(profile, &plan)) {
+            break;
+        }
+        match plan.mode {
+            ExecMode::Parallel { chunks } if chunks > 1 => {
+                plan.mode = ExecMode::Parallel { chunks: chunks / 2 };
+                degraded = true;
+            }
+            ExecMode::Parallel { .. } => {
+                plan.mode = ExecMode::Flat;
+                degraded = true;
+            }
+            _ if plan.degree_ordered => {
+                plan.degree_ordered = false;
+                degraded = true;
+            }
+            _ => break,
+        }
+    }
+    if degraded {
+        record_degraded(rec, "bytes");
+    }
+    budget.check_bytes(plan_scratch_bytes(profile, &plan))?;
+    Ok(plan)
+}
+
+/// Profile `g` and select a budget-constrained plan inside a `select`
+/// span, emitting the `plan.*` gauges for the plan that will actually
+/// run (after any degradation).
+pub fn profile_and_plan_budgeted_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    parallel: bool,
+    workers: usize,
+    budget: &ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<(GraphProfile, Plan)> {
+    timed_span(rec, "select", |rec| {
+        let profile = GraphProfile::compute(g);
+        let plan = select_plan_budgeted(&profile, parallel, workers, budget, rec)?;
+        record_plan_gauges(rec, &plan);
+        Ok((profile, plan))
+    })
+}
+
+/// Overflow-checked, deadline-aware [`execute_plan_recorded`]. Blocked
+/// plans run the flat checked kernel (blocking is a locality
+/// optimisation with no checked variant; the count is identical).
+/// Parallel plans poll the deadline inside each chunk. Returns the count
+/// with `complete = false` when the deadline cut the traversal short —
+/// the value is then the exact count over the vertices processed before
+/// the cut, a lower bound on the true total.
+pub fn execute_plan_checked_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    plan: &Plan,
+    deadline: Option<Instant>,
+    rec: &mut R,
+) -> crate::error::Result<Partial<u64>> {
+    let side = plan.partition_side();
+    let ordered;
+    let g_exec: &BipartiteGraph = if plan.degree_ordered {
+        ordered = timed_span(rec, "degree_order", |_| {
+            relabel(g, side, &degree_descending(g, side))
+        });
+        &ordered
+    } else {
+        g
+    };
+    let (part_adj, other_adj) = match side {
+        Side::V2 => (g_exec.biadjacency_t(), g_exec.biadjacency()),
+        Side::V1 => (g_exec.biadjacency(), g_exec.biadjacency_t()),
+    };
+    let (acc, complete) = match plan.mode {
+        ExecMode::Parallel { chunks } => {
+            bfly_telemetry::timed_phase(rec, "count_parallel", |_| {
+                crate::family::count_partitioned_parallel_checked_deadline(
+                    part_adj,
+                    other_adj,
+                    plan.invariant.traversal(),
+                    plan.invariant.update_part(),
+                    chunks,
+                    deadline,
+                )
+            })?
+        }
+        ExecMode::Flat | ExecMode::Blocked { .. } => {
+            let mut acc = CheckedAccum::new();
+            let complete = bfly_telemetry::timed_phase(rec, "count", |rec| {
+                count_partitioned_checked_recorded(
+                    part_adj,
+                    other_adj,
+                    plan.invariant.traversal(),
+                    plan.invariant.update_part(),
+                    &mut acc,
+                    deadline,
+                    rec,
+                )
+            });
+            (acc, complete)
+        }
+    };
+    let value = acc.finish().map_err(|partial| BflyError::CountOverflow {
+        partial,
+        context: "count_adaptive",
+    })?;
+    Ok(Partial { value, complete })
+}
+
+/// [`count_adaptive_budgeted_recorded`] without telemetry.
+pub fn count_adaptive_budgeted(
+    g: &BipartiteGraph,
+    parallel: bool,
+    budget: &ResourceBudget,
+) -> crate::error::Result<Partial<(u64, Plan)>> {
+    count_adaptive_budgeted_recorded(g, parallel, budget, &mut NoopRecorder)
+}
+
+/// Resource-budgeted adaptive count: validates the graph, selects a plan
+/// that fits the budget (degrading per [`select_plan_budgeted`]),
+/// executes it overflow-checked with the budget's deadline threaded to
+/// the kernels, and tags every degradation in telemetry. A deadline that
+/// expires mid-count yields `complete = false` with the exact count over
+/// the processed prefix (and a `budget.degraded = 3` gauge) rather than
+/// an error; only a budget with no viable shape at all fails.
+pub fn count_adaptive_budgeted_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    parallel: bool,
+    budget: &ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<Partial<(u64, Plan)>> {
+    crate::error::validate_graph(g)?;
+    budget.record_limits(rec);
+    let workers = if parallel {
+        rayon::current_num_threads().max(1)
+    } else {
+        0
+    };
+    let (_, plan) = profile_and_plan_budgeted_recorded(g, parallel, workers, budget, rec)?;
+    let r = execute_plan_checked_recorded(g, &plan, budget.deadline, rec)?;
+    if !r.complete {
+        record_degraded(rec, "deadline");
+    }
+    Ok(Partial {
+        value: (r.value, plan),
+        complete: r.complete,
+    })
 }
 
 /// Per-vertex butterfly counts computed on the descending-degree
@@ -730,6 +983,104 @@ mod tests {
         for key in ["side", "parallel", "chunks", "est_work", "est_work_alt"] {
             assert!(pj.get(key).is_some(), "peel plan missing {key}");
         }
+    }
+
+    #[test]
+    fn try_variants_agree_with_infallible_counts() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for g in [
+            uniform_exact(35, 45, 240, &mut rng),
+            chung_lu(70, 25, 260, 0.85, 0.5, &mut rng),
+            BipartiteGraph::complete(6, 6),
+            BipartiteGraph::empty(5, 8),
+        ] {
+            let want = count_adaptive(&g).0;
+            assert_eq!(try_count_adaptive(&g).unwrap().0, want);
+            assert_eq!(try_count_adaptive_parallel(&g).unwrap().0, want);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_is_complete_and_exact() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = uniform_exact(40, 40, 300, &mut rng);
+        let want = count_brute_force(&g);
+        for parallel in [false, true] {
+            let r = count_adaptive_budgeted(&g, parallel, &ResourceBudget::unlimited()).unwrap();
+            assert!(r.complete);
+            assert_eq!(r.value.0, want);
+        }
+    }
+
+    #[test]
+    fn byte_cap_degrades_parallel_to_fewer_chunks_then_flat() {
+        use bfly_telemetry::InMemoryRecorder;
+        let mut rng = StdRng::seed_from_u64(93);
+        let g = uniform_exact(50, 50, 320, &mut rng);
+        let profile = GraphProfile::compute(&g);
+        // Room for exactly one accumulator: parallelism must be abandoned,
+        // and the count must still be exact.
+        let flat_floor = plan_scratch_bytes(&profile, &select_plan(&profile, false, 0));
+        let budget = ResourceBudget::unlimited().with_max_bytes(flat_floor);
+        let mut rec = InMemoryRecorder::new();
+        let r = count_adaptive_budgeted_recorded(&g, true, &budget, &mut rec).unwrap();
+        assert!(r.complete);
+        assert_eq!(r.value.0, count_brute_force(&g));
+        assert!(!matches!(r.value.1.mode, ExecMode::Parallel { chunks } if chunks > 1));
+        assert_eq!(rec.gauge_value("budget.degraded"), Some(1.0));
+        assert!(rec.spans().iter().any(|s| s.name == "degraded"));
+        // A cap below the single-accumulator floor has no viable shape.
+        let starved = ResourceBudget::unlimited().with_max_bytes(flat_floor - 1);
+        let err = count_adaptive_budgeted(&g, true, &starved).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::BflyError::BudgetExceeded {
+                resource: "bytes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn work_cap_below_minimum_side_is_a_hard_error() {
+        let g = BipartiteGraph::complete(8, 8);
+        let budget = ResourceBudget::unlimited().with_max_wedge_work(1);
+        let err = count_adaptive_budgeted(&g, false, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::BflyError::BudgetExceeded {
+                resource: "wedge_work",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_yields_truncated_partial_with_telemetry() {
+        use bfly_telemetry::InMemoryRecorder;
+        use std::time::Duration;
+        // Enough partitioned vertices that the stride poll fires: a path
+        // graph, > DEADLINE_STRIDE vertices per side, zero butterflies.
+        let n = 9000u32;
+        let edges: Vec<(u32, u32)> = (0..n).flat_map(|u| [(u, u), (u, (u + 1) % n)]).collect();
+        let g = BipartiteGraph::from_edges(n as usize, n as usize, &edges).unwrap();
+        let budget = ResourceBudget::unlimited().with_deadline_in(Duration::ZERO);
+        let mut rec = InMemoryRecorder::new();
+        let r = count_adaptive_budgeted_recorded(&g, false, &budget, &mut rec).unwrap();
+        assert!(!r.complete);
+        assert_eq!(rec.gauge_value("budget.degraded"), Some(3.0));
+        // The partial value is a lower bound on the true count (here 0 ≤ n).
+        assert!(r.value.0 <= count_adaptive(&g).0);
+    }
+
+    #[test]
+    fn invalid_graph_fails_upfront_in_try_paths() {
+        let g = BipartiteGraph::complete(2, 2);
+        // try paths validate; the infallible path does not. Build a bad
+        // graph through the unchecked constructor if one exists — absent
+        // that, validation of a good graph must pass.
+        assert!(crate::error::validate_graph(&g).is_ok());
+        assert!(try_count_adaptive(&g).is_ok());
     }
 
     #[test]

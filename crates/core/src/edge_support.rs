@@ -39,6 +39,53 @@ pub fn edge_supports(g: &BipartiteGraph) -> Vec<u64> {
     out
 }
 
+/// Fallible, overflow-checked [`edge_supports`]: validates the graph,
+/// runs the same wedge-expansion sweep with every eq. 23 sum routed
+/// through a [`bfly_sparse::CheckedAccum`], and keeps the final
+/// correction in `u128` so neither the wedge sum nor the subtraction can
+/// wrap. A support exceeding `u64` fails with
+/// [`BflyError::CountOverflow`](crate::error::BflyError).
+pub fn try_edge_supports(g: &BipartiteGraph) -> crate::error::Result<Vec<u64>> {
+    crate::error::validate_graph(g)?;
+    let a = g.biadjacency();
+    let at = g.biadjacency_t();
+    let m = g.nv1();
+    let mut spa = Spa::<u64>::new(m);
+    let mut out = Vec::with_capacity(g.nedges());
+    for u in 0..m {
+        for &v in a.row(u) {
+            for &w in at.row(v as usize) {
+                spa.scatter(w, 1);
+            }
+        }
+        let deg_u = g.deg_v1(u) as u128;
+        for &v in a.row(u) {
+            let deg_v = g.deg_v2(v as usize) as u128;
+            let mut acc = bfly_sparse::CheckedAccum::new();
+            for &w in at.row(v as usize) {
+                acc.add(spa.get(w));
+            }
+            // eq. 23 in u128: wedge_sum + 1 − deg_u − deg_v is
+            // non-negative for any structurally valid graph (the w = u
+            // term alone contributes deg_u); validation above makes a
+            // violation impossible, but check rather than trust.
+            let support = (acc.value() + 1)
+                .checked_sub(deg_u + deg_v)
+                .ok_or_else(|| crate::error::BflyError::InvalidGraph {
+                    reason: format!("edge ({u}, {v}): eq. 23 wedge sum below degree correction"),
+                })?;
+            out.push(u64::try_from(support).map_err(|_| {
+                crate::error::BflyError::CountOverflow {
+                    partial: support,
+                    context: "edge_supports",
+                }
+            })?);
+        }
+        spa.clear();
+    }
+    Ok(out)
+}
+
 /// Parallel [`edge_supports`].
 pub fn edge_supports_parallel(g: &BipartiteGraph) -> Vec<u64> {
     let a = g.biadjacency();

@@ -14,8 +14,15 @@
 //! eq. 18 never needs to be formed — the "careful implementation" remark
 //! closing §III-C.
 
-use bfly_sparse::{choose2, Pattern, Spa};
+use bfly_sparse::{choose2, CheckedAccum, Pattern, Spa};
 use bfly_telemetry::{Counter, NoopRecorder, Recorder};
+use std::time::Instant;
+
+/// How many exposed vertices the checked driver processes between
+/// deadline polls. Phase-boundary granularity: coarse enough that the
+/// `Instant::now()` syscall is invisible, fine enough that a deadline
+/// stops a run within milliseconds on any realistic input.
+pub(crate) const DEADLINE_STRIDE: usize = 4096;
 
 /// Direction in which the partitioned vertex set is traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +107,101 @@ pub(crate) fn update_for_vertex_recorded<R: Recorder>(
     }
     spa.clear();
     acc
+}
+
+/// Overflow-checked [`update_for_vertex_recorded`]: identical wedge
+/// expansion, but the eq. 18 update `Σ_c C(cnt[c], 2)` accumulates into
+/// `acc` with [`CheckedAccum`] semantics — a sum that would wrap `u64`
+/// promotes to `u128` instead of silently truncating in release builds.
+#[inline]
+pub(crate) fn update_for_vertex_checked_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    filter: PartFilter,
+    k: usize,
+    spa: &mut Spa<u64>,
+    acc: &mut CheckedAccum,
+    rec: &mut R,
+) {
+    let k32 = k as u32;
+    let mut wedges = 0u64;
+    for &j in part_adj.row(k) {
+        let row = other_adj.row(j as usize);
+        let slice = match filter {
+            PartFilter::Before => {
+                let cut = row.partition_point(|&c| c < k32);
+                &row[..cut]
+            }
+            PartFilter::After => {
+                let cut = row.partition_point(|&c| c <= k32);
+                &row[cut..]
+            }
+        };
+        if R::ENABLED {
+            wedges += slice.len() as u64;
+        }
+        for &c in slice {
+            spa.scatter(c, 1);
+        }
+    }
+    if R::ENABLED {
+        rec.incr(Counter::VerticesExposed, 1);
+        rec.incr(Counter::WedgesExpanded, wedges);
+        rec.incr(Counter::SpaScatters, wedges);
+        rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
+        rec.hist_record("vertex_wedges", wedges);
+    }
+    for (_, cnt) in spa.entries() {
+        acc.add(choose2(cnt));
+    }
+    spa.clear();
+}
+
+/// Overflow-checked, deadline-aware [`count_partitioned_recorded`].
+///
+/// Accumulates into the caller-supplied `acc` (which may be seeded, e.g.
+/// to continue a prior partial sum) and polls `deadline` every
+/// [`DEADLINE_STRIDE`] exposed vertices. Returns `true` if the traversal
+/// ran to completion, `false` if the deadline cut it short — in which
+/// case `acc` holds the exact partial total over the vertices processed
+/// so far. Overflow never aborts the traversal; callers inspect
+/// [`CheckedAccum::finish`] afterwards.
+pub fn count_partitioned_checked_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    acc: &mut CheckedAccum,
+    deadline: Option<Instant>,
+    rec: &mut R,
+) -> bool {
+    debug_assert_eq!(part_adj.nrows(), other_adj.ncols());
+    debug_assert_eq!(part_adj.ncols(), other_adj.nrows());
+    let nverts = part_adj.nrows();
+    let mut spa = Spa::<u64>::new(nverts);
+    bfly_telemetry::timed_span(rec, "count_partitioned", |rec| {
+        let run = |ks: &mut dyn Iterator<Item = usize>,
+                   spa: &mut Spa<u64>,
+                   acc: &mut CheckedAccum,
+                   rec: &mut R|
+         -> bool {
+            for (done, k) in ks.enumerate() {
+                if done % DEADLINE_STRIDE == DEADLINE_STRIDE - 1 {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return false;
+                        }
+                    }
+                }
+                update_for_vertex_checked_recorded(part_adj, other_adj, filter, k, spa, acc, rec);
+            }
+            true
+        };
+        match traversal {
+            Traversal::Forward => run(&mut (0..nverts), &mut spa, acc, rec),
+            Traversal::Backward => run(&mut (0..nverts).rev(), &mut spa, acc, rec),
+        }
+    })
 }
 
 /// Run one family member over a partitioned side.
@@ -202,6 +304,75 @@ mod tests {
                 assert_eq!(count_partitioned(a, at, traversal, filter), want);
             }
         }
+    }
+
+    #[test]
+    fn checked_path_matches_unchecked() {
+        let g = BipartiteGraph::complete(4, 5);
+        let (a, at) = (g.biadjacency(), g.biadjacency_t());
+        for traversal in [Traversal::Forward, Traversal::Backward] {
+            for filter in [PartFilter::Before, PartFilter::After] {
+                let want = count_partitioned(at, a, traversal, filter);
+                let mut acc = CheckedAccum::new();
+                let complete = count_partitioned_checked_recorded(
+                    at,
+                    a,
+                    traversal,
+                    filter,
+                    &mut acc,
+                    None,
+                    &mut NoopRecorder,
+                );
+                assert!(complete);
+                assert_eq!(acc.finish(), Ok(want));
+            }
+        }
+    }
+
+    #[test]
+    fn checked_path_reports_seeded_overflow_exactly() {
+        // Graph-realisable u64 overflow needs > 2^32 vertices; seeding the
+        // accumulator near the ceiling exercises the same promotion path.
+        let g = k23();
+        let (a, at) = (g.biadjacency(), g.biadjacency_t());
+        let true_count = count_partitioned(at, a, Traversal::Forward, PartFilter::After);
+        let base = u64::MAX - 1;
+        let mut acc = CheckedAccum::with_base(base);
+        let complete = count_partitioned_checked_recorded(
+            at,
+            a,
+            Traversal::Forward,
+            PartFilter::After,
+            &mut acc,
+            None,
+            &mut NoopRecorder,
+        );
+        assert!(complete);
+        assert_eq!(
+            acc.finish(),
+            Err(base as u128 + true_count as u128),
+            "exact promoted total, never a wrapped u64"
+        );
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_between_vertices() {
+        // An already-expired deadline still counts: the poll fires every
+        // DEADLINE_STRIDE vertices, so tiny graphs complete regardless.
+        let g = BipartiteGraph::complete(3, 3);
+        let (a, at) = (g.biadjacency(), g.biadjacency_t());
+        let mut acc = CheckedAccum::new();
+        let complete = count_partitioned_checked_recorded(
+            at,
+            a,
+            Traversal::Forward,
+            PartFilter::After,
+            &mut acc,
+            Some(Instant::now() - std::time::Duration::from_secs(1)),
+            &mut NoopRecorder,
+        );
+        assert!(complete, "3 vertices < DEADLINE_STRIDE, no poll fires");
+        assert_eq!(acc.finish(), Ok(9));
     }
 
     #[test]

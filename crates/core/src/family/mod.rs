@@ -43,15 +43,20 @@ pub mod verify;
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_telemetry::{timed_phase, NoopRecorder, Recorder};
 pub use blocked::{count_blocked, count_blocked_recorded};
-pub use engine::{count_partitioned, count_partitioned_recorded, PartFilter, Traversal};
+pub use engine::{
+    count_partitioned, count_partitioned_checked_recorded, count_partitioned_recorded, PartFilter,
+    Traversal,
+};
 pub use literal::count_literal;
 pub use parallel::{
     balanced_chunk_bounds, count_parallel, count_parallel_recorded, count_parallel_with_threads,
     count_parallel_with_threads_recorded, count_partitioned_parallel,
     count_partitioned_parallel_balanced, count_partitioned_parallel_balanced_recorded,
-    count_partitioned_parallel_recorded, wedge_weights,
+    count_partitioned_parallel_recorded, try_count_partitioned_parallel, wedge_weights,
 };
 pub use verify::{invariant_specified_value, verify_loop_invariant};
+
+pub(crate) use parallel::count_partitioned_parallel_checked_deadline;
 
 /// One of the paper's eight loop invariants (equivalently, the derived
 /// algorithm that maintains it).
@@ -165,6 +170,44 @@ pub fn count_recorded<R: Recorder>(g: &BipartiteGraph, inv: Invariant, rec: &mut
     timed_phase(rec, "count", |rec| {
         count_partitioned_recorded(part_adj, other_adj, inv.traversal(), inv.update_part(), rec)
     })
+}
+
+/// Fallible [`count`]: validates the graph's structural invariants up
+/// front and runs the overflow-checked engine, so hostile or hand-built
+/// inputs fail with a typed [`BflyError`](crate::error::BflyError)
+/// instead of panicking (or silently wrapping in release) mid-kernel.
+pub fn try_count(g: &BipartiteGraph, inv: Invariant) -> crate::error::Result<u64> {
+    try_count_recorded(g, inv, &mut NoopRecorder)
+}
+
+/// [`try_count`] reporting work counters through `rec`.
+pub fn try_count_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    inv: Invariant,
+    rec: &mut R,
+) -> crate::error::Result<u64> {
+    crate::error::validate_graph(g)?;
+    let (part_adj, other_adj) = match inv.partitioned_side() {
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+    };
+    let mut acc = bfly_sparse::CheckedAccum::new();
+    timed_phase(rec, "count", |rec| {
+        count_partitioned_checked_recorded(
+            part_adj,
+            other_adj,
+            inv.traversal(),
+            inv.update_part(),
+            &mut acc,
+            None,
+            rec,
+        )
+    });
+    acc.finish()
+        .map_err(|partial| crate::error::BflyError::CountOverflow {
+            partial,
+            context: "count_partitioned",
+        })
 }
 
 /// Pick the family member the paper's §V guidance prescribes — partition

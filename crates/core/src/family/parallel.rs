@@ -9,10 +9,13 @@
 //! [`count_parallel_with_threads`] pins the pool size to reproduce that
 //! configuration exactly.
 
-use super::engine::{update_for_vertex, update_for_vertex_recorded, PartFilter, Traversal};
+use super::engine::{
+    update_for_vertex, update_for_vertex_checked_recorded, update_for_vertex_recorded, PartFilter,
+    Traversal,
+};
 use super::Invariant;
 use bfly_graph::{BipartiteGraph, Side};
-use bfly_sparse::{Pattern, Spa};
+use bfly_sparse::{CheckedAccum, Pattern, Spa};
 use bfly_telemetry::{Counter, NoopRecorder, Recorder, ThreadTrace};
 use rayon::prelude::*;
 
@@ -257,6 +260,105 @@ pub fn count_partitioned_parallel_balanced_recorded<R: Recorder>(
         rec.gauge("par_imbalance", max_wedges as f64 / mean);
     }
     total
+}
+
+/// Overflow-checked [`count_partitioned_parallel_balanced`]: each chunk
+/// accumulates its eq. 18 updates into a private [`CheckedAccum`]
+/// (promoting to `u128` instead of wrapping), and the per-chunk partials
+/// merge exactly. Fails with
+/// [`BflyError::CountOverflow`](crate::error::BflyError) carrying the
+/// exact promoted total when the sum exceeds `u64`; shape-mismatched
+/// pattern pairs fail with `InvalidGraph` instead of the debug-only
+/// assertion the infallible path relies on.
+pub fn try_count_partitioned_parallel(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    nchunks: usize,
+) -> crate::error::Result<u64> {
+    let (acc, _complete) = count_partitioned_parallel_checked_deadline(
+        part_adj, other_adj, traversal, filter, nchunks, None,
+    )?;
+    acc.finish()
+        .map_err(|partial| crate::error::BflyError::CountOverflow {
+            partial,
+            context: "count_partitioned_parallel",
+        })
+}
+
+/// The deadline-aware engine behind [`try_count_partitioned_parallel`]
+/// and the budgeted adaptive count: each chunk polls the deadline every
+/// [`super::engine::DEADLINE_STRIDE`] of its own vertices (never inside a
+/// wedge expansion) and stops early when it has passed. Returns the
+/// merged accumulator and whether **every** chunk ran to completion; a
+/// truncated accumulator holds the exact sum over the vertices processed
+/// before the cut.
+pub(crate) fn count_partitioned_parallel_checked_deadline(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    nchunks: usize,
+    deadline: Option<std::time::Instant>,
+) -> crate::error::Result<(CheckedAccum, bool)> {
+    if part_adj.nrows() != other_adj.ncols() || part_adj.ncols() != other_adj.nrows() {
+        return Err(crate::error::BflyError::InvalidGraph {
+            reason: format!(
+                "pattern pair does not transpose: {}x{} vs {}x{}",
+                part_adj.nrows(),
+                part_adj.ncols(),
+                other_adj.nrows(),
+                other_adj.ncols()
+            ),
+        });
+    }
+    let nverts = part_adj.nrows();
+    let order: Vec<usize> = match traversal {
+        Traversal::Forward => (0..nverts).collect(),
+        Traversal::Backward => (0..nverts).rev().collect(),
+    };
+    let weights_by_vertex = wedge_weights(part_adj, other_adj);
+    let weights: Vec<u64> = order.iter().map(|&k| weights_by_vertex[k]).collect();
+    let bounds = balanced_chunk_bounds(&weights, nchunks.max(1));
+    let chunks: Vec<&[usize]> = bounds
+        .windows(2)
+        .map(|w| &order[w[0]..w[1]])
+        .filter(|c| !c.is_empty())
+        .collect();
+    let partials: Vec<(CheckedAccum, bool)> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut spa = Spa::<u64>::new(nverts);
+            let mut acc = CheckedAccum::new();
+            for (done, &k) in chunk.iter().enumerate() {
+                if done % super::engine::DEADLINE_STRIDE == super::engine::DEADLINE_STRIDE - 1 {
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            return (acc, false);
+                        }
+                    }
+                }
+                update_for_vertex_checked_recorded(
+                    part_adj,
+                    other_adj,
+                    filter,
+                    k,
+                    &mut spa,
+                    &mut acc,
+                    &mut NoopRecorder,
+                );
+            }
+            (acc, true)
+        })
+        .collect();
+    let mut total = CheckedAccum::new();
+    let mut complete = true;
+    for (p, c) in partials {
+        total.merge(p);
+        complete &= c;
+    }
+    Ok((total, complete))
 }
 
 /// Count butterflies with the given invariant using rayon's current pool.

@@ -54,8 +54,10 @@
 pub mod adaptive;
 pub mod approx;
 pub mod baseline;
+pub mod budget;
 pub mod edge_support;
 pub mod enumerate;
+pub mod error;
 pub mod family;
 pub mod incremental;
 pub mod metrics;
@@ -69,13 +71,18 @@ pub mod vertex_counts;
 pub mod wedges;
 
 pub use adaptive::{
-    count_adaptive, count_adaptive_parallel, count_adaptive_parallel_recorded,
-    count_adaptive_recorded, select_invariant, select_plan, ExecMode, GraphProfile, Plan,
+    count_adaptive, count_adaptive_budgeted, count_adaptive_budgeted_recorded,
+    count_adaptive_parallel, count_adaptive_parallel_recorded, count_adaptive_recorded,
+    select_invariant, select_plan, select_plan_budgeted, try_count_adaptive,
+    try_count_adaptive_parallel, ExecMode, GraphProfile, Plan,
 };
+pub use budget::{Partial, ResourceBudget};
 pub use enumerate::{count_by_enumeration, enumerate_butterflies, for_each_butterfly, Butterfly};
+pub use error::{validate_graph, BflyError};
 pub use family::{
     count, count_auto, count_auto_recorded, count_parallel, count_parallel_recorded,
-    count_parallel_with_threads, count_parallel_with_threads_recorded, count_recorded, Invariant,
+    count_parallel_with_threads, count_parallel_with_threads_recorded, count_recorded, try_count,
+    try_count_recorded, Invariant,
 };
 pub use incremental::IncrementalCounter;
 pub use pair_matrix::PairMatrix;

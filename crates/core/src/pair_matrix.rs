@@ -8,9 +8,11 @@
 //! queries, and the top-k heaviest pairs locate the strongest 2×2
 //! co-engagement in the network.
 
+use crate::budget::{record_degraded, ResourceBudget};
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::ops::spgemm;
-use bfly_sparse::{choose2, CsrMatrix};
+use bfly_sparse::{choose2, CheckedAccum, CsrMatrix, Spa};
+use bfly_telemetry::{NoopRecorder, Recorder};
 
 /// Symmetric per-pair butterfly counts on one side of the bipartition.
 #[derive(Debug, Clone)]
@@ -54,6 +56,86 @@ impl PairMatrix {
         Self { side, c }
     }
 
+    /// Estimated bytes the dense [`PairMatrix::build`] path materialises:
+    /// the intermediate `B = A·Aᵀ` holds up to `Σ_{v ∈ other} deg(v)²`
+    /// generated entries (every wedge lands once), at roughly 16 bytes
+    /// each. Saturates instead of wrapping — an estimate past `u64` is
+    /// "too big" either way.
+    pub fn dense_build_bytes(g: &BipartiteGraph, side: Side) -> u64 {
+        let other = match side {
+            Side::V1 => g.biadjacency_t(),
+            Side::V2 => g.biadjacency(),
+        };
+        let mut wedges = 0u64;
+        for v in 0..other.nrows() {
+            let d = other.row_nnz(v) as u64;
+            wedges = wedges.saturating_add(d.saturating_mul(d));
+        }
+        wedges.saturating_mul(16)
+    }
+
+    /// Budget-aware [`PairMatrix::build`] without telemetry.
+    pub fn try_build(
+        g: &BipartiteGraph,
+        side: Side,
+        budget: &ResourceBudget,
+    ) -> crate::error::Result<Self> {
+        Self::try_build_recorded(g, side, budget, &mut NoopRecorder)
+    }
+
+    /// Budget-aware [`PairMatrix::build`]: validates the graph, and when
+    /// the dense path's intermediate `B = A·Aᵀ` would cross the byte
+    /// budget ([`PairMatrix::dense_build_bytes`]), degrades to a
+    /// streaming row-at-a-time wedge expansion that never materialises
+    /// `B` — `O(n)` scratch instead of `O(nnz(B))`, at the cost of a
+    /// sort per emitted row. The fallback is recorded via
+    /// [`record_degraded`]`(rec, "bytes")`; both paths produce identical
+    /// matrices (pinned by the unit tests).
+    pub fn try_build_recorded<R: Recorder>(
+        g: &BipartiteGraph,
+        side: Side,
+        budget: &ResourceBudget,
+        rec: &mut R,
+    ) -> crate::error::Result<Self> {
+        crate::error::validate_graph(g)?;
+        if budget.bytes_fit(Self::dense_build_bytes(g, side)) {
+            return Ok(Self::build(g, side));
+        }
+        record_degraded(rec, "bytes");
+        let (part, other) = match side {
+            Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+            Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        };
+        let n = part.nrows();
+        let mut spa = Spa::<u64>::new(n);
+        let mut rowptr = Vec::with_capacity(n + 1);
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        rowptr.push(0usize);
+        for i in 0..n {
+            for &v in part.row(i) {
+                for &j in other.row(v as usize) {
+                    spa.scatter(j, 1);
+                }
+            }
+            let mut row: Vec<(u32, u64)> = spa
+                .entries()
+                .filter(|&(j, cnt)| j as usize != i && choose2(cnt) > 0)
+                .map(|(j, cnt)| (j, choose2(cnt)))
+                .collect();
+            row.sort_unstable_by_key(|&(j, _)| j);
+            for (j, pairs) in row {
+                colind.push(j);
+                values.push(pairs);
+            }
+            rowptr.push(colind.len());
+            spa.clear();
+        }
+        let c = CsrMatrix::try_from_raw_parts(n, n, rowptr, colind, values)
+            .expect("sorted rows are structurally valid");
+        Ok(Self { side, c })
+    }
+
     /// Which side the pairs live on.
     pub fn side(&self) -> Side {
         self.side
@@ -68,6 +150,25 @@ impl PairMatrix {
     /// diagonal is dropped) — eq. 1/eq. 2 of the paper.
     pub fn total(&self) -> u64 {
         self.c.sum() / 2
+    }
+
+    /// Overflow-checked [`PairMatrix::total`]: the eq. 1 sum runs through
+    /// a [`CheckedAccum`], failing with
+    /// [`BflyError::CountOverflow`](crate::error::BflyError) (carrying
+    /// the exact promoted total) instead of wrapping in release builds.
+    pub fn try_total(&self) -> crate::error::Result<u64> {
+        let mut acc = CheckedAccum::new();
+        for i in 0..self.c.nrows() {
+            let (_, vals) = self.c.row(i);
+            for &v in vals {
+                acc.add(v);
+            }
+        }
+        let total = acc.value() / 2;
+        u64::try_from(total).map_err(|_| crate::error::BflyError::CountOverflow {
+            partial: total,
+            context: "pair_matrix_total",
+        })
     }
 
     /// The `k` heaviest pairs `(i, j, butterflies)` with `i < j`, sorted
@@ -156,6 +257,51 @@ mod tests {
         assert_eq!(top[1], (2, 3, 1));
         // Asking for more pairs than exist just returns all.
         assert_eq!(pm.top_pairs(100).len(), 2);
+    }
+
+    #[test]
+    fn streaming_fallback_matches_dense_build() {
+        use bfly_telemetry::InMemoryRecorder;
+        let g = BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 1),
+                (2, 2),
+                (3, 0),
+                (3, 3),
+                (4, 2),
+                (4, 3),
+            ],
+        )
+        .unwrap();
+        for side in [Side::V1, Side::V2] {
+            let dense = PairMatrix::build(&g, side);
+            // An unlimited budget takes the dense path...
+            let unbudgeted = PairMatrix::try_build(&g, side, &ResourceBudget::unlimited()).unwrap();
+            assert_eq!(unbudgeted.nnz(), dense.nnz());
+            // ...while a 1-byte cap forces streaming; same matrix either way.
+            let mut rec = InMemoryRecorder::new();
+            let tight = ResourceBudget::unlimited().with_max_bytes(1);
+            let streamed = PairMatrix::try_build_recorded(&g, side, &tight, &mut rec).unwrap();
+            assert_eq!(streamed.nnz(), dense.nnz());
+            assert_eq!(streamed.total(), dense.total());
+            assert_eq!(streamed.top_pairs(10), dense.top_pairs(10));
+            assert_eq!(rec.gauge_value("budget.degraded"), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn checked_total_matches_infallible_total() {
+        let g = BipartiteGraph::complete(4, 5);
+        let pm = PairMatrix::build(&g, Side::V1);
+        assert_eq!(pm.try_total().unwrap(), pm.total());
+        assert!(PairMatrix::dense_build_bytes(&g, Side::V1) > 0);
     }
 
     #[test]

@@ -51,6 +51,17 @@ impl TipDecomposition {
         }
     }
 
+    /// Fallible [`TipDecomposition::compute`]: validates the graph and
+    /// uses overflow-checked initial counts, so hostile input fails with
+    /// a typed error instead of panicking.
+    pub fn try_compute(g: &BipartiteGraph, side: Side) -> crate::error::Result<Self> {
+        Ok(Self {
+            graph: g.clone(),
+            side,
+            numbers: super::parallel::try_tip_numbers(g, side)?,
+        })
+    }
+
     /// Tip number of a vertex.
     pub fn tip_number(&self, v: u32) -> u64 {
         self.numbers[v as usize]
@@ -122,6 +133,15 @@ impl WingDecomposition {
             graph: g.clone(),
             numbers: wing_numbers_parallel(g),
         }
+    }
+
+    /// Fallible [`WingDecomposition::compute`]: validates the graph and
+    /// uses overflow-checked initial supports.
+    pub fn try_compute(g: &BipartiteGraph) -> crate::error::Result<Self> {
+        Ok(Self {
+            graph: g.clone(),
+            numbers: super::parallel::try_wing_numbers(g)?,
+        })
     }
 
     /// Wing number of an edge (row-major edge index).

@@ -75,13 +75,22 @@ impl PeelScratch {
 /// `support_updates` histograms, and [`Counter::SupportsRecomputed`]
 /// (touched delta entries). Parallel rounds additionally merge one
 /// `chunk` span per worker and bump [`Counter::ParChunks`].
-fn peel_with_kernel<R, K>(
+///
+/// An optional wall-clock deadline is polled at
+/// round boundaries (the engine's phase boundary — never inside a
+/// kernel). Returns `(peel, complete)`. When the deadline cuts the run
+/// short, already-peeled items carry their exact peel numbers and every
+/// still-alive item is assigned `max(level, residual score)` — an upper
+/// bound on its true peel number, since residual scores only decrease
+/// and the level only rises to an extracted score.
+fn peel_with_kernel_deadline<R, K>(
     mut scores: Vec<u64>,
     chunks: usize,
     peeled: Counter,
+    deadline: Option<std::time::Instant>,
     rec: &mut R,
     kernel: K,
-) -> Vec<u64>
+) -> (Vec<u64>, bool)
 where
     R: Recorder,
     K: Fn(u32, &[bool], &StampSet, &mut PeelScratch) + Sync,
@@ -98,7 +107,18 @@ where
     // Worker scratches persist across rounds; allocated on first use.
     let mut pool: Vec<PeelScratch> = Vec::new();
     let mut level = 0u64;
+    let mut complete = true;
     while let Some((score, frontier)) = queue.pop_min_bucket(&scores, &mut alive) {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            // The popped frontier was already marked dead; peel it at its
+            // score like a normal round, then stop at this boundary.
+            level = level.max(score);
+            for &v in &frontier {
+                peel[v as usize] = level;
+            }
+            complete = false;
+            break;
+        }
         level = level.max(score);
         if R::ENABLED {
             rec.span_enter("peel_round");
@@ -187,7 +207,14 @@ where
             rec.span_exit("peel_round");
         }
     }
-    peel
+    if !complete {
+        for i in 0..n {
+            if alive[i] {
+                peel[i] = level.max(scores[i]);
+            }
+        }
+    }
+    (peel, complete)
 }
 
 /// [`super::tip::tip_numbers`] through the bucket engine with an explicit
@@ -199,14 +226,27 @@ pub fn tip_numbers_with_chunks<R: Recorder>(
     chunks: usize,
     rec: &mut R,
 ) -> Vec<u64> {
-    let (part_adj, other_adj) = match side {
-        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
-        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
-    };
     let init = if chunks > 1 {
         butterflies_per_vertex_parallel(g, side)
     } else {
         butterflies_per_vertex(g, side)
+    };
+    tip_peel_run(g, side, chunks, init, None, rec).0
+}
+
+/// Shared tip-peeling run: bucket engine over precomputed initial counts
+/// with an optional round-boundary deadline.
+fn tip_peel_run<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    chunks: usize,
+    init: Vec<u64>,
+    deadline: Option<std::time::Instant>,
+    rec: &mut R,
+) -> (Vec<u64>, bool) {
+    let (part_adj, other_adj) = match side {
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
     };
     let kernel = |u: u32, alive: &[bool], _frontier: &StampSet, scratch: &mut PeelScratch| {
         // Wedge-expand from the removed vertex over surviving partners;
@@ -227,7 +267,7 @@ pub fn tip_numbers_with_chunks<R: Recorder>(
         }
         cnt.clear();
     };
-    peel_with_kernel(init, chunks, Counter::PeeledVertices, rec, kernel)
+    peel_with_kernel_deadline(init, chunks, Counter::PeeledVertices, deadline, rec, kernel)
 }
 
 /// [`super::wing::wing_numbers`] through the bucket engine with an
@@ -237,14 +277,26 @@ pub fn wing_numbers_with_chunks<R: Recorder>(
     chunks: usize,
     rec: &mut R,
 ) -> Vec<u64> {
-    let a = g.biadjacency();
-    let at = g.biadjacency_t();
-    let endpoints: Vec<(u32, u32)> = g.edges().collect();
     let init = if chunks > 1 {
         edge_supports_parallel(g)
     } else {
         edge_supports(g)
     };
+    wing_peel_run(g, chunks, init, None, rec).0
+}
+
+/// Shared wing-peeling run: bucket engine over precomputed initial
+/// supports with an optional round-boundary deadline.
+fn wing_peel_run<R: Recorder>(
+    g: &BipartiteGraph,
+    chunks: usize,
+    init: Vec<u64>,
+    deadline: Option<std::time::Instant>,
+    rec: &mut R,
+) -> (Vec<u64>, bool) {
+    let a = g.biadjacency();
+    let at = g.biadjacency_t();
+    let endpoints: Vec<(u32, u32)> = g.edges().collect();
     let kernel = move |e: u32, alive: &[bool], frontier: &StampSet, scratch: &mut PeelScratch| {
         let ex = e as usize;
         let (u, v) = endpoints[ex];
@@ -291,7 +343,7 @@ pub fn wing_numbers_with_chunks<R: Recorder>(
             }
         }
     };
-    peel_with_kernel(init, chunks, Counter::PeeledEdges, rec, kernel)
+    peel_with_kernel_deadline(init, chunks, Counter::PeeledEdges, deadline, rec, kernel)
 }
 
 /// Tip decomposition with the frontier parallelised over rayon's current
@@ -324,6 +376,150 @@ pub fn wing_numbers_parallel(g: &BipartiteGraph) -> Vec<u64> {
 pub fn wing_numbers_parallel_recorded<R: Recorder>(g: &BipartiteGraph, rec: &mut R) -> Vec<u64> {
     let chunks = rayon::current_num_threads().max(1);
     wing_numbers_with_chunks(g, chunks, rec)
+}
+
+/// Estimated bytes for one [`PeelScratch`] over `n` items: two `Spa`s,
+/// each roughly value (8) + stamp (8) + touched-list (8) bytes per slot.
+fn scratch_bytes(n: usize) -> u64 {
+    n as u64 * 48
+}
+
+/// Estimated fixed engine footprint over `n` items: scores, peel
+/// numbers, alive flags, bucket queue entries.
+fn engine_base_bytes(n: usize) -> u64 {
+    n as u64 * 32
+}
+
+/// Pick the widest chunk fan-out the byte budget allows, degrading
+/// parallel → sequential before giving up: each extra chunk costs one
+/// [`PeelScratch`]. Returns `Err` only when even the sequential shape
+/// (base + one scratch) does not fit.
+fn budgeted_chunks<R: Recorder>(
+    n: usize,
+    want_chunks: usize,
+    budget: &crate::budget::ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<usize> {
+    let floor = engine_base_bytes(n) + scratch_bytes(n);
+    budget.check_bytes(floor)?;
+    let mut chunks = want_chunks.max(1);
+    // Parallel rounds add one scratch per chunk on top of the main one.
+    while chunks > 1 && !budget.bytes_fit(floor + chunks as u64 * scratch_bytes(n)) {
+        chunks -= 1;
+    }
+    if chunks < want_chunks.max(1) {
+        crate::budget::record_degraded(rec, "bytes");
+        rec.gauge("budget.peel_chunks", chunks as f64);
+    }
+    Ok(chunks)
+}
+
+/// Fallible [`super::tip::tip_numbers`]: validates the graph and runs
+/// the overflow-checked initial counts before peeling. Never panics on
+/// structurally invalid input.
+pub fn try_tip_numbers(g: &BipartiteGraph, side: Side) -> crate::error::Result<Vec<u64>> {
+    let out = tip_numbers_budgeted_recorded(
+        g,
+        side,
+        &crate::budget::ResourceBudget::unlimited(),
+        &mut NoopRecorder,
+    )?;
+    Ok(out.value)
+}
+
+/// Fallible [`super::wing::wing_numbers`]: validates the graph and runs
+/// the overflow-checked initial supports before peeling.
+pub fn try_wing_numbers(g: &BipartiteGraph) -> crate::error::Result<Vec<u64>> {
+    let out = wing_numbers_budgeted_recorded(
+        g,
+        &crate::budget::ResourceBudget::unlimited(),
+        &mut NoopRecorder,
+    )?;
+    Ok(out.value)
+}
+
+/// Budget-aware tip decomposition. Degradation order: a byte budget too
+/// small for the planned fan-out shrinks the chunk count toward
+/// sequential (`budget.degraded` gauge = bytes); a wedge-work cap the
+/// *initial counting* pass would exceed fails with
+/// [`BudgetExceeded`](crate::error::BflyError::BudgetExceeded); an
+/// expired deadline stops peeling at a round boundary and returns
+/// [`Partial::truncated`] — peeled items exact, still-alive items
+/// upper-bounded by their residual score.
+pub fn tip_numbers_budgeted_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    side: Side,
+    budget: &crate::budget::ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<crate::budget::Partial<Vec<u64>>> {
+    crate::error::validate_graph(g)?;
+    budget.record_limits(rec);
+    let n = match side {
+        Side::V1 => g.nv1(),
+        Side::V2 => g.nv2(),
+    };
+    budget.check_wedge_work(tip_init_work(g, side))?;
+    let want = rayon::current_num_threads().max(1);
+    let chunks = budgeted_chunks(n, want, budget, rec)?;
+    let init = crate::vertex_counts::try_butterflies_per_vertex(g, side)?;
+    let (peel, complete) = tip_peel_run(g, side, chunks, init, budget.deadline, rec);
+    if !complete {
+        crate::budget::record_degraded(rec, "deadline");
+    }
+    Ok(crate::budget::Partial {
+        value: peel,
+        complete,
+    })
+}
+
+/// Budget-aware wing decomposition; same degradation order as
+/// [`tip_numbers_budgeted_recorded`], over edges instead of vertices.
+pub fn wing_numbers_budgeted_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    budget: &crate::budget::ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<crate::budget::Partial<Vec<u64>>> {
+    crate::error::validate_graph(g)?;
+    budget.record_limits(rec);
+    budget.check_wedge_work(wing_init_work(g))?;
+    let want = rayon::current_num_threads().max(1);
+    let chunks = budgeted_chunks(g.nedges(), want, budget, rec)?;
+    let init = crate::edge_support::try_edge_supports(g)?;
+    let (peel, complete) = wing_peel_run(g, chunks, init, budget.deadline, rec);
+    if !complete {
+        crate::budget::record_degraded(rec, "deadline");
+    }
+    Ok(crate::budget::Partial {
+        value: peel,
+        complete,
+    })
+}
+
+/// Wedge work of the tip initial-count pass: `Σ_j deg(j)²` over the
+/// never-peeled side (each vertex expands through its neighbours'
+/// adjacency). Saturates at `u64::MAX` — a total that large exceeds any
+/// realistic cap anyway.
+fn tip_init_work(g: &BipartiteGraph, side: Side) -> u64 {
+    let other = match side {
+        Side::V1 => g.biadjacency_t(),
+        Side::V2 => g.biadjacency(),
+    };
+    let mut total = 0u128;
+    for j in 0..other.nrows() {
+        let d = other.row_nnz(j) as u128;
+        total += d * d;
+    }
+    u64::try_from(total).unwrap_or(u64::MAX)
+}
+
+/// Wedge work of the wing initial-support pass:
+/// `Σ_{(u,v)} deg(u)·deg(v)` — the per-edge expansion volume of eq. 23.
+fn wing_init_work(g: &BipartiteGraph) -> u64 {
+    let mut total = 0u128;
+    for (u, v) in g.edges() {
+        total += g.deg_v1(u as usize) as u128 * g.deg_v2(v as usize) as u128;
+    }
+    u64::try_from(total).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

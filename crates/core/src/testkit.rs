@@ -150,9 +150,122 @@ pub fn arb_family_graph() -> impl Strategy<Value = BipartiteGraph> {
     })
 }
 
+/// Deterministic fault-injection wrapper over an in-memory byte stream —
+/// dependency-free (std only), for driving loaders and CLIs through the
+/// I/O failure modes a real filesystem produces:
+///
+/// * **short reads** ([`FaultyReader::with_chunk`]): each `read` returns
+///   at most `chunk` bytes, so multi-byte tokens straddle call
+///   boundaries;
+/// * **interleaved errors** ([`FaultyReader::with_error_at`]): one
+///   `std::io::Error` of the given kind fires when the cursor reaches
+///   byte `n`; `ErrorKind::Interrupted` models a retryable signal (std's
+///   own readers retry it), anything else a hard failure the consumer
+///   must surface;
+/// * **truncation** ([`FaultyReader::with_truncation`]): clean EOF at
+///   byte `n`, as if the file were cut mid-write.
+#[derive(Debug, Clone)]
+pub struct FaultyReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: Option<usize>,
+    error_at: Option<(usize, std::io::ErrorKind)>,
+    fired: bool,
+    truncate_at: Option<usize>,
+}
+
+impl FaultyReader {
+    /// A well-behaved reader over `data`; compose faults with the
+    /// builder methods.
+    pub fn new(data: impl Into<Vec<u8>>) -> Self {
+        FaultyReader {
+            data: data.into(),
+            pos: 0,
+            chunk: None,
+            error_at: None,
+            fired: false,
+            truncate_at: None,
+        }
+    }
+
+    /// Return at most `chunk` bytes per `read` call (`chunk ≥ 1`).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Fail with `kind` (once) when the cursor reaches byte `n`.
+    pub fn with_error_at(mut self, n: usize, kind: std::io::ErrorKind) -> Self {
+        self.error_at = Some((n, kind));
+        self
+    }
+
+    /// Report EOF once `n` bytes have been produced.
+    pub fn with_truncation(mut self, n: usize) -> Self {
+        self.truncate_at = Some(n);
+        self
+    }
+}
+
+impl std::io::Read for FaultyReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some((n, kind)) = self.error_at {
+            if !self.fired && self.pos >= n {
+                self.fired = true;
+                return Err(std::io::Error::new(kind, "injected fault"));
+            }
+        }
+        let end = self.truncate_at.unwrap_or(usize::MAX).min(self.data.len());
+        if self.pos >= end || buf.is_empty() {
+            return Ok(0);
+        }
+        let take = (end - self.pos)
+            .min(buf.len())
+            .min(self.chunk.unwrap_or(usize::MAX));
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn faulty_reader_short_reads_deliver_everything() {
+        let mut r = FaultyReader::new(&b"hello world"[..]).with_chunk(3);
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello world");
+    }
+
+    #[test]
+    fn faulty_reader_truncates_cleanly() {
+        let mut r = FaultyReader::new(&b"0123456789"[..]).with_truncation(4);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"0123");
+    }
+
+    #[test]
+    fn faulty_reader_injects_hard_errors_and_retryable_interrupts() {
+        let mut r = FaultyReader::new(&b"abcdef"[..])
+            .with_chunk(2)
+            .with_error_at(4, std::io::ErrorKind::UnexpectedEof);
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(out, b"abcd");
+        // Interrupted errors are transparently retried by read_to_end.
+        let mut r = FaultyReader::new(&b"abcdef"[..])
+            .with_chunk(2)
+            .with_error_at(2, std::io::ErrorKind::Interrupted);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abcdef");
+    }
 
     #[test]
     fn battery_is_deterministic_and_nonempty() {

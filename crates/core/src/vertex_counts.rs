@@ -59,6 +59,44 @@ pub fn butterflies_per_vertex(g: &BipartiteGraph, side: Side) -> Vec<u64> {
         .collect()
 }
 
+/// Fallible, overflow-checked [`butterflies_per_vertex`]: validates the
+/// graph first, then accumulates each `b_u` through a
+/// [`bfly_sparse::CheckedAccum`] so a per-vertex count exceeding `u64`
+/// surfaces as [`BflyError::CountOverflow`](crate::error::BflyError)
+/// (carrying the exact promoted value) rather than wrapping in release.
+pub fn try_butterflies_per_vertex(
+    g: &BipartiteGraph,
+    side: Side,
+) -> crate::error::Result<Vec<u64>> {
+    crate::error::validate_graph(g)?;
+    let (part_adj, other_adj) = side_adj(g, side);
+    let n = part_adj.nrows();
+    let mut spa = Spa::<u64>::new(n);
+    let mut out = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut acc = bfly_sparse::CheckedAccum::new();
+        for &j in part_adj.row(u) {
+            for &w in other_adj.row(j as usize) {
+                if w as usize != u {
+                    spa.scatter(w, 1);
+                }
+            }
+        }
+        for (_, cnt) in spa.entries() {
+            acc.add(choose2(cnt));
+        }
+        spa.clear();
+        out.push(
+            acc.finish()
+                .map_err(|partial| crate::error::BflyError::CountOverflow {
+                    partial,
+                    context: "butterflies_per_vertex",
+                })?,
+        );
+    }
+    Ok(out)
+}
+
 /// Parallel [`butterflies_per_vertex`].
 pub fn butterflies_per_vertex_parallel(g: &BipartiteGraph, side: Side) -> Vec<u64> {
     let (part_adj, other_adj) = side_adj(g, side);

@@ -53,15 +53,61 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-fn parse_pairs<R: Read>(reader: R, one_based: bool) -> Result<Vec<(u32, u32)>, IoError> {
+/// Strip a UTF-8 byte-order mark (files saved by Windows editors often
+/// lead with one; it must not poison the first token).
+pub(crate) fn strip_bom(s: &str) -> &str {
+    s.strip_prefix('\u{feff}').unwrap_or(s)
+}
+
+/// A parsed edge list plus the metadata needed to cross-check it against
+/// its own header.
+struct ParsedPairs {
+    edges: Vec<(u32, u32)>,
+    /// First `%`/`#` comment before any data line whose payload is
+    /// exactly three integers — KONECT's `% nedges nv1 nv2` size header.
+    /// Stored as `(line, nedges, nv1, nv2)`.
+    header: Option<(usize, u64, u64, u64)>,
+    /// Data lines seen, pre-dedup (duplicate edges collapse later, so
+    /// this — not the final edge count — is what the header declares).
+    data_lines: usize,
+}
+
+fn parse_pairs<R: Read>(reader: R, one_based: bool) -> Result<ParsedPairs, IoError> {
     let reader = BufReader::new(reader);
     let mut edges = Vec::new();
+    let mut header: Option<(usize, u64, u64, u64)> = None;
+    let mut data_lines = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let line = if lineno == 0 {
+            strip_bom(&line)
+        } else {
+            line.as_str()
+        };
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+        if trimmed.is_empty() {
             continue;
         }
+        if trimmed.starts_with('%') || trimmed.starts_with('#') {
+            if header.is_none() && data_lines == 0 {
+                let nums: Vec<u64> = trimmed
+                    .trim_start_matches(['%', '#'])
+                    .split_whitespace()
+                    .map_while(|t| t.parse().ok())
+                    .collect();
+                if nums.len() == 3
+                    && trimmed
+                        .trim_start_matches(['%', '#'])
+                        .split_whitespace()
+                        .count()
+                        == 3
+                {
+                    header = Some((lineno + 1, nums[0], nums[1], nums[2]));
+                }
+            }
+            continue;
+        }
+        data_lines += 1;
         let mut it = trimmed.split_whitespace();
         let (us, vs) = match (it.next(), it.next()) {
             (Some(u), Some(v)) => (u, v),
@@ -92,7 +138,11 @@ fn parse_pairs<R: Read>(reader: R, one_based: bool) -> Result<Vec<(u32, u32)>, I
         }
         edges.push((u, v));
     }
-    Ok(edges)
+    Ok(ParsedPairs {
+        edges,
+        header,
+        data_lines,
+    })
 }
 
 fn graph_from_pairs(edges: Vec<(u32, u32)>) -> BipartiteGraph {
@@ -109,15 +159,62 @@ fn graph_from_pairs(edges: Vec<(u32, u32)>) -> BipartiteGraph {
     BipartiteGraph::from_edges(m, n, &edges).expect("dimensions derived from the edges")
 }
 
-/// Parse a KONECT `out.*` bipartite file (1-based indices, `%` comments)
-/// from any reader. Vertex-set sizes are inferred from the maximum indices.
-pub fn read_konect<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
-    Ok(graph_from_pairs(parse_pairs(reader, true)?))
+/// Cross-check the parsed edges against the file's own size header (when
+/// one was present) and build the graph. A header that contradicts the
+/// data — wrong edge count, or a vertex id outside the declared vertex
+/// sets — is a pointed [`IoError::Parse`] naming both numbers, not a
+/// silently misshapen graph. With a consistent header the *declared*
+/// dimensions are used, so trailing isolated vertices survive a
+/// write/read roundtrip; headerless files keep the inferred dimensions.
+fn graph_checked_against_header(p: ParsedPairs) -> Result<BipartiteGraph, IoError> {
+    let Some((line, ne, nv1, nv2)) = p.header else {
+        return Ok(graph_from_pairs(p.edges));
+    };
+    if ne != p.data_lines as u64 {
+        return Err(IoError::Parse {
+            line,
+            msg: format!(
+                "header declares {ne} edges but the file has {} data lines",
+                p.data_lines
+            ),
+        });
+    }
+    if nv1 > u32::MAX as u64 || nv2 > u32::MAX as u64 {
+        return Err(IoError::Parse {
+            line,
+            msg: format!("declared vertex-set sizes {nv1}x{nv2} exceed u32 indices"),
+        });
+    }
+    for &(u, v) in &p.edges {
+        if u as u64 >= nv1 || v as u64 >= nv2 {
+            return Err(IoError::Parse {
+                line,
+                msg: format!(
+                    "edge ({u}, {v}) outside the declared {nv1}x{nv2} vertex sets (0-based)"
+                ),
+            });
+        }
+    }
+    BipartiteGraph::from_edges(nv1 as usize, nv2 as usize, &p.edges).map_err(|e| IoError::Parse {
+        line,
+        msg: format!("structural error: {e}"),
+    })
 }
 
-/// Parse a 0-based whitespace edge list (comments `%`/`#` allowed).
+/// Parse a KONECT `out.*` bipartite file (1-based indices, `%` comments)
+/// from any reader. Tolerates a UTF-8 BOM and CRLF line endings. When the
+/// file carries KONECT's `% nedges nv1 nv2` size header it is enforced
+/// (edge count and index ranges must agree — see
+/// [`graph_checked_against_header`]); otherwise vertex-set sizes are
+/// inferred from the maximum indices.
+pub fn read_konect<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
+    graph_checked_against_header(parse_pairs(reader, true)?)
+}
+
+/// Parse a 0-based whitespace edge list (comments `%`/`#` allowed, BOM
+/// and CRLF tolerated, size header enforced when present).
 pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
-    Ok(graph_from_pairs(parse_pairs(reader, false)?))
+    graph_checked_against_header(parse_pairs(reader, false)?)
 }
 
 /// Load a KONECT file from disk.

@@ -15,11 +15,19 @@ use std::path::Path;
 /// (rows = V1, columns = V2; indices are 1-based per the format).
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<BipartiteGraph, IoError> {
     let mut lines = BufReader::new(reader).lines();
-    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>.
+    // The first line may carry a UTF-8 BOM (Windows editors); CRLF is
+    // handled throughout because `\r` is whitespace to the tokenizers.
+    let mut first = true;
     let header = loop {
         match lines.next() {
             Some(line) => {
                 let line = line?;
+                let line = if std::mem::take(&mut first) {
+                    crate::io::strip_bom(&line).to_string()
+                } else {
+                    line
+                };
                 if line.starts_with("%%MatrixMarket") {
                     break line;
                 }
@@ -81,7 +89,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<BipartiteGraph, IoError>
         break (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
     };
 
-    let mut edges = Vec::with_capacity(nnz);
+    // `nnz` counts *entry lines*, not edges: zero-valued entries are
+    // skipped (they are not edges) but still count against the declared
+    // total, so track the two separately.
+    let mut entry_lines = 0usize;
+    let mut edges = Vec::with_capacity(nnz.min(1 << 20));
     for line in lines {
         let line = line?;
         lineno += 1;
@@ -89,6 +101,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<BipartiteGraph, IoError>
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
+        entry_lines += 1;
         let mut it = t.split_whitespace();
         let (rs, cs) = match (it.next(), it.next()) {
             (Some(r), Some(c)) => (r, c),
@@ -127,10 +140,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<BipartiteGraph, IoError>
         }
         edges.push(((r - 1) as u32, (c - 1) as u32));
     }
-    if edges.len() > nnz {
+    if entry_lines != nnz {
         return Err(IoError::Parse {
             line: lineno,
-            msg: format!("more entries ({}) than declared ({nnz})", edges.len()),
+            msg: format!("size line declares {nnz} entries but the file has {entry_lines}"),
         });
     }
     BipartiteGraph::from_edges(m, n, &edges).map_err(|e| IoError::Parse {

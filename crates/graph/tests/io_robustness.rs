@@ -37,6 +37,105 @@ proptest! {
 }
 
 #[test]
+fn bom_and_crlf_are_tolerated() {
+    // The same KONECT file saved by a Windows editor: BOM + CRLF.
+    let clean = "% bip unweighted\n% 3 2 2\n1 1\n1 2\n2 2\n";
+    let windows = "\u{feff}% bip unweighted\r\n% 3 2 2\r\n1 1\r\n1 2\r\n2 2\r\n";
+    let g = read_konect(clean.as_bytes()).unwrap();
+    assert_eq!(read_konect(windows.as_bytes()).unwrap(), g);
+    // Edge lists and MatrixMarket likewise.
+    let el = "\u{feff}0 0\r\n1 1\r\n";
+    assert_eq!(read_edge_list(el.as_bytes()).unwrap().nedges(), 2);
+    let mtx = "\u{feff}%%MatrixMarket matrix coordinate pattern general\r\n2 2 2\r\n1 1\r\n2 2\r\n";
+    assert_eq!(read_matrix_market(mtx.as_bytes()).unwrap().nedges(), 2);
+}
+
+#[test]
+fn konect_header_contradictions_are_pointed_errors() {
+    use bfly_graph::io::IoError;
+    // Header says 5 edges, file has 3 data lines.
+    let wrong_count = "% 5 2 2\n1 1\n1 2\n2 2\n";
+    match read_konect(wrong_count.as_bytes()) {
+        Err(IoError::Parse { line, msg }) => {
+            assert_eq!(line, 1);
+            assert!(msg.contains('5') && msg.contains('3'), "unpointed: {msg}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    // Header says 2x2, an edge names vertex 3.
+    let out_of_range = "% 3 2 2\n1 1\n1 2\n3 2\n";
+    assert!(matches!(
+        read_konect(out_of_range.as_bytes()),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+    // A consistent header fixes the dimensions, keeping isolated vertices.
+    let padded = "% 1 4 7\n1 1\n";
+    let g = read_konect(padded.as_bytes()).unwrap();
+    assert_eq!((g.nv1(), g.nv2()), (4, 7));
+    // Non-size comments (and ones past the first data line) are ignored.
+    let late_comment = "1 1\n% 9 9 9\n2 2\n";
+    assert!(read_konect(late_comment.as_bytes()).is_ok());
+}
+
+#[test]
+fn matrix_market_entry_count_must_match_declaration() {
+    use bfly_graph::io::IoError;
+    // Declares 3 entries, provides 2.
+    let short = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n2 2\n";
+    assert!(matches!(
+        read_matrix_market(short.as_bytes()),
+        Err(IoError::Parse { .. })
+    ));
+    // Declares 1, provides 2.
+    let long = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n2 2\n";
+    assert!(read_matrix_market(long.as_bytes()).is_err());
+    // Zero-valued entries count as entries (they are just not edges).
+    let zeros = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 0\n2 2 1\n";
+    let g = read_matrix_market(zeros.as_bytes()).unwrap();
+    assert_eq!(g.nedges(), 1);
+}
+
+#[test]
+fn loaders_survive_fault_injection() {
+    use bfly_core::testkit::FaultyReader;
+    use bfly_graph::io::IoError;
+    use std::io::ErrorKind;
+    let konect = "% bip unweighted\n% 3 2 2\n1 1\n1 2\n2 2\n";
+    // Short reads never change the parse.
+    for chunk in [1, 2, 3, 7] {
+        let g = read_konect(FaultyReader::new(konect.as_bytes()).with_chunk(chunk)).unwrap();
+        assert_eq!(g.nedges(), 3);
+    }
+    // A hard I/O error surfaces as IoError::Io — no panic, no bogus graph.
+    for kind in [
+        ErrorKind::UnexpectedEof,
+        ErrorKind::PermissionDenied,
+        ErrorKind::ConnectionReset,
+    ] {
+        let r = FaultyReader::new(konect.as_bytes())
+            .with_chunk(2)
+            .with_error_at(8, kind);
+        assert!(matches!(read_konect(r), Err(IoError::Io(_))));
+    }
+    // Retryable interrupts are invisible.
+    let r = FaultyReader::new(konect.as_bytes())
+        .with_chunk(2)
+        .with_error_at(8, ErrorKind::Interrupted);
+    assert_eq!(read_konect(r).unwrap().nedges(), 3);
+    // Truncation mid-file: either a parse error (header contradiction,
+    // torn line) or a clean Err — never a panic. Every prefix length.
+    for cut in 0..konect.len() {
+        let r = FaultyReader::new(konect.as_bytes()).with_truncation(cut);
+        let _ = read_konect(r);
+    }
+    let mtx = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+    for cut in 0..mtx.len() {
+        let r = FaultyReader::new(mtx.as_bytes()).with_truncation(cut);
+        let _ = read_matrix_market(r);
+    }
+}
+
+#[test]
 fn specific_hostile_inputs() {
     for bad in [
         "1",                                                    // missing field

@@ -1,0 +1,150 @@
+//! Overflow-checked counting accumulator.
+//!
+//! Butterfly counts grow with the *square* of wedge multiplicities
+//! (`Σ C(B_ij, 2)`, paper eq. 7), so on dense or highly skewed inputs the
+//! `u64` running sums in the engine are the first place arithmetic can
+//! silently wrap in `--release`. [`CheckedAccum`] replaces the bare
+//! `acc += v` sites on the fallible (`try_*`) paths: it adds with
+//! `u64::checked_add` on the fast path and promotes the running total to
+//! `u128` the moment a `u64` addition would wrap, so no information is
+//! lost. Callers that need the result as `u64` (every public counting API)
+//! call [`CheckedAccum::finish`], which reports the exact `u128` partial
+//! total on overflow instead of a wrapped number.
+//!
+//! The type is deliberately branch-light: while the sum fits in `u64` the
+//! only extra work per `add` is the carry check `checked_add` already
+//! performs, so routing the eq. 7 accumulators through it keeps the
+//! release-mode results bit-identical to debug mode at negligible cost.
+
+/// Running sum of `u64` terms that can never wrap.
+///
+/// Internally a `u64` fast-path value plus a `u128` spill that is only
+/// touched after the first would-be overflow. The logical value is always
+/// `spill + lo`, available losslessly via [`value`](Self::value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckedAccum {
+    lo: u64,
+    spill: u128,
+}
+
+impl CheckedAccum {
+    /// Fresh accumulator at zero.
+    #[inline]
+    pub fn new() -> Self {
+        CheckedAccum { lo: 0, spill: 0 }
+    }
+
+    /// Accumulator seeded with a starting value (used by tests to reach
+    /// the overflow region without astronomically large graphs, and by
+    /// resumable counting to continue from a prior partial sum).
+    #[inline]
+    pub fn with_base(base: u64) -> Self {
+        CheckedAccum { lo: base, spill: 0 }
+    }
+
+    /// Add a term. Never wraps: on `u64` overflow the running total is
+    /// promoted into the `u128` spill.
+    #[inline]
+    pub fn add(&mut self, v: u64) {
+        match self.lo.checked_add(v) {
+            Some(s) => self.lo = s,
+            None => {
+                self.spill += self.lo as u128;
+                self.lo = v;
+            }
+        }
+    }
+
+    /// Fold another accumulator into this one (chunk merge on parallel
+    /// paths). Exact: both spills and both fast-path values combine.
+    #[inline]
+    pub fn merge(&mut self, other: CheckedAccum) {
+        self.spill += other.spill;
+        self.add(other.lo);
+    }
+
+    /// The exact running total.
+    #[inline]
+    pub fn value(&self) -> u128 {
+        self.spill + self.lo as u128
+    }
+
+    /// Whether the total still fits the `u64` range every public counting
+    /// API promises.
+    #[inline]
+    pub fn fits_u64(&self) -> bool {
+        self.value() <= u64::MAX as u128
+    }
+
+    /// Finish the sum: `Ok(total)` if it fits `u64`, otherwise
+    /// `Err(exact_u128_total)` so callers can surface the partial state
+    /// (`BflyError::CountOverflow` upstream) instead of a wrapped number.
+    #[inline]
+    pub fn finish(self) -> Result<u64, u128> {
+        let v = self.value();
+        u64::try_from(v).map_err(|_| v)
+    }
+}
+
+impl Default for CheckedAccum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_small_sums() {
+        let mut a = CheckedAccum::new();
+        assert_eq!(a.value(), 0);
+        assert_eq!(a.finish(), Ok(0));
+        let mut b = CheckedAccum::default();
+        for v in [1u64, 2, 3, 1 << 40] {
+            b.add(v);
+        }
+        assert_eq!(b.finish(), Ok(6 + (1 << 40)));
+        a.add(u64::MAX);
+        assert_eq!(a.finish(), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn promotes_instead_of_wrapping() {
+        let mut a = CheckedAccum::with_base(u64::MAX - 1);
+        a.add(5);
+        assert_eq!(a.value(), (u64::MAX - 1) as u128 + 5);
+        assert!(!a.fits_u64());
+        assert_eq!(a.finish(), Err((u64::MAX - 1) as u128 + 5));
+    }
+
+    #[test]
+    fn repeated_overflow_stays_exact() {
+        let mut a = CheckedAccum::new();
+        let reps = 1000u32;
+        for _ in 0..reps {
+            a.add(u64::MAX);
+        }
+        assert_eq!(a.value(), u64::MAX as u128 * reps as u128);
+    }
+
+    #[test]
+    fn merge_is_exact_across_the_boundary() {
+        let mut left = CheckedAccum::with_base(u64::MAX - 10);
+        left.add(100); // spilled
+        let mut right = CheckedAccum::new();
+        right.add(42);
+        let expected = left.value() + right.value();
+        left.merge(right);
+        assert_eq!(left.value(), expected);
+    }
+
+    #[test]
+    fn boundary_exactly_max_fits() {
+        let mut a = CheckedAccum::with_base(u64::MAX - 7);
+        a.add(7);
+        assert!(a.fits_u64());
+        assert_eq!(a.finish(), Ok(u64::MAX));
+    }
+}

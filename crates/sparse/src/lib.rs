@@ -43,6 +43,7 @@
 // workspace; the indexed loops clippy flags are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod accum;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -54,6 +55,7 @@ pub mod scalar;
 pub mod semiring;
 pub mod spa;
 
+pub use accum::CheckedAccum;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

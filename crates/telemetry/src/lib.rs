@@ -45,7 +45,7 @@ mod trace;
 pub use diff::{diff_reports, DiffRow, ReportDiff};
 pub use hist::Histogram;
 pub use json::Json;
-pub use report::{PhaseRow, RunReport};
+pub use report::{PhaseRow, ReportError, RunReport};
 pub use span::{SpanRow, ThreadTrace};
 
 /// Every work counter the engine knows. Adding a variant: append it to

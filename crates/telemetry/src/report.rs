@@ -12,6 +12,43 @@ use crate::hist::Histogram;
 use crate::json::Json;
 use crate::span::SpanRow;
 
+/// Typed failure modes of report ingestion, so callers (the CLI's
+/// `report show|diff|flame`) can distinguish "this isn't JSON at all"
+/// from "valid JSON with the wrong shape" from "produced by a newer
+/// bfly" without string-matching error text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The input text is not valid JSON (lexer/parser failure).
+    Json(String),
+    /// Valid JSON, but not a report of any supported schema: a missing
+    /// or ill-typed field.
+    Schema(String),
+    /// A well-formed report claiming a schema version newer than this
+    /// build understands.
+    FutureSchema {
+        /// Version the document declares.
+        found: u64,
+        /// Newest version this build can read.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Json(msg) => write!(f, "not valid JSON: {msg}"),
+            ReportError::Schema(msg) => write!(f, "{msg}"),
+            ReportError::FutureSchema { found, max } => write!(
+                f,
+                "report schema v{found} is newer than this build supports \
+                 (max v{max}); upgrade bfly to read it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// One aggregated phase row in a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseRow {
@@ -178,25 +215,41 @@ impl RunReport {
     }
 
     /// Reconstruct a report from [`RunReport::to_json`] output. Accepts
-    /// schema v1 (spans/histograms come back empty) and v2.
-    pub fn from_json(j: &Json) -> Result<RunReport, String> {
-        let obj = j.as_obj().ok_or("report: expected object")?;
+    /// schema v1 (spans/histograms come back empty) and v2; documents
+    /// declaring a newer schema fail with
+    /// [`ReportError::FutureSchema`], ill-shaped ones with
+    /// [`ReportError::Schema`].
+    pub fn from_json(j: &Json) -> Result<RunReport, ReportError> {
+        let obj = j
+            .as_obj()
+            .ok_or_else(|| ReportError::Schema("report: expected object".into()))?;
+        let version = obj
+            .iter()
+            .find(|(n, _)| n == "schema_version")
+            .map(|(_, v)| v)
+            .ok_or_else(|| ReportError::Schema("report: missing field `schema_version`".into()))?
+            .as_u64()
+            .ok_or_else(|| {
+                ReportError::Schema("schema_version: expected unsigned integer".into())
+            })?;
+        if version > RunReport::SCHEMA_VERSION {
+            return Err(ReportError::FutureSchema {
+                found: version,
+                max: RunReport::SCHEMA_VERSION,
+            });
+        }
+        Self::sections_from_obj(obj, version).map_err(ReportError::Schema)
+    }
+
+    /// Field-level decoding shared by every supported schema version;
+    /// `String` errors become [`ReportError::Schema`] at the boundary.
+    fn sections_from_obj(obj: &[(String, Json)], schema_version: u64) -> Result<RunReport, String> {
         let field = |name: &str| -> Result<&Json, String> {
             obj.iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| format!("report: missing field `{name}`"))
         };
-        let schema_version = field("schema_version")?
-            .as_u64()
-            .ok_or("schema_version: expected unsigned integer")?;
-        if schema_version > RunReport::SCHEMA_VERSION {
-            return Err(format!(
-                "report schema v{schema_version} is newer than this build supports \
-                 (max v{}); upgrade bfly to read it",
-                RunReport::SCHEMA_VERSION
-            ));
-        }
         let meta = field("meta")?
             .as_obj()
             .ok_or("meta: expected object")?
@@ -314,8 +367,9 @@ impl RunReport {
     }
 
     /// Parse JSON text produced by [`RunReport::to_json_string`].
-    pub fn parse(text: &str) -> Result<RunReport, String> {
-        RunReport::from_json(&Json::parse(text)?)
+    /// Non-JSON input fails with [`ReportError::Json`].
+    pub fn parse(text: &str) -> Result<RunReport, ReportError> {
+        RunReport::from_json(&Json::parse(text).map_err(ReportError::Json)?)
     }
 
     /// Human-oriented table for `--stats` / `report show`: all meta,
@@ -435,8 +489,34 @@ mod tests {
         let v99 = r#"{"schema_version": 99, "meta": {}, "counters": {},
                       "gauges": {}, "phases": [], "series": {}}"#;
         let err = RunReport::parse(v99).unwrap_err();
-        assert!(err.contains("v99"), "error should name the version: {err}");
-        assert!(err.contains("newer"), "error should say why: {err}");
+        assert_eq!(
+            err,
+            ReportError::FutureSchema {
+                found: 99,
+                max: RunReport::SCHEMA_VERSION
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("v99"), "error should name the version: {msg}");
+        assert!(msg.contains("newer"), "error should say why: {msg}");
+    }
+
+    #[test]
+    fn error_classes_are_distinguishable() {
+        // Not JSON at all.
+        assert!(matches!(
+            RunReport::parse("not json {"),
+            Err(ReportError::Json(_))
+        ));
+        // JSON, wrong shape.
+        assert!(matches!(
+            RunReport::parse("[1, 2, 3]"),
+            Err(ReportError::Schema(_))
+        ));
+        assert!(matches!(
+            RunReport::parse(r#"{"schema_version": "two"}"#),
+            Err(ReportError::Schema(_))
+        ));
     }
 
     #[test]

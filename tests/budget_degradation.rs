@@ -1,0 +1,150 @@
+//! Resource-budgeted graceful degradation, end to end: byte caps degrade
+//! the plan but never the answer, work caps refuse the run with a typed
+//! error instead of thrashing, deadlines yield flagged partial results,
+//! and every degradation leaves a `budget.*` fingerprint in telemetry.
+
+use bfly::core::adaptive::plan_scratch_bytes;
+use bfly::core::peel::{
+    tip_numbers, tip_numbers_budgeted_recorded, wing_numbers_budgeted_recorded,
+};
+use bfly::core::telemetry::{InMemoryRecorder, NoopRecorder};
+use bfly::core::testkit::fixture_battery;
+use bfly::core::{
+    count_adaptive, count_adaptive_budgeted, count_adaptive_budgeted_recorded, BflyError,
+    GraphProfile, PairMatrix, ResourceBudget,
+};
+use bfly::graph::{BipartiteGraph, Side};
+
+#[test]
+fn unlimited_budget_reproduces_every_fixture_count() {
+    let budget = ResourceBudget::unlimited();
+    for (name, g) in fixture_battery() {
+        let want = count_adaptive(&g).0;
+        for parallel in [false, true] {
+            let r = count_adaptive_budgeted(&g, parallel, &budget).unwrap();
+            assert!(r.complete, "{name} parallel={parallel}");
+            assert_eq!(r.value.0, want, "{name} parallel={parallel}");
+        }
+    }
+}
+
+#[test]
+fn byte_caps_degrade_the_plan_but_not_the_count() {
+    for (name, g) in fixture_battery() {
+        let want = count_adaptive(&g).0;
+        // The flat sequential plan with degree ordering shed is the
+        // cheapest shape the planner can degrade to; any cap at or above
+        // its scratch floor must still produce the exact count.
+        let profile = GraphProfile::compute(&g);
+        let mut flat = bfly::core::select_plan(&profile, false, 1);
+        flat.degree_ordered = false;
+        flat.mode = bfly::core::ExecMode::Flat;
+        let floor = plan_scratch_bytes(&profile, &flat);
+        let budget = ResourceBudget::unlimited().with_max_bytes(floor);
+        let r = count_adaptive_budgeted(&g, true, &budget).unwrap();
+        assert!(r.complete, "{name}");
+        assert_eq!(r.value.0, want, "{name}: degraded count must stay exact");
+        // Below the floor there is nothing left to shed: typed refusal,
+        // naming the axis.
+        if floor > 0 {
+            let budget = ResourceBudget::unlimited().with_max_bytes(floor - 1);
+            match count_adaptive_budgeted(&g, true, &budget) {
+                Err(BflyError::BudgetExceeded { resource, .. }) => {
+                    assert_eq!(resource, "bytes", "{name}")
+                }
+                other => panic!("{name}: expected bytes refusal, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn work_caps_are_typed_refusals_with_telemetry() {
+    let g = BipartiteGraph::complete(12, 12);
+    let budget = ResourceBudget::unlimited().with_max_wedge_work(1);
+    let mut rec = InMemoryRecorder::new();
+    match count_adaptive_budgeted_recorded(&g, false, &budget, &mut rec) {
+        Err(BflyError::BudgetExceeded {
+            resource,
+            limit,
+            requested,
+        }) => {
+            assert_eq!(resource, "wedge_work");
+            assert_eq!(limit, 1);
+            assert!(requested > 1);
+        }
+        other => panic!("expected wedge_work refusal, got {other:?}"),
+    }
+    // The configured cap is on record even for refused runs.
+    let rep = rec.report(vec![]);
+    assert!(rep
+        .gauges
+        .iter()
+        .any(|(n, v)| n == "budget.max_wedge_work" && *v == 1.0));
+}
+
+#[test]
+fn expired_deadline_yields_flagged_partial_count() {
+    // A long path graph (one vertex per stride poll) with an already
+    // expired deadline: the engine must stop at a poll boundary, flag
+    // the result, and record the degradation — not error, not hang.
+    let n = 9000u32;
+    let edges: Vec<(u32, u32)> = (0..n).flat_map(|u| [(u, u), (u, (u + 1) % n)]).collect();
+    let g = BipartiteGraph::from_edges(n as usize, n as usize, &edges).unwrap();
+    let budget = ResourceBudget::unlimited().with_deadline_in(std::time::Duration::from_millis(0));
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    let mut rec = InMemoryRecorder::new();
+    let r = count_adaptive_budgeted_recorded(&g, false, &budget, &mut rec).unwrap();
+    assert!(!r.complete, "deadline in the past must truncate");
+    // Truncated counts are exact lower bounds over the processed prefix.
+    assert!(r.value.0 <= count_adaptive(&g).0);
+    let rep = rec.report(vec![]);
+    assert!(rep
+        .gauges
+        .iter()
+        .any(|(n, v)| n == "budget.degraded" && *v == 3.0));
+}
+
+#[test]
+fn budgeted_peel_paths_match_unbudgeted_numbers() {
+    for (name, g) in fixture_battery() {
+        let budget = ResourceBudget::unlimited();
+        for side in [Side::V1, Side::V2] {
+            let r = tip_numbers_budgeted_recorded(&g, side, &budget, &mut NoopRecorder).unwrap();
+            assert!(r.complete, "{name} {side:?}");
+            assert_eq!(r.value, tip_numbers(&g, side), "{name} {side:?}");
+        }
+        let r = wing_numbers_budgeted_recorded(&g, &budget, &mut NoopRecorder).unwrap();
+        assert!(r.complete, "{name}");
+        assert_eq!(r.value, bfly::core::peel::wing_numbers(&g), "{name}");
+        // A one-byte cap forces the chunk fallback; numbers still exact
+        // unless the budget refuses outright, which must be typed.
+        let tiny = ResourceBudget::unlimited().with_max_bytes(1);
+        match wing_numbers_budgeted_recorded(&g, &tiny, &mut NoopRecorder) {
+            Ok(r) => assert_eq!(r.value, bfly::core::peel::wing_numbers(&g), "{name}"),
+            Err(BflyError::BudgetExceeded { .. }) => {}
+            Err(other) => panic!("{name}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn pair_matrix_streaming_fallback_is_exact() {
+    for (name, g) in fixture_battery() {
+        for side in [Side::V1, Side::V2] {
+            let dense = PairMatrix::build(&g, side);
+            let tiny = ResourceBudget::unlimited().with_max_bytes(1);
+            let streamed = PairMatrix::try_build(&g, side, &tiny).unwrap();
+            assert_eq!(
+                streamed.total(),
+                dense.total(),
+                "{name} {side:?}: streaming fallback total"
+            );
+            assert_eq!(
+                streamed.top_pairs(5),
+                dense.top_pairs(5),
+                "{name} {side:?}: streaming fallback top pairs"
+            );
+        }
+    }
+}

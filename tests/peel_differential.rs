@@ -87,6 +87,82 @@ fn pinned_pools_never_change_numbers() {
     }
 }
 
+/// Degenerate-input battery: shapes with no butterflies at all (empty
+/// graph, a single edge, isolated vertices only, one empty side) plus
+/// thresholds above any attainable count. Sequential, chunked, and
+/// fallible paths must agree bitwise and nothing may panic.
+#[test]
+fn degenerate_inputs_battery() {
+    use bfly::core::peel::{k_tip, k_wing, try_tip_numbers, try_wing_numbers};
+    use bfly::graph::BipartiteGraph;
+    let cases: Vec<(&str, BipartiteGraph)> = vec![
+        ("empty", BipartiteGraph::from_edges(0, 0, &[]).unwrap()),
+        (
+            "single-edge",
+            BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap(),
+        ),
+        (
+            "all-isolated",
+            BipartiteGraph::from_edges(5, 7, &[]).unwrap(),
+        ),
+        ("v1-empty", BipartiteGraph::from_edges(0, 4, &[]).unwrap()),
+        ("v2-empty", BipartiteGraph::from_edges(4, 0, &[]).unwrap()),
+        (
+            "one-wedge",
+            BipartiteGraph::from_edges(2, 1, &[(0, 0), (1, 0)]).unwrap(),
+        ),
+    ];
+    for (name, g) in &cases {
+        for side in [Side::V1, Side::V2] {
+            let seq = tip_numbers(g, side);
+            assert_eq!(seq.len(), g.nvertices(side), "{name} {side:?}");
+            assert!(
+                seq.iter().all(|&t| t == 0),
+                "{name} {side:?}: no butterflies exist"
+            );
+            for chunks in WIDTHS {
+                assert_eq!(
+                    tip_numbers_with_chunks(g, side, chunks, &mut NoopRecorder),
+                    seq,
+                    "{name} {side:?}: chunks={chunks}"
+                );
+            }
+            assert_eq!(
+                try_tip_numbers(g, side).unwrap(),
+                seq,
+                "{name} {side:?}: fallible path"
+            );
+            // k above any attainable tip number peels everything.
+            let r = k_tip(g, side, u64::MAX);
+            assert!(r.keep.iter().all(|&b| !b), "{name} {side:?}");
+            assert_eq!(r.subgraph.nedges(), 0, "{name} {side:?}");
+        }
+        let seq = wing_numbers(g);
+        assert_eq!(seq.len(), g.nedges(), "{name}");
+        assert!(seq.iter().all(|&w| w == 0), "{name}");
+        for chunks in WIDTHS {
+            assert_eq!(
+                wing_numbers_with_chunks(g, chunks, &mut NoopRecorder),
+                seq,
+                "{name}: chunks={chunks}"
+            );
+        }
+        assert_eq!(try_wing_numbers(g).unwrap(), seq, "{name}: fallible path");
+        assert_eq!(k_wing(g, u64::MAX).subgraph.nedges(), 0, "{name}");
+    }
+    // On a graph that does have butterflies, a threshold one past the
+    // maximum attained number empties it — no off-by-one at the top.
+    let g = BipartiteGraph::complete(3, 3);
+    let max_tip = tip_numbers(&g, Side::V1).into_iter().max().unwrap();
+    assert!(max_tip > 0);
+    assert!(k_tip(&g, Side::V1, max_tip).keep.iter().any(|&b| b));
+    assert!(k_tip(&g, Side::V1, max_tip + 1).keep.iter().all(|&b| !b));
+    let max_wing = wing_numbers(&g).into_iter().max().unwrap();
+    assert!(max_wing > 0);
+    assert!(k_wing(&g, max_wing).subgraph.nedges() > 0);
+    assert_eq!(k_wing(&g, max_wing + 1).subgraph.nedges(), 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -166,6 +166,14 @@ fn v1_reports_parse_and_future_schemas_are_rejected() {
 
     // A report from a future build is refused with a pointed message.
     let future = v1.replace("\"schema_version\": 1", "\"schema_version\": 3");
-    let msg = RunReport::parse(&future).unwrap_err();
+    let err = RunReport::parse(&future).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            bfly::core::telemetry::ReportError::FutureSchema { found: 3, .. }
+        ),
+        "should classify as FutureSchema: {err:?}"
+    );
+    let msg = err.to_string();
     assert!(msg.contains("newer"), "unhelpful error: {msg}");
 }
