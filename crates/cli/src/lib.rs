@@ -18,9 +18,11 @@
 //! bfly components  <file>
 //! bfly core        <file> --k K --l L
 //! bfly convert     <file> --out FILE
-//! bfly report show  RUN.json
-//! bfly report diff  BASE.json NEW.json [--threshold PCT]
-//! bfly report flame RUN.json -o FILE
+//! bfly report show    RUN.json
+//! bfly report diff    BASE.json NEW.json [--threshold PCT] [--hist]
+//! bfly report flame   RUN.json -o FILE
+//! bfly report export  RUN.json [--format openmetrics] [-o FILE]
+//! bfly report history DIR... [--out FILE] [--gate] [--threshold PCT]
 //! ```
 //!
 //! The file format is inferred from content/extension and can be forced
@@ -36,8 +38,8 @@ use bfly_core::peel::{
     k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_with_chunks, wing_numbers_with_chunks,
 };
 use bfly_core::telemetry::{
-    diff_reports, timed_phase, InMemoryRecorder, Json, NoopRecorder, Recorder, ReportError,
-    RunReport,
+    diff_reports_with, timed_phase, to_openmetrics, History, Json, NdjsonSink, NoopRecorder,
+    Recorder, ReportError, RunReport, StreamRecorder,
 };
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_recorded,
@@ -79,6 +81,9 @@ pub enum Command {
         report: Option<String>,
         /// Write a Chrome Trace Event JSON file to this path.
         trace: Option<String>,
+        /// `--stream FILE|-`: stream NDJSON telemetry events live; `-`
+        /// streams to stdout (human output moves to stderr).
+        stream: Option<String>,
         /// `--max-bytes`: cap on counting scratch memory.
         max_bytes: Option<u64>,
         /// `--max-work`: cap on the wedge-work estimate.
@@ -219,7 +224,7 @@ pub enum ReportAction {
         file: String,
     },
     /// Compare two reports, gating on counter drift
-    /// (`bfly report diff BASE.json NEW.json [--threshold PCT]`).
+    /// (`bfly report diff BASE.json NEW.json [--threshold PCT] [--hist]`).
     Diff {
         /// Baseline report path.
         base: String,
@@ -227,6 +232,12 @@ pub enum ReportAction {
         new: String,
         /// Maximum tolerated counter drift, in percent.
         threshold: f64,
+        /// `--hist`: also gate histogram p50/p99 quantiles.
+        hist: bool,
+        /// `--hist-tolerance PCT`: quantile drift tolerance (timing
+        /// quantiles are noisier than counters, so they get their own
+        /// knob; only applied with `--hist`).
+        hist_tolerance: f64,
     },
     /// Render a self-contained HTML flame view of the span timeline
     /// (`bfly report flame RUN.json -o FILE`).
@@ -235,6 +246,27 @@ pub enum ReportAction {
         file: String,
         /// Output HTML path.
         out: String,
+    },
+    /// Convert a report to a scrape format
+    /// (`bfly report export RUN.json [--format openmetrics] [-o FILE]`).
+    Export {
+        /// Report path.
+        file: String,
+        /// Output path; stdout when absent.
+        out: Option<String>,
+    },
+    /// Fold per-run reports into a cross-run history with trend lines
+    /// (`bfly report history DIR... [--out FILE] [--gate] [--threshold PCT]`).
+    History {
+        /// Directories to scan for `*.json` run reports.
+        dirs: Vec<String>,
+        /// History output path (default: `<first dir>/history.json`).
+        out: Option<String>,
+        /// `--gate`: exit nonzero when the newest run of any series
+        /// regressed a counter past the threshold vs its predecessor.
+        gate: bool,
+        /// Maximum tolerated counter growth for `--gate`, in percent.
+        threshold: f64,
     },
 }
 
@@ -419,6 +451,18 @@ fn classified(class: ErrorClass, msg: impl Into<String>) -> CliError {
     }
 }
 
+/// Whether this command will write NDJSON telemetry events to stdout
+/// (`--stream -`). The binary routes human-readable output to stderr in
+/// that case so the event stream stays machine-parseable.
+pub fn streams_to_stdout(cmd: &Command) -> bool {
+    matches!(cmd, Command::Count { stream: Some(s), .. } if s == "-")
+}
+
+/// The byte-tracking global allocator, re-exported so the binary can
+/// install it with `#[global_allocator]` (feature `alloc-track`).
+#[cfg(feature = "alloc-track")]
+pub use bfly_core::telemetry::mem::TrackingAllocator;
+
 /// Strip every `--json-errors` occurrence from a raw argv, returning
 /// whether the flag was present. Handled before subcommand parsing so
 /// parse errors themselves can honour it (see `main.rs`).
@@ -439,6 +483,7 @@ USAGE:
                           [--max-bytes B] [--max-work W] [--deadline-ms MS]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
+                          [--stream FILE|-]
   bfly tip         <file> (--k K | --decompose) [--side v1|v2] [--threads N]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
@@ -455,13 +500,23 @@ USAGE:
   bfly components  <file> [--format ...]
   bfly core        <file> --k K --l L [--format ...]
   bfly convert     <file> --out FILE [--format ...]
-  bfly report show  RUN.json
-  bfly report diff  BASE.json NEW.json [--threshold PCT]
-  bfly report flame RUN.json -o FILE
+  bfly report show    RUN.json
+  bfly report diff    BASE.json NEW.json [--threshold PCT]
+                      [--hist] [--hist-tolerance PCT]
+  bfly report flame   RUN.json -o FILE
+  bfly report export  RUN.json [--format openmetrics] [-o FILE]
+  bfly report history DIR... [--out FILE] [--gate] [--threshold PCT]
   bfly help
 
 Budget flags route `count` through the adaptive planner, degrading the
 plan (fewer chunks, flat kernel, no degree ordering) before refusing.
+
+--stream emits one NDJSON telemetry event per line as the run
+progresses (flushed per line); `--stream -` uses stdout and moves the
+human summary to stderr. `report history` folds every run report found
+in DIR into a schema-versioned history.json with per-series trend
+lines; --gate fails (exit 1) when the newest run regressed a counter
+past the threshold against its predecessor.
 
 Global: --json-errors replaces the human stderr message with one
 machine-readable JSON line {\"class\", \"exit_code\", \"message\"}.
@@ -490,6 +545,8 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
                     | "explain"
                     | "decompose"
                     | "json-errors"
+                    | "hist"
+                    | "gate"
             ) {
                 flags.push((name.to_string(), None));
             } else {
@@ -585,9 +642,11 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
     if rest.has("help") {
         return Ok(Command::Help);
     }
+    // `report export` reuses --format for the *output* format, so the
+    // graph-format parse must not see it.
     let format = match rest.flag("format") {
-        Some(f) => Some(parse_format(f)?),
-        None => None,
+        Some(f) if sub != "report" => Some(parse_format(f)?),
+        _ => None,
     };
     let file = || -> Result<String, CliError> {
         rest.positional
@@ -645,6 +704,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 stats: rest.has("stats"),
                 report: rest.flag("report").map(str::to_string),
                 trace: rest.flag("trace").map(str::to_string),
+                stream: rest.flag("stream").map(str::to_string),
                 max_bytes,
                 max_work,
                 deadline_ms,
@@ -772,7 +832,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                     .cloned()
                     .ok_or_else(|| err(format!("report {what}")))
             };
-            let verb = pos(0, "requires a verb: show, diff, or flame")?;
+            let verb = pos(0, "requires a verb: show, diff, flame, export, or history")?;
             let action = match verb.as_str() {
                 "show" => ReportAction::Show {
                     file: pos(1, "show requires a report file")?,
@@ -781,6 +841,8 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                     base: pos(1, "diff requires BASE.json and NEW.json")?,
                     new: pos(2, "diff requires BASE.json and NEW.json")?,
                     threshold: rest.parse_flag("threshold", 10.0f64)?,
+                    hist: rest.has("hist"),
+                    hist_tolerance: rest.parse_flag("hist-tolerance", 25.0f64)?,
                 },
                 "flame" => ReportAction::Flame {
                     file: pos(1, "flame requires a report file")?,
@@ -789,9 +851,35 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                         .ok_or_else(|| err("report flame requires -o/--out FILE"))?
                         .to_string(),
                 },
+                "export" => {
+                    match rest.flag("format") {
+                        None | Some("openmetrics") => {}
+                        Some(other) => {
+                            return Err(err(format!(
+                                "unknown export format {other:?} (only openmetrics)"
+                            )))
+                        }
+                    }
+                    ReportAction::Export {
+                        file: pos(1, "export requires a report file")?,
+                        out: rest.flag("out").map(str::to_string),
+                    }
+                }
+                "history" => {
+                    let dirs: Vec<String> = rest.positional[1..].to_vec();
+                    if dirs.is_empty() {
+                        return Err(err("report history requires at least one DIR"));
+                    }
+                    ReportAction::History {
+                        dirs,
+                        out: rest.flag("out").map(str::to_string),
+                        gate: rest.has("gate"),
+                        threshold: rest.parse_flag("threshold", 10.0f64)?,
+                    }
+                }
                 other => {
                     return Err(err(format!(
-                        "unknown report verb {other:?} (use show, diff, or flame)"
+                        "unknown report verb {other:?} (use show, diff, flame, export, or history)"
                     )))
                 }
             };
@@ -847,29 +935,50 @@ fn sniff_format(path: &str) -> Result<Format, CliError> {
 
 /// The `--stats` / `--report` / `--trace` plumbing shared by every
 /// instrumented subcommand: decides once whether instrumentation is on,
-/// owns the [`InMemoryRecorder`], and emits all requested outputs from
+/// owns the [`StreamRecorder`], and emits all requested outputs from
 /// the single [`RunReport`] it builds at the end.
 struct Telem {
     stats: bool,
     report: Option<String>,
     trace: Option<String>,
-    rec: InMemoryRecorder,
+    streaming: bool,
+    rec: StreamRecorder,
 }
 
 impl Telem {
-    fn new(stats: bool, report: Option<String>, trace: Option<String>) -> Self {
-        Self {
+    /// Fallible because `--stream FILE` opens the sink eagerly: a bad
+    /// path fails before any counting work, not after it.
+    fn new(
+        stats: bool,
+        report: Option<String>,
+        trace: Option<String>,
+        stream: Option<String>,
+    ) -> Result<Self, CliError> {
+        let rec = match &stream {
+            Some(target) => {
+                let sink = if target == "-" {
+                    NdjsonSink::stdout()
+                } else {
+                    NdjsonSink::file(target)
+                        .map_err(|e| err(format!("open stream {target}: {e}")))?
+                };
+                StreamRecorder::new().with_sink(sink)
+            }
+            None => StreamRecorder::new(),
+        };
+        Ok(Self {
             stats,
             report,
             trace,
-            rec: InMemoryRecorder::new(),
-        }
+            streaming: stream.is_some(),
+            rec,
+        })
     }
 
     /// Whether any telemetry output was requested. When false, commands
     /// should run against [`NoopRecorder`] (see [`with_recorder!`]).
     fn enabled(&self) -> bool {
-        self.stats || self.report.is_some() || self.trace.is_some()
+        self.stats || self.report.is_some() || self.trace.is_some() || self.streaming
     }
 
     /// Build the report and write every requested output: the `--stats`
@@ -1020,6 +1129,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             stats,
             report,
             trace,
+            stream,
             max_bytes,
             max_work,
             deadline_ms,
@@ -1036,7 +1146,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 if let Some(v) = deadline_ms {
                     budget = budget.with_deadline_in(std::time::Duration::from_millis(v));
                 }
-                let telem = Telem::new(stats, report, trace);
+                let telem = Telem::new(stats, report, trace, stream)?;
                 return run_count_budgeted(
                     &g, &file, parallel, threads, explain, telem, &budget, out,
                 );
@@ -1056,7 +1166,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             } else {
                 None
             };
-            let mut telem = Telem::new(stats, report, trace);
+            let mut telem = Telem::new(stats, report, trace, stream)?;
             let (xi, label) = with_recorder!(telem, |rec| if threads > 0 {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(threads)
@@ -1100,7 +1210,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             trace,
         } => {
             let g = load_graph(&file, format)?;
-            let mut telem = Telem::new(stats, report, trace);
+            let mut telem = Telem::new(stats, report, trace, None)?;
             if decompose {
                 let workers = if threads > 0 {
                     threads
@@ -1183,7 +1293,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             trace,
         } => {
             let g = load_graph(&file, format)?;
-            let mut telem = Telem::new(stats, report, trace);
+            let mut telem = Telem::new(stats, report, trace, None)?;
             if decompose {
                 let workers = if threads > 0 {
                     threads
@@ -1371,16 +1481,19 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 base,
                 new,
                 threshold,
+                hist,
+                hist_tolerance,
             } => {
                 let b = load_report(&base)?;
                 let n = load_report(&new)?;
-                let d = diff_reports(&b, &n, threshold);
+                let tol = if hist { Some(hist_tolerance) } else { None };
+                let d = diff_reports_with(&b, &n, threshold, tol);
                 w(out, d.render_table())?;
-                if d.passed() {
+                if d.failures().is_empty() {
                     Ok(())
                 } else {
                     Err(err(format!(
-                        "report diff: {} counter(s) drifted past the {threshold}% threshold",
+                        "report diff: {} metric(s) drifted past their threshold",
                         d.failures().len()
                     )))
                 }
@@ -1391,6 +1504,27 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                     .map_err(|e| err(format!("write flame {path}: {e}")))?;
                 w(out, format!("wrote flame view to {path}"))
             }
+            ReportAction::Export { file, out: path } => {
+                let rep = load_report(&file)?;
+                let text = to_openmetrics(&rep);
+                match path {
+                    Some(p) => {
+                        std::fs::write(&p, text)
+                            .map_err(|e| err(format!("write exposition {p}: {e}")))?;
+                        w(out, format!("wrote OpenMetrics exposition to {p}"))
+                    }
+                    None => {
+                        write!(out, "{text}").map_err(|e| err(format!("write error: {e}")))?;
+                        Ok(())
+                    }
+                }
+            }
+            ReportAction::History {
+                dirs,
+                out: path,
+                gate,
+                threshold,
+            } => run_report_history(&dirs, path, gate, threshold, out),
         },
         Command::Generate { kind, out: path } => {
             use bfly_graph::generators::{chung_lu, uniform_exact};
@@ -1562,6 +1696,97 @@ fn run_count_budgeted(
     )
 }
 
+/// `bfly report history`: fold every `*.json` run report under the given
+/// directories into a schema-versioned cross-run history, render trend
+/// lines, and optionally gate on the newest run. An existing history at
+/// the output path is extended, and folding is idempotent per source
+/// path (re-running over the same directory replaces, never duplicates).
+fn run_report_history(
+    dirs: &[String],
+    out_path: Option<String>,
+    gate: bool,
+    threshold: f64,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let w = |out: &mut dyn std::io::Write, s: String| -> Result<(), CliError> {
+        writeln!(out, "{s}").map_err(|e| err(format!("write error: {e}")))
+    };
+    let out_path = out_path.unwrap_or_else(|| {
+        Path::new(&dirs[0])
+            .join("history.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let mut hist = match std::fs::read_to_string(&out_path) {
+        Ok(text) => History::parse(&text).map_err(|e| {
+            classified(
+                ErrorClass::Parse,
+                format!("existing history {out_path}: {e}"),
+            )
+        })?,
+        Err(_) => History::new(),
+    };
+    let out_abs = std::fs::canonicalize(&out_path).ok();
+    let mut folded = 0usize;
+    let mut skipped = 0usize;
+    for dir in dirs {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| err(format!("read dir {dir}: {e}")))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("json"))
+            .collect();
+        files.sort();
+        for f in files {
+            // Never fold the history output into itself.
+            if f.file_name().and_then(|n| n.to_str()) == Some("history.json") {
+                continue;
+            }
+            if let (Some(abs), Ok(fab)) = (&out_abs, std::fs::canonicalize(&f)) {
+                if *abs == fab {
+                    continue;
+                }
+            }
+            let src = f.to_string_lossy().into_owned();
+            let text =
+                std::fs::read_to_string(&f).map_err(|e| err(format!("cannot read {src}: {e}")))?;
+            // Directories often hold other JSON (Chrome traces, configs);
+            // anything that is not a run report is skipped, and said so.
+            match hist.fold_json_text(&src, &text) {
+                Ok(n) => folded += n,
+                Err(_) => skipped += 1,
+            }
+        }
+    }
+    std::fs::write(&out_path, hist.to_json_string())
+        .map_err(|e| err(format!("write history {out_path}: {e}")))?;
+    w(out, hist.render_table())?;
+    let note = if skipped > 0 {
+        format!(" ({skipped} non-report json file(s) skipped)")
+    } else {
+        String::new()
+    };
+    w(out, format!("folded {folded} run(s) into {out_path}{note}"))?;
+    if gate {
+        let fails = hist.gate(threshold);
+        if fails.is_empty() {
+            w(
+                out,
+                format!("gate passed: no counter grew more than {threshold}% vs the previous run"),
+            )?;
+        } else {
+            for f in &fails {
+                w(out, format!("  REGRESSION {f}"))?;
+            }
+            return Err(err(format!(
+                "report history gate: {} counter regression(s) past {threshold}%",
+                fails.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1594,6 +1819,7 @@ mod tests {
                 stats: false,
                 report: None,
                 trace: None,
+                stream: None,
                 max_bytes: None,
                 max_work: None,
                 deadline_ms: None,
@@ -2099,11 +2325,14 @@ mod tests {
                         base,
                         new,
                         threshold,
+                        hist,
+                        ..
                     },
             } => {
                 assert_eq!(base, "base.json");
                 assert_eq!(new, "new.json");
                 assert!((threshold - 5.0).abs() < 1e-12);
+                assert!(!hist);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -7,6 +7,13 @@
 
 use bfly_cli::CliError;
 
+// With `--features alloc-track` every allocation in the process is
+// metered: mem.current_bytes / mem.peak_bytes gauges go live and
+// --max-bytes is enforced against measured, not estimated, bytes.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: bfly_cli::TrackingAllocator = bfly_cli::TrackingAllocator;
+
 fn fail(e: &CliError, json_errors: bool) -> ! {
     if json_errors {
         eprintln!("{}", e.to_json_line());
@@ -23,8 +30,16 @@ fn main() {
         Ok(c) => c,
         Err(e) => fail(&e, json_errors),
     };
-    let mut stdout = std::io::stdout().lock();
-    if let Err(e) = bfly_cli::run(cmd, &mut stdout) {
+    // `--stream -` claims stdout for the NDJSON event stream; the human
+    // summary moves to stderr so both stay parseable.
+    let res = if bfly_cli::streams_to_stdout(&cmd) {
+        let mut stderr = std::io::stderr().lock();
+        bfly_cli::run(cmd, &mut stderr)
+    } else {
+        let mut stdout = std::io::stdout().lock();
+        bfly_cli::run(cmd, &mut stdout)
+    };
+    if let Err(e) = res {
         fail(&e, json_errors);
     }
 }

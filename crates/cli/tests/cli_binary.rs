@@ -370,6 +370,222 @@ fn truncated_input_never_panics_the_binary() {
 }
 
 #[test]
+fn stream_stdout_emits_valid_ndjson_and_moves_summary_to_stderr() {
+    let dir = tempdir();
+    let gpath = dir.join("stream.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "100", "--n", "100", "--edges", "600",
+            "--seed", "41", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let out = bfly()
+        .args(["count", gpath_s, "--stream", "-"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The human summary moved to stderr; stdout is NDJSON only.
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("butterflies ="),
+        "summary must be on stderr"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut types = Vec::new();
+    let mut last_seq = None::<u64>;
+    for line in stdout.lines() {
+        let doc = bfly_core::telemetry::Json::parse(line)
+            .unwrap_or_else(|e| panic!("invalid NDJSON line {line:?}: {e:?}"));
+        let ty = doc
+            .get("type")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        let seq = doc.get("seq").and_then(|v| v.as_u64()).unwrap();
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq must be monotonic: {prev} then {seq}");
+        }
+        last_seq = Some(seq);
+        types.push(ty);
+    }
+    assert_eq!(types.first().map(String::as_str), Some("run_start"));
+    assert_eq!(types.last().map(String::as_str), Some("run_end"));
+    assert!(
+        types.iter().any(|t| t == "counters"),
+        "expected a counters event, got {types:?}"
+    );
+
+    // --stream FILE keeps stdout human and writes the same stream to disk.
+    let spath = dir.join("events.ndjson");
+    let out = bfly()
+        .args(["count", gpath_s, "--stream", spath.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("butterflies ="));
+    let streamed = std::fs::read_to_string(&spath).unwrap();
+    assert!(streamed.lines().count() >= 3, "{streamed}");
+}
+
+#[test]
+fn report_export_emits_openmetrics_exposition() {
+    let dir = tempdir();
+    let gpath = dir.join("export.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "60", "--n", "60", "--edges", "350", "--seed",
+            "43", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let rpath = dir.join("export-run.json");
+    bfly()
+        .args(["count", gpath_s, "--report", rpath.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bfly()
+        .args(["report", "export", rpath.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("# TYPE bfly_wedges_expanded counter"),
+        "{text}"
+    );
+    assert!(text.ends_with("# EOF\n"), "must end with the EOF marker");
+    bfly_core::telemetry::validate_exposition(&text).expect("exposition passes the syntax check");
+}
+
+#[test]
+fn report_history_folds_and_gates() {
+    let dir = tempdir().join("history-runs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    let gpath = dir.join("hist.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "70", "--n", "70", "--edges", "420", "--seed",
+            "47", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    // Two identical deterministic runs into the same directory.
+    for name in ["r1.json", "r2.json"] {
+        let out = bfly()
+            .args([
+                "count",
+                gpath_s,
+                "--algorithm",
+                "inv2",
+                "--report",
+                dir.join(name).to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = bfly()
+        .args(["report", "history", dir_s, "--gate"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "identical runs must gate clean: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate passed"), "{stdout}");
+    let hpath = dir.join("history.json");
+    assert!(hpath.exists(), "history.json must be written");
+    let hist =
+        bfly_core::telemetry::History::parse(&std::fs::read_to_string(&hpath).unwrap()).unwrap();
+    assert!(!hist.trend_rows().is_empty());
+
+    // Synthetically inflate a counter >10% in a third run: the gate must
+    // fail with exit 1 and name the regression.
+    let mut rep = bfly_core::telemetry::RunReport::parse(
+        &std::fs::read_to_string(dir.join("r2.json")).unwrap(),
+    )
+    .unwrap();
+    for (_, v) in rep.counters.iter_mut() {
+        *v = *v * 2 + 1;
+    }
+    std::fs::write(dir.join("r3.json"), rep.to_json_string()).unwrap();
+    let out = bfly()
+        .args(["report", "history", dir_s, "--gate"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "inflated counters must fail the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression"));
+}
+
+#[test]
+fn report_diff_hist_gates_quantiles() {
+    let dir = tempdir();
+    let gpath = dir.join("histdiff.tsv");
+    let gpath_s = gpath.to_str().unwrap();
+    bfly()
+        .args([
+            "generate", "--kind", "uniform", "--m", "90", "--n", "90", "--edges", "500", "--seed",
+            "53", "--out", gpath_s,
+        ])
+        .output()
+        .unwrap();
+    let rpath = dir.join("histdiff-run.json");
+    bfly()
+        .args([
+            "count",
+            gpath_s,
+            "--parallel",
+            "--threads",
+            "2",
+            "--report",
+            rpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    // A report diffed against itself is quantile-identical, so --hist
+    // gating passes even at a tight tolerance.
+    let out = bfly()
+        .args([
+            "report",
+            "diff",
+            rpath.to_str().unwrap(),
+            rpath.to_str().unwrap(),
+            "--hist",
+            "--hist-tolerance",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn report_show_and_flame_roundtrip() {
     let dir = tempdir();
     let gpath = dir.join("show.tsv");

@@ -32,7 +32,7 @@
 //! expanded once, whichever of `A₀`/`A₂` the update reads). The property
 //! tests pin this identity against the `wedges_expanded` counter.
 
-use crate::budget::{record_degraded, Partial, ResourceBudget};
+use crate::budget::{record_degraded, record_memory, Partial, ResourceBudget};
 use crate::error::BflyError;
 use crate::family::{
     count_blocked_recorded, count_partitioned_checked_recorded,
@@ -755,6 +755,11 @@ pub fn count_adaptive_budgeted_recorded<R: Recorder>(
 ) -> crate::error::Result<Partial<(u64, Plan)>> {
     crate::error::validate_graph(g)?;
     budget.record_limits(rec);
+    // When the tracking allocator is live (feature `alloc-track` +
+    // installed by the binary), the byte cap is also enforced against
+    // *measured* live bytes — the process may already be over budget
+    // before any plan is chosen, which no estimate can see.
+    budget.check_measured_bytes()?;
     let workers = if parallel {
         rayon::current_num_threads().max(1)
     } else {
@@ -765,6 +770,7 @@ pub fn count_adaptive_budgeted_recorded<R: Recorder>(
     if !r.complete {
         record_degraded(rec, "deadline");
     }
+    record_memory(rec);
     Ok(Partial {
         value: (r.value, plan),
         complete: r.complete,

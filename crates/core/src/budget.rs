@@ -110,6 +110,20 @@ impl ResourceBudget {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    /// Enforce the byte cap against *measured* live bytes from the
+    /// tracking allocator (feature `alloc-track`, installed by the
+    /// binary). Complements [`ResourceBudget::check_bytes`], which
+    /// works on a-priori estimates: the estimate rejects a plan before
+    /// allocating, the measurement catches what estimates miss. A no-op
+    /// `Ok(())` when tracking is inactive, so budgeted paths call it
+    /// unconditionally at phase boundaries.
+    pub fn check_measured_bytes(&self) -> crate::error::Result<()> {
+        if !bfly_telemetry::mem::tracking_active() {
+            return Ok(());
+        }
+        self.check_bytes(bfly_telemetry::mem::current_bytes())
+    }
+
     /// Emit the configured limits as `budget.*` gauges so run reports
     /// show what a run was capped at.
     pub fn record_limits<R: Recorder>(&self, rec: &mut R) {
@@ -144,6 +158,20 @@ pub fn record_degraded<R: Recorder>(rec: &mut R, axis: &'static str) {
     rec.gauge("budget.degraded", code);
     rec.span_enter("degraded");
     rec.span_exit("degraded");
+}
+
+/// Emit the tracking allocator's measurements as `mem.current_bytes` /
+/// `mem.peak_bytes` gauges. Quiet unless the `alloc-track` allocator is
+/// installed, so reports never carry misleading zeros.
+pub fn record_memory<R: Recorder>(rec: &mut R) {
+    if !R::ENABLED || !bfly_telemetry::mem::tracking_active() {
+        return;
+    }
+    rec.gauge(
+        "mem.current_bytes",
+        bfly_telemetry::mem::current_bytes() as f64,
+    );
+    rec.gauge("mem.peak_bytes", bfly_telemetry::mem::peak_bytes() as f64);
 }
 
 /// A result that may have been cut short by a deadline. `complete =

@@ -49,10 +49,11 @@ pub use engine::{
 };
 pub use literal::count_literal;
 pub use parallel::{
-    balanced_chunk_bounds, count_parallel, count_parallel_recorded, count_parallel_with_threads,
-    count_parallel_with_threads_recorded, count_partitioned_parallel,
+    balanced_chunk_bounds, count_parallel, count_parallel_recorded, count_parallel_shared,
+    count_parallel_with_threads, count_parallel_with_threads_recorded, count_partitioned_parallel,
     count_partitioned_parallel_balanced, count_partitioned_parallel_balanced_recorded,
-    count_partitioned_parallel_recorded, try_count_partitioned_parallel, wedge_weights,
+    count_partitioned_parallel_recorded, count_partitioned_parallel_shared,
+    try_count_partitioned_parallel, wedge_weights,
 };
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 

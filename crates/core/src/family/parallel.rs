@@ -16,7 +16,7 @@ use super::engine::{
 use super::Invariant;
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{CheckedAccum, Pattern, Spa};
-use bfly_telemetry::{Counter, NoopRecorder, Recorder, ThreadTrace};
+use bfly_telemetry::{Counter, MetricsHub, NoopRecorder, Recorder, ThreadTrace};
 use rayon::prelude::*;
 
 /// Parallel counterpart of [`crate::family::count_partitioned`].
@@ -109,6 +109,72 @@ pub fn count_partitioned_parallel_recorded<R: Recorder>(
         rec.gauge("par_imbalance", max_wedges as f64 / mean);
     }
     total
+}
+
+/// Shared-hub variant of [`count_partitioned_parallel_recorded`]: every
+/// rayon worker records straight into the concurrent [`MetricsHub`] as it
+/// goes instead of buffering a private [`ThreadTrace`] merged after the
+/// join. A mid-run observer (OpenMetrics scrape, NDJSON stream, another
+/// thread calling [`MetricsHub::snapshot`]) therefore sees counters and
+/// histograms advance while chunks are still in flight. Totals are
+/// bitwise-identical to the buffered path; per-chunk attribution
+/// (`par_chunk_wedges`, `par_imbalance`) is the buffered path's job —
+/// this one trades it for liveness, emitting per-worker `chunk` span
+/// aggregates and the `chunk_us` histogram.
+pub fn count_partitioned_parallel_shared(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    hub: &MetricsHub,
+) -> u64 {
+    let nverts = part_adj.nrows();
+    let order: Vec<usize> = match traversal {
+        Traversal::Forward => (0..nverts).collect(),
+        Traversal::Backward => (0..nverts).rev().collect(),
+    };
+    let nthreads = rayon::current_num_threads().max(1);
+    let chunk_len = order.len().div_ceil(nthreads).max(1);
+    let chunks: Vec<Vec<usize>> = order.chunks(chunk_len).map(|c| c.to_vec()).collect();
+    let nchunks = chunks.len();
+    let total: u64 = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut spa = Spa::<u64>::new(nverts);
+            let mut rec: &MetricsHub = hub;
+            let t0 = std::time::Instant::now();
+            hub.enter_span("chunk");
+            let mut sum = 0u64;
+            for k in chunk {
+                sum +=
+                    update_for_vertex_recorded(part_adj, other_adj, filter, k, &mut spa, &mut rec);
+            }
+            hub.exit_span("chunk");
+            hub.record_hist("chunk_us", t0.elapsed().as_micros() as u64);
+            sum
+        })
+        .sum();
+    hub.incr(Counter::ParChunks, nchunks as u64);
+    total
+}
+
+/// [`count_parallel`] recording live into a shared [`MetricsHub`]; see
+/// [`count_partitioned_parallel_shared`] for the liveness contract.
+pub fn count_parallel_shared(g: &BipartiteGraph, inv: Invariant, hub: &MetricsHub) -> u64 {
+    let (part_adj, other_adj) = match inv.partitioned_side() {
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+    };
+    let mut rec: &MetricsHub = hub;
+    bfly_telemetry::timed_phase(&mut rec, "count_parallel", |_| {
+        count_partitioned_parallel_shared(
+            part_adj,
+            other_adj,
+            inv.traversal(),
+            inv.update_part(),
+            hub,
+        )
+    })
 }
 
 /// Exact wedge work each partitioned vertex will trigger: vertex `k`'s

@@ -76,13 +76,13 @@ pub use adaptive::{
     select_invariant, select_plan, select_plan_budgeted, try_count_adaptive,
     try_count_adaptive_parallel, ExecMode, GraphProfile, Plan,
 };
-pub use budget::{Partial, ResourceBudget};
+pub use budget::{record_memory, Partial, ResourceBudget};
 pub use enumerate::{count_by_enumeration, enumerate_butterflies, for_each_butterfly, Butterfly};
 pub use error::{validate_graph, BflyError};
 pub use family::{
     count, count_auto, count_auto_recorded, count_parallel, count_parallel_recorded,
-    count_parallel_with_threads, count_parallel_with_threads_recorded, count_recorded, try_count,
-    try_count_recorded, Invariant,
+    count_parallel_shared, count_parallel_with_threads, count_parallel_with_threads_recorded,
+    count_recorded, try_count, try_count_recorded, Invariant,
 };
 pub use incremental::IncrementalCounter;
 pub use pair_matrix::PairMatrix;

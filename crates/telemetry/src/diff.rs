@@ -41,14 +41,28 @@ pub struct ReportDiff {
     pub rows: Vec<DiffRow>,
     /// Threshold the gate was evaluated against, percent.
     pub threshold_pct: f64,
+    /// When set, histogram p50/p99 rows gate at this separate tolerance
+    /// (percent); `None` keeps them informational.
+    pub hist_tolerance_pct: Option<f64>,
 }
 
 impl ReportDiff {
-    /// Gated rows whose change exceeds the threshold.
+    /// The threshold a row is judged against: histogram quantile rows
+    /// use the `--hist` tolerance, everything gated uses the counter
+    /// threshold.
+    fn row_threshold(&self, row: &DiffRow) -> f64 {
+        if row.kind == "hist" {
+            self.hist_tolerance_pct.unwrap_or(self.threshold_pct)
+        } else {
+            self.threshold_pct
+        }
+    }
+
+    /// Gated rows whose change exceeds their threshold.
     pub fn failures(&self) -> Vec<&DiffRow> {
         self.rows
             .iter()
-            .filter(|r| r.gated && r.exceeds(self.threshold_pct))
+            .filter(|r| r.gated && r.exceeds(self.row_threshold(r)))
             .collect()
     }
 
@@ -77,7 +91,7 @@ impl ReportDiff {
             };
             let gate = if !r.gated {
                 "info"
-            } else if r.exceeds(self.threshold_pct) {
+            } else if r.exceeds(self.row_threshold(r)) {
                 "FAIL"
             } else {
                 "ok"
@@ -102,12 +116,22 @@ impl ReportDiff {
                 self.threshold_pct
             );
         } else {
-            let _ = writeln!(
-                out,
-                "diff: {} counter(s) past the {}% threshold",
-                fails.len(),
-                self.threshold_pct
-            );
+            let counters = fails.iter().filter(|r| r.kind != "hist").count();
+            let hists = fails.len() - counters;
+            let mut what = Vec::new();
+            if counters > 0 {
+                what.push(format!(
+                    "{counters} counter(s) past the {}% threshold",
+                    self.threshold_pct
+                ));
+            }
+            if hists > 0 {
+                what.push(format!(
+                    "{hists} histogram quantile(s) past the {}% tolerance",
+                    self.hist_tolerance_pct.unwrap_or(self.threshold_pct)
+                ));
+            }
+            let _ = writeln!(out, "diff: {}", what.join(", "));
         }
         out
     }
@@ -151,6 +175,22 @@ fn name_union<'a>(
 /// Compare two reports. Counters gate at `threshold_pct`; phases, span
 /// totals, histogram quantiles, and gauges are informational.
 pub fn diff_reports(base: &RunReport, new: &RunReport, threshold_pct: f64) -> ReportDiff {
+    diff_reports_with(base, new, threshold_pct, None)
+}
+
+/// Like [`diff_reports`], but with `hist_tolerance_pct` set the
+/// histogram **p50/p99** rows also gate, at that tolerance (the CLI's
+/// `report diff --hist`). p90 stays informational either way: the gated
+/// pair matches the quantiles the paper's skew plots report. Quantiles
+/// are wall-clock-adjacent for latency histograms, so pick a tolerance
+/// with machine noise in mind — work-shaped histograms
+/// (`vertex_wedges`) are deterministic and gate tightly.
+pub fn diff_reports_with(
+    base: &RunReport,
+    new: &RunReport,
+    threshold_pct: f64,
+    hist_tolerance_pct: Option<f64>,
+) -> ReportDiff {
     let mut rows = Vec::new();
 
     let counter = |r: &RunReport, n: &str| r.counter(n).unwrap_or(0) as f64;
@@ -246,7 +286,7 @@ pub fn diff_reports(base: &RunReport, new: &RunReport, threshold_pct: f64) -> Re
                 base: b,
                 new: v,
                 delta_pct: delta_pct(b, v),
-                gated: false,
+                gated: hist_tolerance_pct.is_some() && suffix != "p90",
             });
         }
     }
@@ -254,6 +294,7 @@ pub fn diff_reports(base: &RunReport, new: &RunReport, threshold_pct: f64) -> Re
     ReportDiff {
         rows,
         threshold_pct,
+        hist_tolerance_pct,
     }
 }
 
@@ -334,6 +375,44 @@ mod tests {
         assert!(d.passed(), "wall-clock rows must not gate");
         // ... but they do show up in the table.
         assert!(d.render_table().contains("phase"));
+    }
+
+    #[test]
+    fn hist_quantiles_gate_only_with_a_tolerance() {
+        let base = base_report();
+        let mut new = base_report();
+        // Shift the single histogram sample two octaves up: p50 moves
+        // far past any reasonable tolerance.
+        let mut h = Histogram::new();
+        h.record(400);
+        new.histograms[0].1 = h;
+        // Default diff: informational only.
+        assert!(diff_reports(&base, &new, 10.0).passed());
+        // --hist: p50/p99 gate at the tolerance.
+        let d = diff_reports_with(&base, &new, 10.0, Some(25.0));
+        assert!(!d.passed());
+        let fails = d.failures();
+        assert!(fails.iter().all(|r| r.kind == "hist"));
+        assert!(fails.iter().any(|r| r.name == "vertex_wedges/p50"));
+        assert!(fails.iter().any(|r| r.name == "vertex_wedges/p99"));
+        assert!(
+            !fails.iter().any(|r| r.name.ends_with("/p90")),
+            "p90 stays informational"
+        );
+        assert!(d.render_table().contains("histogram quantile"));
+    }
+
+    #[test]
+    fn hist_within_tolerance_passes_while_counters_still_gate() {
+        let base = base_report();
+        let mut new = base_report();
+        new.counters[0].1 = 1200; // +20%
+        let d = diff_reports_with(&base, &new, 10.0, Some(50.0));
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, "counter");
+        // Identical histograms never trip the tolerance.
+        assert!(diff_reports_with(&base, &base, 10.0, Some(0.0)).passed());
     }
 
     #[test]

@@ -37,16 +37,25 @@ use std::time::Instant;
 
 mod diff;
 mod hist;
+pub mod history;
+mod hub;
 mod json;
+pub mod mem;
+mod openmetrics;
 mod report;
 mod span;
+mod stream;
 mod trace;
 
-pub use diff::{diff_reports, DiffRow, ReportDiff};
+pub use diff::{diff_reports, diff_reports_with, DiffRow, ReportDiff};
 pub use hist::Histogram;
+pub use history::{History, HistoryError, TrendRow};
+pub use hub::{MetricsHub, MetricsSnapshot, SpanAgg};
 pub use json::Json;
+pub use openmetrics::{parse_exposition, to_openmetrics, validate_exposition, Exposition};
 pub use report::{PhaseRow, ReportError, RunReport};
-pub use span::{SpanRow, ThreadTrace};
+pub use span::{parse_span_cap, SpanRow, ThreadTrace, DEFAULT_SPAN_CAP};
+pub use stream::{NdjsonSink, StreamRecorder};
 
 /// Every work counter the engine knows. Adding a variant: append it to
 /// [`Counter::TABLE`] **in discriminant order** — `ALL`, `name`, and
@@ -357,9 +366,12 @@ pub struct InMemoryRecorder {
     phases: Vec<(String, f64, u64)>,
     open: Vec<(&'static str, Instant)>,
     spans: Vec<SpanRow>,
-    open_spans: Vec<(&'static str, Instant, WorkTally)>,
+    /// Open spans: name, start, counter snapshot, and the allocator peak
+    /// watermark saved at entry (0 unless `alloc-track` is active).
+    open_spans: Vec<(&'static str, Instant, WorkTally, u64)>,
     hists: Vec<(&'static str, Histogram)>,
     spans_dropped: u64,
+    span_cap: usize,
 }
 
 impl Default for InMemoryRecorder {
@@ -382,7 +394,22 @@ impl InMemoryRecorder {
             open_spans: Vec::new(),
             hists: Vec::new(),
             spans_dropped: 0,
+            span_cap: span::env_span_cap(),
         }
+    }
+
+    /// Override the span cap (defaults to `BFLY_SPAN_CAP`, falling back
+    /// to [`DEFAULT_SPAN_CAP`]). Further spans past the cap are counted
+    /// in the `spans_dropped` gauge rather than buffered.
+    pub fn with_span_cap(mut self, cap: usize) -> Self {
+        self.span_cap = cap;
+        self
+    }
+
+    /// Set the span cap in place (builder-style setter for recorders
+    /// already embedded in a larger struct).
+    pub fn set_span_cap(&mut self, cap: usize) {
+        self.span_cap = cap;
     }
 
     /// Current value of a counter.
@@ -412,6 +439,11 @@ impl InMemoryRecorder {
         &self.spans
     }
 
+    /// Folded phase rows finished so far: `(name, total seconds, count)`.
+    pub fn phase_rows(&self) -> &[(String, f64, u64)] {
+        &self.phases
+    }
+
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
@@ -424,7 +456,7 @@ impl InMemoryRecorder {
         while let Some((name, _)) = self.open.last().copied() {
             self.phase_end(name);
         }
-        while let Some((name, _, _)) = self.open_spans.last().copied() {
+        while let Some((name, _, _, _)) = self.open_spans.last().copied() {
             self.span_exit(name);
         }
         let mut gauges: Vec<(String, f64)> = self
@@ -510,20 +542,39 @@ impl Recorder for InMemoryRecorder {
     }
 
     fn span_enter(&mut self, name: &'static str) {
-        self.open_spans.push((name, Instant::now(), self.tally));
+        // With the tracking allocator active, scope the allocator's peak
+        // watermark to this span: save the outer peak, restart the peak
+        // from the current level, and restore on exit. Without
+        // `alloc-track` these are all no-ops returning 0.
+        let saved_peak = if mem::tracking_active() {
+            let p = mem::peak_bytes();
+            mem::reset_peak();
+            p
+        } else {
+            0
+        };
+        self.open_spans
+            .push((name, Instant::now(), self.tally, saved_peak));
     }
 
     fn span_exit(&mut self, name: &'static str) {
-        let Some(pos) = self.open_spans.iter().rposition(|(n, _, _)| *n == name) else {
+        let Some(pos) = self.open_spans.iter().rposition(|(n, _, _, _)| *n == name) else {
             return; // unmatched exit: ignore rather than corrupt the stack
         };
         // Implicitly close anything opened inside the span being exited.
         while self.open_spans.len() > pos + 1 {
-            let (inner, _, _) = self.open_spans[self.open_spans.len() - 1];
+            let (inner, _, _, _) = self.open_spans[self.open_spans.len() - 1];
             self.span_exit(inner);
         }
-        let (name, start, before) = self.open_spans.pop().expect("span stack non-empty");
-        if self.spans.len() >= span::MAX_SPANS {
+        let (name, start, before, saved_peak) =
+            self.open_spans.pop().expect("span stack non-empty");
+        let mut counters = span::nonzero_counters(&self.tally.delta_since(&before));
+        if mem::tracking_active() {
+            let scope_peak = mem::peak_bytes();
+            mem::restore_peak(saved_peak);
+            counters.push(("mem.peak_bytes".to_string(), scope_peak));
+        }
+        if self.spans.len() >= self.span_cap {
             self.spans_dropped += 1;
             return;
         }
@@ -537,7 +588,7 @@ impl Recorder for InMemoryRecorder {
             depth: pos as u32,
             start_us,
             dur_us: start.elapsed().as_micros() as u64,
-            counters: span::nonzero_counters(&self.tally.delta_since(&before)),
+            counters,
         });
     }
 
@@ -559,7 +610,7 @@ impl Recorder for InMemoryRecorder {
         trace.finish();
         self.tally.absorb(trace.tally());
         for raw in trace.spans.drain(..) {
-            if self.spans.len() >= span::MAX_SPANS {
+            if self.spans.len() >= self.span_cap {
                 self.spans_dropped += 1;
                 continue;
             }

@@ -14,9 +14,26 @@ use std::time::Instant;
 use crate::hist::Histogram;
 use crate::{Counter, Recorder, WorkTally};
 
-/// Cap on buffered spans per sink; further spans are counted as dropped
-/// rather than growing memory without bound on adversarial inputs.
-pub(crate) const MAX_SPANS: usize = 1 << 16;
+/// Default cap on buffered spans per sink; further spans are counted as
+/// dropped rather than growing memory without bound on adversarial
+/// inputs. Override per-process with the `BFLY_SPAN_CAP` env var or
+/// per-recorder with `with_span_cap`.
+pub const DEFAULT_SPAN_CAP: usize = 1 << 16;
+
+/// Parse a `BFLY_SPAN_CAP` value. Absent or unparseable input falls
+/// back to [`DEFAULT_SPAN_CAP`]; `0` is legal and drops every span
+/// (counters/phases/histograms are unaffected).
+pub fn parse_span_cap(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_SPAN_CAP)
+}
+
+/// Process-wide span cap: `BFLY_SPAN_CAP` read once, then cached.
+pub(crate) fn env_span_cap() -> usize {
+    use std::sync::OnceLock;
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| parse_span_cap(std::env::var("BFLY_SPAN_CAP").ok().as_deref()))
+}
 
 /// One finished span, rebased to the run epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,19 +100,40 @@ pub(crate) fn nonzero_counters(t: &WorkTally) -> Vec<(String, u64)> {
 
 /// Per-worker event stream: counters, spans, and histograms recorded by
 /// one thread, merged into the parent recorder after the join.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ThreadTrace {
     pub(crate) tally: WorkTally,
     pub(crate) spans: Vec<RawSpan>,
     open: Vec<(&'static str, Instant, WorkTally)>,
     pub(crate) hists: Vec<(&'static str, Histogram)>,
     pub(crate) dropped: u64,
+    cap: usize,
+}
+
+impl Default for ThreadTrace {
+    fn default() -> Self {
+        ThreadTrace::new()
+    }
 }
 
 impl ThreadTrace {
-    /// Fresh, empty trace.
+    /// Fresh, empty trace with the process-wide span cap
+    /// (`BFLY_SPAN_CAP`, default [`DEFAULT_SPAN_CAP`]).
     pub fn new() -> Self {
-        Self::default()
+        ThreadTrace {
+            tally: WorkTally::new(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            hists: Vec::new(),
+            dropped: 0,
+            cap: env_span_cap(),
+        }
+    }
+
+    /// Override the span cap for this trace.
+    pub fn with_span_cap(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
     }
 
     /// Counter totals recorded so far.
@@ -139,7 +177,7 @@ impl Recorder for ThreadTrace {
             self.span_exit(inner);
         }
         let (name, start, before) = self.open.pop().expect("span stack non-empty");
-        if self.spans.len() >= MAX_SPANS {
+        if self.spans.len() >= self.cap {
             self.dropped += 1;
             return;
         }
@@ -210,13 +248,35 @@ mod tests {
 
     #[test]
     fn span_cap_counts_drops() {
-        let mut t = ThreadTrace::new();
-        for _ in 0..MAX_SPANS + 10 {
+        let mut t = ThreadTrace::new().with_span_cap(16);
+        for _ in 0..16 + 10 {
             t.span_enter("s");
             t.span_exit("s");
         }
-        assert_eq!(t.span_count(), MAX_SPANS);
+        assert_eq!(t.span_count(), 16);
         assert_eq!(t.dropped, 10);
+    }
+
+    #[test]
+    fn span_cap_zero_drops_everything() {
+        let mut t = ThreadTrace::new().with_span_cap(0);
+        t.span_enter("s");
+        t.incr(Counter::WedgesExpanded, 1);
+        t.span_exit("s");
+        assert_eq!(t.span_count(), 0);
+        assert_eq!(t.dropped, 1);
+        // Counters are unaffected by span drops.
+        assert_eq!(t.tally().get(Counter::WedgesExpanded), 1);
+    }
+
+    #[test]
+    fn parse_span_cap_falls_back_on_garbage() {
+        assert_eq!(parse_span_cap(None), DEFAULT_SPAN_CAP);
+        assert_eq!(parse_span_cap(Some("")), DEFAULT_SPAN_CAP);
+        assert_eq!(parse_span_cap(Some("not-a-number")), DEFAULT_SPAN_CAP);
+        assert_eq!(parse_span_cap(Some("-3")), DEFAULT_SPAN_CAP);
+        assert_eq!(parse_span_cap(Some("0")), 0);
+        assert_eq!(parse_span_cap(Some(" 1024 ")), 1024);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! NDJSON event streaming: one JSON object per line, flushed as it
+//! happens, so a long run can be watched (or piped into `jq`) live
+//! instead of waiting for the end-of-run report.
+//!
+//! [`StreamRecorder`] wraps an [`InMemoryRecorder`] and mirrors the
+//! events worth streaming to an [`NdjsonSink`] as they occur:
+//!
+//! * `run_start` — when the sink is attached;
+//! * `span` — every finished span (own spans and worker-trace spans at
+//!   merge time), with its counter deltas;
+//! * `phase` — on every phase end, with the cumulative total;
+//! * `gauge` — on every gauge write;
+//! * `counters`, `hist` — totals at report time;
+//! * `run_end` — last line, carrying the run meta.
+//!
+//! Counter increments are *not* streamed per-event — `incr` sits in the
+//! hot loops — they ride on span deltas and the final `counters` line.
+//! Every line is flushed immediately; write errors are counted and
+//! reported on `run_end` (`"write_errors"`), never allowed to kill the
+//! run. The full report is still produced at the end, so `--stream`
+//! composes with `--stats`/`--report`/`--trace`.
+
+use std::io::Write;
+
+use crate::json::Json;
+use crate::report::RunReport;
+use crate::{Counter, InMemoryRecorder, Recorder, ThreadTrace, WorkTally};
+
+/// Line-oriented JSON event writer with a monotonically increasing
+/// `seq` field, so consumers can detect gaps/reordering.
+pub struct NdjsonSink {
+    out: Box<dyn Write + Send>,
+    seq: u64,
+    write_errors: u64,
+}
+
+impl std::fmt::Debug for NdjsonSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NdjsonSink")
+            .field("seq", &self.seq)
+            .field("write_errors", &self.write_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NdjsonSink {
+    /// Stream to an arbitrary writer.
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        NdjsonSink {
+            out,
+            seq: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Stream to stdout (the `--stream -` path).
+    pub fn stdout() -> Self {
+        Self::from_writer(Box::new(std::io::stdout()))
+    }
+
+    /// Stream to a file, created or truncated.
+    pub fn file(path: &str) -> std::io::Result<Self> {
+        Ok(Self::from_writer(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Emit one event line (`{"type":..., "seq":..., ...fields}`) and
+    /// flush it. IO failures increment an internal error count instead
+    /// of propagating: telemetry must not abort the run it observes.
+    pub fn emit(&mut self, ty: &str, fields: Vec<(String, Json)>) {
+        let mut obj = vec![
+            ("type".to_string(), Json::Str(ty.to_string())),
+            ("seq".to_string(), Json::UInt(self.seq)),
+        ];
+        obj.extend(fields);
+        self.seq += 1;
+        let line = Json::Obj(obj).compact();
+        if writeln!(self.out, "{line}")
+            .and_then(|_| self.out.flush())
+            .is_err()
+        {
+            self.write_errors += 1;
+        }
+    }
+
+    /// Events emitted so far.
+    pub fn events(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// An [`InMemoryRecorder`] that additionally streams events to an
+/// optional [`NdjsonSink`]. Without a sink it behaves exactly like the
+/// inner recorder.
+#[derive(Debug, Default)]
+pub struct StreamRecorder {
+    inner: InMemoryRecorder,
+    sink: Option<NdjsonSink>,
+}
+
+impl StreamRecorder {
+    /// Plain recorder, no streaming.
+    pub fn new() -> Self {
+        StreamRecorder {
+            inner: InMemoryRecorder::new(),
+            sink: None,
+        }
+    }
+
+    /// Attach a sink; emits the `run_start` line.
+    pub fn with_sink(mut self, mut sink: NdjsonSink) -> Self {
+        sink.emit("run_start", vec![]);
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Forwarded span-cap override (see
+    /// [`InMemoryRecorder::set_span_cap`]).
+    pub fn set_span_cap(&mut self, cap: usize) {
+        self.inner.set_span_cap(cap);
+    }
+
+    /// Read-only view of the aggregated state.
+    pub fn recorder(&self) -> &InMemoryRecorder {
+        &self.inner
+    }
+
+    /// Stream any spans the inner recorder gained past `from`.
+    fn stream_new_spans(&mut self, from: usize) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        for s in &self.inner.spans()[from..] {
+            sink.emit(
+                "span",
+                vec![
+                    ("name".to_string(), Json::Str(s.name.clone())),
+                    ("thread".to_string(), Json::UInt(s.thread as u64)),
+                    ("depth".to_string(), Json::UInt(s.depth as u64)),
+                    ("start_us".to_string(), Json::UInt(s.start_us)),
+                    ("dur_us".to_string(), Json::UInt(s.dur_us)),
+                    (
+                        "counters".to_string(),
+                        Json::Obj(
+                            s.counters
+                                .iter()
+                                .map(|(n, v)| (n.clone(), Json::UInt(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// Build the final report, emitting the closing `counters` /
+    /// `hist` / `run_end` lines first when streaming.
+    pub fn report(&mut self, meta: Vec<(String, Json)>) -> RunReport {
+        let before = self.inner.spans().len();
+        let rep = self.inner.report(meta);
+        self.stream_new_spans(before); // spans closed by report()
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(
+                "counters",
+                vec![(
+                    "values".to_string(),
+                    Json::Obj(
+                        rep.counters
+                            .iter()
+                            .filter(|(_, v)| *v != 0)
+                            .map(|(n, v)| (n.clone(), Json::UInt(*v)))
+                            .collect(),
+                    ),
+                )],
+            );
+            for (n, h) in &rep.histograms {
+                sink.emit(
+                    "hist",
+                    vec![
+                        ("name".to_string(), Json::Str(n.clone())),
+                        ("count".to_string(), Json::UInt(h.count())),
+                        ("sum".to_string(), Json::UInt(h.sum())),
+                        ("p50".to_string(), Json::Float(h.p50())),
+                        ("p99".to_string(), Json::Float(h.p99())),
+                        ("max".to_string(), Json::UInt(h.max())),
+                    ],
+                );
+            }
+            let errors = sink.write_errors;
+            sink.emit(
+                "run_end",
+                vec![
+                    ("meta".to_string(), Json::Obj(rep.meta.clone())),
+                    ("write_errors".to_string(), Json::UInt(errors)),
+                ],
+            );
+        }
+        rep
+    }
+}
+
+impl Recorder for StreamRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn incr(&mut self, c: Counter, n: u64) {
+        self.inner.incr(c, n);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.inner.gauge(name, value);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(
+                "gauge",
+                vec![
+                    ("name".to_string(), Json::Str(name.to_string())),
+                    ("value".to_string(), Json::Float(value)),
+                ],
+            );
+        }
+    }
+
+    fn series_push(&mut self, name: &'static str, value: f64) {
+        self.inner.series_push(name, value);
+    }
+
+    fn phase_start(&mut self, name: &'static str) {
+        self.inner.phase_start(name);
+    }
+
+    fn phase_end(&mut self, name: &'static str) {
+        self.inner.phase_end(name);
+        if self.sink.is_none() {
+            return;
+        }
+        // Cumulative totals for this phase, post-fold.
+        let row = self
+            .inner
+            .phase_rows()
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, secs, count)| (*secs, *count));
+        if let (Some(sink), Some((secs, count))) = (self.sink.as_mut(), row) {
+            sink.emit(
+                "phase",
+                vec![
+                    ("name".to_string(), Json::Str(name.to_string())),
+                    ("seconds_total".to_string(), Json::Float(secs)),
+                    ("count".to_string(), Json::UInt(count)),
+                ],
+            );
+        }
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        self.inner.span_enter(name);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        let before = self.inner.spans().len();
+        self.inner.span_exit(name);
+        self.stream_new_spans(before);
+    }
+
+    fn hist_record(&mut self, name: &'static str, value: u64) {
+        self.inner.hist_record(name, value);
+    }
+
+    fn merge(&mut self, tally: &WorkTally) {
+        self.inner.merge(tally);
+    }
+
+    fn merge_thread(&mut self, thread: u32, trace: ThreadTrace) {
+        let before = self.inner.spans().len();
+        self.inner.merge_thread(thread, trace);
+        self.stream_new_spans(before);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Shared in-memory sink target for asserting on emitted lines.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines(buf: &Buf) -> Vec<Json> {
+        let bytes = buf.0.lock().unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        text.lines()
+            .map(|l| Json::parse(l).expect("every line is standalone JSON"))
+            .collect()
+    }
+
+    fn event_types(events: &[Json]) -> Vec<String> {
+        events
+            .iter()
+            .map(|e| e.get("type").unwrap().as_str().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn events_stream_in_order_with_contiguous_seq() {
+        let buf = Buf::default();
+        let sink = NdjsonSink::from_writer(Box::new(buf.clone()));
+        let mut rec = StreamRecorder::new().with_sink(sink);
+        rec.span_enter("work");
+        rec.incr(Counter::WedgesExpanded, 9);
+        rec.span_exit("work");
+        rec.gauge("par_imbalance", 1.5);
+        rec.phase_start("count");
+        rec.phase_end("count");
+        rec.hist_record("w", 3);
+        let rep = rec.report(vec![("dataset".to_string(), Json::Str("g".to_string()))]);
+        assert_eq!(rep.counter("wedges_expanded"), Some(9));
+
+        let events = lines(&buf);
+        let types = event_types(&events);
+        assert_eq!(
+            types,
+            vec![
+                "run_start",
+                "span",
+                "gauge",
+                "phase",
+                "counters",
+                "hist",
+                "run_end"
+            ]
+        );
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.get("seq").unwrap().as_u64(), Some(i as u64), "seq gap");
+        }
+        let span = &events[1];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("work"));
+        assert_eq!(
+            span.get("counters")
+                .unwrap()
+                .get("wedges_expanded")
+                .unwrap()
+                .as_u64(),
+            Some(9)
+        );
+        let end = events.last().unwrap();
+        assert_eq!(
+            end.get("meta").unwrap().get("dataset").unwrap().as_str(),
+            Some("g")
+        );
+        assert_eq!(end.get("write_errors").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn merged_worker_spans_stream_too() {
+        let buf = Buf::default();
+        let mut rec =
+            StreamRecorder::new().with_sink(NdjsonSink::from_writer(Box::new(buf.clone())));
+        let mut t = ThreadTrace::new();
+        t.span_enter("chunk");
+        t.incr(Counter::ParChunks, 1);
+        t.span_exit("chunk");
+        rec.merge_thread(2, t);
+        let events = lines(&buf);
+        let span = events
+            .iter()
+            .find(|e| e.get("type").unwrap().as_str() == Some("span"))
+            .expect("merged span streamed");
+        assert_eq!(span.get("thread").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn without_a_sink_it_is_a_plain_recorder() {
+        let mut rec = StreamRecorder::new();
+        rec.incr(Counter::PeelRounds, 2);
+        let rep = rec.report(vec![]);
+        assert_eq!(rep.counter("peel_rounds"), Some(2));
+    }
+}

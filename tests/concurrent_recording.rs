@@ -7,8 +7,11 @@
 //! sequential recorder's, the butterfly count is unchanged, and the
 //! per-thread span streams cover every chunk exactly once.
 
-use bfly::core::telemetry::{Counter, InMemoryRecorder};
-use bfly::core::{count_parallel_recorded, count_recorded, Invariant};
+use bfly::core::telemetry::{
+    parse_exposition, to_openmetrics, validate_exposition, Counter, InMemoryRecorder, Json,
+    MetricsHub,
+};
+use bfly::core::{count_parallel_recorded, count_parallel_shared, count_recorded, Invariant};
 use bfly::graph::generators::{chung_lu, uniform_exact};
 use bfly::graph::BipartiteGraph;
 use rand::rngs::StdRng;
@@ -99,6 +102,95 @@ fn every_chunk_leaves_exactly_one_span_and_latency_sample() {
         let hist = rec.histogram("chunk_us").expect("chunk_us histogram");
         assert_eq!(hist.count(), nchunks);
     }
+}
+
+/// The live-hub acceptance pin: workers recording straight into a shared
+/// [`MetricsHub`] (no per-thread buffering, no merge step) must land on
+/// counter totals bitwise-equal to the sequential recorder's, for every
+/// invariant and thread count.
+#[test]
+fn shared_hub_counter_totals_equal_sequential_for_all_invariants() {
+    for g in graphs() {
+        for inv in Invariant::ALL {
+            let (seq_xi, seq_tally) = sequential_tally(&g, inv);
+            for threads in [1usize, 2, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let hub = MetricsHub::new();
+                let par_xi = pool.install(|| count_parallel_shared(&g, inv, &hub));
+                assert_eq!(par_xi, seq_xi, "{inv} with {threads} threads: count");
+                let snap = hub.snapshot();
+                for &(c, want) in seq_tally.iter().filter(|(c, _)| comparable(*c)) {
+                    assert_eq!(
+                        snap.counter(c),
+                        want,
+                        "{inv} with {threads} threads: hub counter {}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Raw hammering: N threads incrementing the same counters and histogram
+/// concurrently must lose nothing — totals equal the single-threaded sum
+/// exactly (the atomics are relaxed, but additions commute).
+#[test]
+fn hub_hammered_from_threads_matches_single_threaded_sums() {
+    let hub = MetricsHub::new();
+    let threads = 8u64;
+    let per = 20_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let hub = &hub;
+            s.spawn(move || {
+                for i in 0..per {
+                    hub.incr(Counter::WedgesExpanded, 1);
+                    hub.incr(Counter::SpaScatters, 2);
+                    hub.record_hist("hammer_us", t * per + i);
+                }
+            });
+        }
+    });
+    let snap = hub.snapshot();
+    assert_eq!(snap.counter(Counter::WedgesExpanded), threads * per);
+    assert_eq!(snap.counter(Counter::SpaScatters), 2 * threads * per);
+    let h = snap.histogram("hammer_us").expect("hammer_us histogram");
+    assert_eq!(h.count(), threads * per);
+    // Sum of 0..threads*per — every sample landed exactly once.
+    let n = threads * per;
+    assert_eq!(h.sum(), n * (n - 1) / 2);
+}
+
+/// A live hub snapshot exports to OpenMetrics text that passes the
+/// structural validator and round-trips through the parser with the
+/// counter totals intact.
+#[test]
+fn hub_snapshot_openmetrics_round_trip() {
+    let mut rng = StdRng::seed_from_u64(4096);
+    let g = uniform_exact(100, 80, 700, &mut rng);
+    let hub = MetricsHub::new();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    pool.install(|| count_parallel_shared(&g, Invariant::Inv2, &hub));
+    let snap = hub.snapshot();
+    let rep = snap.to_report(vec![(
+        "command".to_string(),
+        Json::Str("count".to_string()),
+    )]);
+    let text = to_openmetrics(&rep);
+    validate_exposition(&text).expect("valid OpenMetrics exposition");
+    let exp = parse_exposition(&text).expect("parseable exposition");
+    assert_eq!(
+        exp.value("bfly_wedges_expanded_total"),
+        Some(snap.counter(Counter::WedgesExpanded) as f64),
+        "counter survives the text round-trip"
+    );
 }
 
 #[test]
