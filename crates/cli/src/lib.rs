@@ -35,20 +35,23 @@ use bfly_core::adaptive::{
 };
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
 use bfly_core::peel::{
-    k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_with_chunks, wing_numbers_with_chunks,
+    k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_shared, tip_numbers_with_chunks,
+    wing_numbers_shared, wing_numbers_with_chunks,
 };
 use bfly_core::telemetry::{
-    diff_reports_with, timed_phase, to_openmetrics, History, Json, NdjsonSink, NoopRecorder,
-    Recorder, ReportError, RunReport, StreamRecorder,
+    diff_reports_full, install_panic_hook, timed_phase, to_openmetrics, FlightRecorder, History,
+    Json, MetricsHub, Monitor, MonitorConfig, NdjsonSink, NoopRecorder, Recorder, ReportError,
+    RunReport, SharedSink, StreamRecorder, WorkForecast, DEFAULT_FLIGHT_CAPACITY,
 };
 use bfly_core::{
-    count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_recorded,
-    count_via_spgemm, enumerate_butterflies, BflyError, Invariant, ResourceBudget,
+    count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_parallel_shared,
+    count_recorded, count_via_spgemm, enumerate_butterflies, BflyError, Invariant, ResourceBudget,
 };
 use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list, IoError};
 use bfly_graph::matrix_market::read_matrix_market_file;
 use bfly_graph::{BipartiteGraph, GraphStats, Side, StandIn};
 use std::path::Path;
+use std::sync::Arc;
 
 /// A parsed command, ready to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +87,13 @@ pub enum Command {
         /// `--stream FILE|-`: stream NDJSON telemetry events live; `-`
         /// streams to stdout (human output moves to stderr).
         stream: Option<String>,
+        /// `--progress`: render a live TTY-aware progress/ETA line on
+        /// stderr, driven by a background monitor thread.
+        progress: bool,
+        /// `--flight-recorder FILE`: keep a ring of recent telemetry
+        /// events and dump it (plus a final snapshot) on panic or
+        /// deadline truncation.
+        flight_recorder: Option<String>,
         /// `--max-bytes`: cap on counting scratch memory.
         max_bytes: Option<u64>,
         /// `--max-work`: cap on the wedge-work estimate.
@@ -113,6 +123,12 @@ pub enum Command {
         report: Option<String>,
         /// Write a Chrome Trace Event JSON file to this path.
         trace: Option<String>,
+        /// `--stream FILE|-`: stream NDJSON telemetry events live.
+        stream: Option<String>,
+        /// `--progress`: live progress/ETA line (see `Count::progress`).
+        progress: bool,
+        /// `--flight-recorder FILE`: crash flight recorder dump path.
+        flight_recorder: Option<String>,
     },
     /// `bfly wing`.
     Wing {
@@ -132,6 +148,12 @@ pub enum Command {
         report: Option<String>,
         /// Write a Chrome Trace Event JSON file to this path.
         trace: Option<String>,
+        /// `--stream FILE|-`: stream NDJSON telemetry events live.
+        stream: Option<String>,
+        /// `--progress`: live progress/ETA line (see `Count::progress`).
+        progress: bool,
+        /// `--flight-recorder FILE`: crash flight recorder dump path.
+        flight_recorder: Option<String>,
     },
     /// `bfly tip-numbers`.
     TipNumbers {
@@ -238,6 +260,12 @@ pub enum ReportAction {
         /// quantiles are noisier than counters, so they get their own
         /// knob; only applied with `--hist`).
         hist_tolerance: f64,
+        /// `--gauges`: also gate gauge drift (except `span.*` wall-clock
+        /// gauges, which stay informational).
+        gauges: bool,
+        /// `--gauge-tolerance PCT`: gauge drift tolerance (only applied
+        /// with `--gauges`).
+        gauge_tolerance: f64,
     },
     /// Render a self-contained HTML flame view of the span timeline
     /// (`bfly report flame RUN.json -o FILE`).
@@ -388,6 +416,10 @@ pub struct CliError {
     pub class: ErrorClass,
     /// Human-readable message.
     pub msg: String,
+    /// Estimated fraction of the predicted work that completed before
+    /// the failure, when a liveness monitor was watching the run
+    /// (surfaced as `"fraction_complete"` under `--json-errors`).
+    pub fraction: Option<f64>,
 }
 
 impl CliError {
@@ -397,18 +429,30 @@ impl CliError {
         self.class.exit_code()
     }
 
+    /// Annotate the completed-work fraction measured at failure time.
+    pub fn with_fraction(mut self, fraction: Option<f64>) -> Self {
+        if self.fraction.is_none() {
+            self.fraction = fraction;
+        }
+        self
+    }
+
     /// The one machine-readable stderr line emitted under `--json-errors`:
-    /// `{"class": "...", "exit_code": N, "message": "..."}`.
+    /// `{"class": "...", "exit_code": N, "message": "..."}` plus
+    /// `"fraction_complete"` when the run's progress at failure is known.
     pub fn to_json_line(&self) -> String {
-        Json::Obj(vec![
+        let mut obj = vec![
             (
                 "class".to_string(),
                 Json::Str(self.class.name().to_string()),
             ),
             ("exit_code".to_string(), Json::UInt(self.exit_code() as u64)),
             ("message".to_string(), Json::Str(self.msg.clone())),
-        ])
-        .compact()
+        ];
+        if let Some(f) = self.fraction {
+            obj.push(("fraction_complete".to_string(), Json::Float(f)));
+        }
+        Json::Obj(obj).compact()
     }
 }
 
@@ -433,6 +477,7 @@ impl From<BflyError> for CliError {
         CliError {
             class,
             msg: e.to_string(),
+            fraction: None,
         }
     }
 }
@@ -441,6 +486,7 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError {
         class: ErrorClass::Runtime,
         msg: msg.into(),
+        fraction: None,
     }
 }
 
@@ -448,6 +494,7 @@ fn classified(class: ErrorClass, msg: impl Into<String>) -> CliError {
     CliError {
         class,
         msg: msg.into(),
+        fraction: None,
     }
 }
 
@@ -455,7 +502,25 @@ fn classified(class: ErrorClass, msg: impl Into<String>) -> CliError {
 /// (`--stream -`). The binary routes human-readable output to stderr in
 /// that case so the event stream stays machine-parseable.
 pub fn streams_to_stdout(cmd: &Command) -> bool {
-    matches!(cmd, Command::Count { stream: Some(s), .. } if s == "-")
+    matches!(
+        cmd,
+        Command::Count { stream: Some(s), .. }
+        | Command::Tip { stream: Some(s), .. }
+        | Command::Wing { stream: Some(s), .. } if s == "-"
+    )
+}
+
+/// Whether this command renders the live `--progress` line (the binary
+/// then routes any stderr-bound human output through the shared
+/// [`bfly_core::telemetry::StderrGate`] so the two never interleave
+/// mid-line).
+pub fn wants_progress(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Count { progress: true, .. }
+            | Command::Tip { progress: true, .. }
+            | Command::Wing { progress: true, .. }
+    )
 }
 
 /// The byte-tracking global allocator, re-exported so the binary can
@@ -483,13 +548,15 @@ USAGE:
                           [--max-bytes B] [--max-work W] [--deadline-ms MS]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
-                          [--stream FILE|-]
+                          [--stream FILE|-] [--progress] [--flight-recorder FILE]
   bfly tip         <file> (--k K | --decompose) [--side v1|v2] [--threads N]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
+                          [--stream FILE|-] [--progress] [--flight-recorder FILE]
   bfly wing        <file> (--k K | --decompose) [--threads N]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
+                          [--stream FILE|-] [--progress] [--flight-recorder FILE]
   bfly tip-numbers <file> [--side v1|v2] [--top N] [--format ...]
   bfly enumerate   <file> [--limit N] [--format ...]
   bfly generate    --kind uniform|chunglu|standin --out FILE
@@ -503,6 +570,7 @@ USAGE:
   bfly report show    RUN.json
   bfly report diff    BASE.json NEW.json [--threshold PCT]
                       [--hist] [--hist-tolerance PCT]
+                      [--gauges] [--gauge-tolerance PCT]
   bfly report flame   RUN.json -o FILE
   bfly report export  RUN.json [--format openmetrics] [-o FILE]
   bfly report history DIR... [--out FILE] [--gate] [--threshold PCT]
@@ -513,7 +581,13 @@ plan (fewer chunks, flat kernel, no degree ordering) before refusing.
 
 --stream emits one NDJSON telemetry event per line as the run
 progresses (flushed per line); `--stream -` uses stdout and moves the
-human summary to stderr. `report history` folds every run report found
+human summary to stderr. --progress renders a live progress/ETA line
+on stderr and arms a stall watchdog (a `stall` event plus a stderr
+warning when no work counter advances; the run is never killed);
+--flight-recorder FILE keeps a ring of recent events and dumps it with
+a final metrics snapshot on panic or deadline truncation. Monitor
+knobs: BFLY_MONITOR_INTERVAL_MS (default 200) and BFLY_STALL_INTERVALS
+(default 5). `report history` folds every run report found
 in DIR into a schema-versioned history.json with per-series trend
 lines; --gate fails (exit 1) when the newest run regressed a counter
 past the threshold against its predecessor.
@@ -547,6 +621,8 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
                     | "json-errors"
                     | "hist"
                     | "gate"
+                    | "progress"
+                    | "gauges"
             ) {
                 flags.push((name.to_string(), None));
             } else {
@@ -705,6 +781,8 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 report: rest.flag("report").map(str::to_string),
                 trace: rest.flag("trace").map(str::to_string),
                 stream: rest.flag("stream").map(str::to_string),
+                progress: rest.has("progress"),
+                flight_recorder: rest.flag("flight-recorder").map(str::to_string),
                 max_bytes,
                 max_work,
                 deadline_ms,
@@ -729,6 +807,9 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 stats: rest.has("stats"),
                 report: rest.flag("report").map(str::to_string),
                 trace: rest.flag("trace").map(str::to_string),
+                stream: rest.flag("stream").map(str::to_string),
+                progress: rest.has("progress"),
+                flight_recorder: rest.flag("flight-recorder").map(str::to_string),
             })
         }
         "wing" => {
@@ -746,6 +827,9 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 stats: rest.has("stats"),
                 report: rest.flag("report").map(str::to_string),
                 trace: rest.flag("trace").map(str::to_string),
+                stream: rest.flag("stream").map(str::to_string),
+                progress: rest.has("progress"),
+                flight_recorder: rest.flag("flight-recorder").map(str::to_string),
             })
         }
         "tip-numbers" => Ok(Command::TipNumbers {
@@ -843,6 +927,8 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                     threshold: rest.parse_flag("threshold", 10.0f64)?,
                     hist: rest.has("hist"),
                     hist_tolerance: rest.parse_flag("hist-tolerance", 25.0f64)?,
+                    gauges: rest.has("gauges"),
+                    gauge_tolerance: rest.parse_flag("gauge-tolerance", 25.0f64)?,
                 },
                 "flame" => ReportAction::Flame {
                     file: pos(1, "flame requires a report file")?,
@@ -933,16 +1019,57 @@ fn sniff_format(path: &str) -> Result<Format, CliError> {
     }
 }
 
+/// Parse a `u64` environment knob, falling back to `default` when the
+/// variable is unset or unparseable.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic fault-injection hooks for the CI liveness smoke job
+/// (documented in docs/OBSERVABILITY.md): `BFLY_FAULT_SLEEP_MS` sleeps
+/// the main thread mid-run so the stall watchdog observably fires, and
+/// `BFLY_FAULT_PANIC=1` panics so the flight-recorder panic hook
+/// observably dumps. Both are no-ops unless the variables are set.
+fn fault_injection() {
+    if let Some(ms) = std::env::var("BFLY_FAULT_SLEEP_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if std::env::var("BFLY_FAULT_PANIC").as_deref() == Ok("1") {
+        panic!("fault injection: BFLY_FAULT_PANIC=1");
+    }
+}
+
+/// Liveness state behind `--progress` / `--flight-recorder`: a shared
+/// [`MetricsHub`] the kernels record into concurrently, the background
+/// [`Monitor`] thread sampling it, the shared NDJSON sink heartbeats
+/// interleave into (the `--stream` target, or a null sink that exists
+/// only to stamp `seq` and tee into the flight ring), and the flight
+/// ring with its dump path.
+struct Live {
+    hub: Arc<MetricsHub>,
+    monitor: Option<Monitor>,
+    sink: Option<SharedSink>,
+    flight: Option<(Arc<FlightRecorder>, String)>,
+}
+
 /// The `--stats` / `--report` / `--trace` plumbing shared by every
 /// instrumented subcommand: decides once whether instrumentation is on,
-/// owns the [`StreamRecorder`], and emits all requested outputs from
-/// the single [`RunReport`] it builds at the end.
+/// owns the [`StreamRecorder`] (or, in liveness mode, the shared
+/// [`MetricsHub`] plus monitor thread), and emits all requested outputs
+/// from the single [`RunReport`] it builds at the end.
 struct Telem {
     stats: bool,
     report: Option<String>,
     trace: Option<String>,
     streaming: bool,
     rec: StreamRecorder,
+    live: Option<Live>,
 }
 
 impl Telem {
@@ -972,27 +1099,183 @@ impl Telem {
             trace,
             streaming: stream.is_some(),
             rec,
+            live: None,
+        })
+    }
+
+    /// [`Telem::new`] plus the liveness subsystem when `--progress` or
+    /// `--flight-recorder` asked for it. Without either flag this is
+    /// exactly [`Telem::new`]: no hub, no monitor thread, no panic hook —
+    /// the zero-overhead guarantee of the noop path is preserved.
+    #[allow(clippy::too_many_arguments)]
+    fn with_liveness(
+        stats: bool,
+        report: Option<String>,
+        trace: Option<String>,
+        stream: Option<String>,
+        progress: bool,
+        flight_recorder: Option<String>,
+        label: &str,
+    ) -> Result<Self, CliError> {
+        if !progress && flight_recorder.is_none() {
+            return Self::new(stats, report, trace, stream);
+        }
+        let flight = flight_recorder
+            .map(|path| (Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)), path));
+        let base = match &stream {
+            Some(t) if t == "-" => Some(NdjsonSink::stdout()),
+            Some(t) => Some(NdjsonSink::file(t).map_err(|e| err(format!("open stream {t}: {e}")))?),
+            // Heartbeats still need `seq` stamps and the flight tee even
+            // when nobody asked for the stream itself.
+            None if flight.is_some() => Some(NdjsonSink::null()),
+            None => None,
+        };
+        let sink = base.map(|s| {
+            let shared = s.into_shared();
+            match &flight {
+                Some((ring, _)) => shared.with_flight(Arc::clone(ring)),
+                None => shared,
+            }
+        });
+        if let Some(sink) = &sink {
+            sink.emit("run_start", vec![]);
+        }
+        let hub = Arc::new(MetricsHub::new());
+        if let Some((ring, path)) = &flight {
+            install_panic_hook(Arc::clone(ring), Arc::clone(&hub), path.clone());
+        }
+        let cfg = MonitorConfig {
+            interval: std::time::Duration::from_millis(
+                env_u64("BFLY_MONITOR_INTERVAL_MS", 200).max(1),
+            ),
+            stall_intervals: env_u64("BFLY_STALL_INTERVALS", 5).min(u32::MAX as u64) as u32,
+            progress_line: progress,
+            label: label.to_string(),
+        };
+        let monitor = Monitor::spawn(Arc::clone(&hub), sink.clone(), cfg);
+        Ok(Self {
+            stats,
+            report,
+            trace,
+            streaming: stream.is_some(),
+            rec: StreamRecorder::new(),
+            live: Some(Live {
+                hub,
+                monitor: Some(monitor),
+                sink,
+                flight,
+            }),
         })
     }
 
     /// Whether any telemetry output was requested. When false, commands
     /// should run against [`NoopRecorder`] (see [`with_recorder!`]).
     fn enabled(&self) -> bool {
-        self.stats || self.report.is_some() || self.trace.is_some() || self.streaming
+        self.stats
+            || self.report.is_some()
+            || self.trace.is_some()
+            || self.streaming
+            || self.live.is_some()
+    }
+
+    /// The shared hub, when liveness mode is on. Commands record through
+    /// `&MetricsHub` (a [`Recorder`]) so the monitor thread sees counters
+    /// advance live.
+    fn live_hub(&self) -> Option<Arc<MetricsHub>> {
+        self.live.as_ref().map(|l| Arc::clone(&l.hub))
+    }
+
+    /// Hand the monitor its predicted-total-work forecast once the
+    /// planner has run. No-op outside liveness mode.
+    fn set_forecast(&self, f: WorkForecast) {
+        if let Some(live) = &self.live {
+            if let Some(monitor) = &live.monitor {
+                monitor.set_forecast(f);
+            }
+        }
+    }
+
+    /// Abort-path teardown: stop the monitor (no final 1.0 heartbeat)
+    /// and dump the flight ring with `reason`, returning the last
+    /// measured fraction so errors can carry it. No-op outside liveness
+    /// mode.
+    fn fail(&mut self, reason: &str) -> Option<f64> {
+        let live = self.live.as_mut()?;
+        let fraction = live.monitor.take().map(|m| {
+            let f = m.fraction();
+            m.finish(false);
+            f
+        });
+        if let Some((ring, path)) = &live.flight {
+            let _ = ring.dump_to_file(path, Some(&live.hub.snapshot()), reason);
+        }
+        fraction
     }
 
     /// Build the report and write every requested output: the `--stats`
     /// table to `out`, the `--report` JSON file, and the `--trace`
     /// Chrome Trace file. No-op when telemetry is off.
     fn emit(
+        self,
+        meta: Vec<(String, Json)>,
+        out: &mut impl std::io::Write,
+    ) -> Result<(), CliError> {
+        self.emit_with(meta, out, true)
+    }
+
+    /// [`Telem::emit`] with an explicit completion flag. In liveness mode
+    /// this finishes the monitor (final heartbeat at exactly 1.0 when
+    /// `complete`), emits the closing `counters`/`run_end` stream events
+    /// from the hub snapshot, and — on an incomplete run — dumps the
+    /// flight ring with reason `"deadline"`.
+    fn emit_with(
         mut self,
         meta: Vec<(String, Json)>,
         out: &mut impl std::io::Write,
+        complete: bool,
     ) -> Result<(), CliError> {
         if !self.enabled() {
             return Ok(());
         }
-        let rep = self.rec.report(meta);
+        let rep = match self.live.take() {
+            Some(mut live) => {
+                if let Some(monitor) = live.monitor.take() {
+                    monitor.finish(complete);
+                }
+                let snap = live.hub.snapshot();
+                let rep = snap.to_report(meta);
+                if let Some(sink) = &live.sink {
+                    sink.emit(
+                        "counters",
+                        vec![(
+                            "values".to_string(),
+                            Json::Obj(
+                                rep.counters
+                                    .iter()
+                                    .filter(|(_, v)| *v != 0)
+                                    .map(|(n, v)| (n.clone(), Json::UInt(*v)))
+                                    .collect(),
+                            ),
+                        )],
+                    );
+                    let errors = sink.write_errors();
+                    sink.emit(
+                        "run_end",
+                        vec![
+                            ("meta".to_string(), Json::Obj(rep.meta.clone())),
+                            ("write_errors".to_string(), Json::UInt(errors)),
+                        ],
+                    );
+                }
+                if !complete {
+                    if let Some((ring, path)) = &live.flight {
+                        let _ = ring.dump_to_file(path, Some(&snap), "deadline");
+                    }
+                }
+                rep
+            }
+            None => self.rec.report(meta),
+        };
         if self.stats {
             writeln!(out, "{}", rep.render_table())
                 .map_err(|e| err(format!("write error: {e}")))?;
@@ -1009,14 +1292,18 @@ impl Telem {
     }
 }
 
-/// Run `$body` with `$rec` bound to the [`Telem`]'s live recorder when
-/// telemetry is on, or to [`NoopRecorder`] when it is off. A macro rather
-/// than a function because closures cannot be generic over the recorder
-/// type: the two expansions monomorphize separately, so the off path
-/// keeps the zero-overhead no-op code.
+/// Run `$body` with `$rec` bound to the [`Telem`]'s shared hub (liveness
+/// mode), its live recorder (plain telemetry), or [`NoopRecorder`] when
+/// telemetry is off. A macro rather than a function because closures
+/// cannot be generic over the recorder type: the expansions monomorphize
+/// separately, so the off path keeps the zero-overhead no-op code.
 macro_rules! with_recorder {
     ($telem:expr, |$rec:ident| $body:expr) => {
-        if $telem.enabled() {
+        if let Some(hub) = $telem.live_hub() {
+            let mut hub_rec: &MetricsHub = &hub;
+            let $rec = &mut hub_rec;
+            $body
+        } else if $telem.enabled() {
             let $rec = &mut $telem.rec;
             $body
         } else {
@@ -1130,10 +1417,13 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             report,
             trace,
             stream,
+            progress,
+            flight_recorder,
             max_bytes,
             max_work,
             deadline_ms,
         } => {
+            let live = progress || flight_recorder.is_some();
             let g = load_graph(&file, format)?;
             if max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some() {
                 let mut budget = ResourceBudget::unlimited();
@@ -1146,15 +1436,25 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 if let Some(v) = deadline_ms {
                     budget = budget.with_deadline_in(std::time::Duration::from_millis(v));
                 }
-                let telem = Telem::new(stats, report, trace, stream)?;
+                let telem = Telem::with_liveness(
+                    stats,
+                    report,
+                    trace,
+                    stream,
+                    progress,
+                    flight_recorder,
+                    "count",
+                )?;
                 return run_count_budgeted(
                     &g, &file, parallel, threads, explain, telem, &budget, out,
                 );
             }
             // The profile and the plan the cost model selects for this
-            // graph — printed by --explain and embedded in report meta.
-            // Deterministic, so it matches what an adaptive run executes.
-            let planned = if explain || algorithm == Algorithm::Adaptive {
+            // graph — printed by --explain, embedded in report meta, and
+            // (in liveness mode) the source of the monitor's work
+            // forecast. Deterministic, so it matches what an adaptive
+            // run executes.
+            let planned = if explain || algorithm == Algorithm::Adaptive || live {
                 let profile = GraphProfile::compute(&g);
                 let workers = if threads > 0 {
                     threads
@@ -1166,16 +1466,45 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             } else {
                 None
             };
-            let mut telem = Telem::new(stats, report, trace, stream)?;
-            let (xi, label) = with_recorder!(telem, |rec| if threads > 0 {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .map_err(|e| err(format!("thread pool: {e}")))?;
-                pool.install(|| run_count(&g, algorithm, parallel, rec))
+            let mut telem = Telem::with_liveness(
+                stats,
+                report,
+                trace,
+                stream,
+                progress,
+                flight_recorder,
+                "count",
+            )?;
+            if let Some((_, plan)) = &planned {
+                telem.set_forecast(plan.forecast());
+            }
+            fault_injection();
+            let pool = if threads > 0 {
+                Some(
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .map_err(|e| err(format!("thread pool: {e}")))?,
+                )
             } else {
-                run_count(&g, algorithm, parallel, rec)
-            });
+                None
+            };
+            let (xi, label) = if let Some(hub) = telem.live_hub() {
+                // Liveness mode records straight into the shared hub so
+                // the monitor sees counters advance *during* the run;
+                // parallel family counts take the shared-hub entry point
+                // (worker threads publish live instead of merging
+                // thread-local tallies at the end).
+                match &pool {
+                    Some(p) => p.install(|| run_count_live(&g, algorithm, parallel, &hub)),
+                    None => run_count_live(&g, algorithm, parallel, &hub),
+                }
+            } else {
+                with_recorder!(telem, |rec| match &pool {
+                    Some(p) => p.install(|| run_count(&g, algorithm, parallel, rec)),
+                    None => run_count(&g, algorithm, parallel, rec),
+                })
+            };
             w(out, format!("butterflies = {xi}  [{label}]"))?;
             let mut meta = vec![
                 ("command".to_string(), Json::Str("count".to_string())),
@@ -1208,9 +1537,21 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             stats,
             report,
             trace,
+            stream,
+            progress,
+            flight_recorder,
         } => {
             let g = load_graph(&file, format)?;
-            let mut telem = Telem::new(stats, report, trace, None)?;
+            let mut telem = Telem::with_liveness(
+                stats,
+                report,
+                trace,
+                stream,
+                progress,
+                flight_recorder,
+                "tip",
+            )?;
+            fault_injection();
             if decompose {
                 let workers = if threads > 0 {
                     threads
@@ -1227,19 +1568,35 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 } else {
                     None
                 };
-                let (plan, side, numbers) = with_recorder!(telem, |rec| {
-                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
-                    // The plan picks the cheaper side; an explicit --side
-                    // overrides it but keeps the parallel/chunks decision.
+                let (plan, side, numbers) = if let Some(hub) = telem.live_hub() {
+                    // Liveness mode: workers record support updates into
+                    // the shared hub as they peel, so the monitor sees
+                    // progress between buckets.
+                    let hub_ref: &MetricsHub = &hub;
+                    let mut rec = hub_ref;
+                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, &mut rec);
+                    telem.set_forecast(plan.forecast());
                     let side = side.unwrap_or(plan.side);
-                    let numbers = timed_phase(rec, "tip_decompose", |rec| match &pool {
-                        Some(p) => {
-                            p.install(|| tip_numbers_with_chunks(&g, side, plan.chunks, rec))
-                        }
-                        None => tip_numbers_with_chunks(&g, side, plan.chunks, rec),
+                    let numbers = timed_phase(&mut rec, "tip_decompose", |_| match &pool {
+                        Some(p) => p.install(|| tip_numbers_shared(&g, side, plan.chunks, hub_ref)),
+                        None => tip_numbers_shared(&g, side, plan.chunks, hub_ref),
                     });
                     (plan, side, numbers)
-                });
+                } else {
+                    with_recorder!(telem, |rec| {
+                        let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
+                        // The plan picks the cheaper side; an explicit --side
+                        // overrides it but keeps the parallel/chunks decision.
+                        let side = side.unwrap_or(plan.side);
+                        let numbers = timed_phase(rec, "tip_decompose", |rec| match &pool {
+                            Some(p) => {
+                                p.install(|| tip_numbers_with_chunks(&g, side, plan.chunks, rec))
+                            }
+                            None => tip_numbers_with_chunks(&g, side, plan.chunks, rec),
+                        });
+                        (plan, side, numbers)
+                    })
+                };
                 return emit_decomposition(
                     telem,
                     out,
@@ -1291,9 +1648,21 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             stats,
             report,
             trace,
+            stream,
+            progress,
+            flight_recorder,
         } => {
             let g = load_graph(&file, format)?;
-            let mut telem = Telem::new(stats, report, trace, None)?;
+            let mut telem = Telem::with_liveness(
+                stats,
+                report,
+                trace,
+                stream,
+                progress,
+                flight_recorder,
+                "wing",
+            )?;
+            fault_injection();
             if decompose {
                 let workers = if threads > 0 {
                     threads
@@ -1310,14 +1679,26 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 } else {
                     None
                 };
-                let (plan, numbers) = with_recorder!(telem, |rec| {
-                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
-                    let numbers = timed_phase(rec, "wing_decompose", |rec| match &pool {
-                        Some(p) => p.install(|| wing_numbers_with_chunks(&g, plan.chunks, rec)),
-                        None => wing_numbers_with_chunks(&g, plan.chunks, rec),
+                let (plan, numbers) = if let Some(hub) = telem.live_hub() {
+                    let hub_ref: &MetricsHub = &hub;
+                    let mut rec = hub_ref;
+                    let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, &mut rec);
+                    telem.set_forecast(plan.forecast());
+                    let numbers = timed_phase(&mut rec, "wing_decompose", |_| match &pool {
+                        Some(p) => p.install(|| wing_numbers_shared(&g, plan.chunks, hub_ref)),
+                        None => wing_numbers_shared(&g, plan.chunks, hub_ref),
                     });
                     (plan, numbers)
-                });
+                } else {
+                    with_recorder!(telem, |rec| {
+                        let (_profile, plan) = profile_and_peel_plan_recorded(&g, workers, rec);
+                        let numbers = timed_phase(rec, "wing_decompose", |rec| match &pool {
+                            Some(p) => p.install(|| wing_numbers_with_chunks(&g, plan.chunks, rec)),
+                            None => wing_numbers_with_chunks(&g, plan.chunks, rec),
+                        });
+                        (plan, numbers)
+                    })
+                };
                 return emit_decomposition(
                     telem, out, "wing", &file, &numbers, threads, plan, None,
                 );
@@ -1483,18 +1864,28 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                 threshold,
                 hist,
                 hist_tolerance,
+                gauges,
+                gauge_tolerance,
             } => {
                 let b = load_report(&base)?;
                 let n = load_report(&new)?;
-                let tol = if hist { Some(hist_tolerance) } else { None };
-                let d = diff_reports_with(&b, &n, threshold, tol);
+                let htol = if hist { Some(hist_tolerance) } else { None };
+                let gtol = if gauges { Some(gauge_tolerance) } else { None };
+                let d = diff_reports_full(&b, &n, threshold, htol, gtol);
                 w(out, d.render_table())?;
-                if d.failures().is_empty() {
+                let fails = d.failures();
+                if fails.is_empty() {
                     Ok(())
                 } else {
+                    // Name the lane(s) that gated so CI logs say whether a
+                    // counter, histogram, or gauge regressed.
+                    let mut kinds: Vec<&str> = fails.iter().map(|r| r.kind).collect();
+                    kinds.sort_unstable();
+                    kinds.dedup();
                     Err(err(format!(
-                        "report diff: {} metric(s) drifted past their threshold",
-                        d.failures().len()
+                        "report diff: {} metric(s) drifted past their threshold ({})",
+                        fails.len(),
+                        kinds.join(", ")
                     )))
                 }
             }
@@ -1632,6 +2023,36 @@ fn run_count<R: Recorder>(
     }
 }
 
+/// [`run_count`] for liveness mode: everything records through the
+/// shared hub, and the parallel family members route through
+/// [`count_parallel_shared`] so worker threads publish counters live
+/// (the recorded variants merge thread-local tallies only at the end,
+/// which would leave the monitor blind until the join).
+fn run_count_live(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    parallel: bool,
+    hub: &MetricsHub,
+) -> (u64, String) {
+    match algorithm {
+        Algorithm::Auto if parallel => {
+            let inv = pick_auto(g);
+            (
+                count_parallel_shared(g, inv, hub),
+                format!("{inv} (auto, parallel)"),
+            )
+        }
+        Algorithm::Family(inv) if parallel => (
+            count_parallel_shared(g, inv, hub),
+            format!("{inv} (parallel)"),
+        ),
+        other => {
+            let mut rec: &MetricsHub = hub;
+            run_count(g, other, parallel, &mut rec)
+        }
+    }
+}
+
 /// The budget-capped counting path: always adaptive, threaded through
 /// [`count_adaptive_budgeted_recorded`] so byte caps degrade the plan,
 /// work caps refuse it ([`ErrorClass::Budget`], exit 4), overflow maps
@@ -1650,7 +2071,21 @@ fn run_count_budgeted(
     budget: &ResourceBudget,
     out: &mut impl std::io::Write,
 ) -> Result<(), CliError> {
-    let r = with_recorder!(telem, |rec| if threads > 0 {
+    // Liveness mode forecasts the undegraded plan's wedge work up front
+    // so the monitor has a total to measure against; the budgeted path
+    // may still degrade to a cheaper plan, in which case the fraction is
+    // an under-estimate and the final heartbeat snaps to 1.0.
+    if telem.live.is_some() {
+        let workers = if threads > 0 {
+            threads
+        } else {
+            rayon::current_num_threads()
+        };
+        let profile = GraphProfile::compute(g);
+        telem.set_forecast(select_plan(&profile, parallel, workers).forecast());
+    }
+    fault_injection();
+    let result = with_recorder!(telem, |rec| if threads > 0 {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -1658,9 +2093,39 @@ fn run_count_budgeted(
         pool.install(|| count_adaptive_budgeted_recorded(g, parallel, budget, rec))
     } else {
         count_adaptive_budgeted_recorded(g, parallel, budget, rec)
-    })?;
+    });
+    let r = match result {
+        Ok(r) => r,
+        Err(e) => {
+            // Refusals and overflows mid-run still leave a post-mortem:
+            // dump the flight ring and carry the measured fraction into
+            // the error (surfaced by --json-errors).
+            let fraction = telem.fail("budget");
+            return Err(CliError::from(e).with_fraction(fraction));
+        }
+    };
     let complete = r.complete;
+    let core_fraction = r.fraction;
     let (xi, plan) = r.value;
+    // Fraction-complete at truncation: the core's own annotation when it
+    // has one, else the observed forecast counter measured against the
+    // plan's predicted total.
+    let fraction = if complete {
+        Some(1.0)
+    } else {
+        core_fraction.or_else(|| {
+            let forecast = plan.forecast();
+            if forecast.total == 0 {
+                return None;
+            }
+            let done = match telem.live_hub() {
+                Some(hub) => Some(hub.snapshot().counter(forecast.counter)),
+                None if telem.enabled() => Some(telem.rec.recorder().counter(forecast.counter)),
+                None => None,
+            };
+            done.map(|d| (d as f64 / forecast.total as f64).clamp(0.0, 1.0))
+        })
+    };
     let label = format!(
         "{} (adaptive, budgeted{})",
         plan.invariant,
@@ -1668,9 +2133,12 @@ fn run_count_budgeted(
     );
     writeln!(out, "butterflies = {xi}  [{label}]").map_err(|e| err(format!("write error: {e}")))?;
     if !complete {
+        let pct = fraction
+            .map(|f| format!(" (~{:.0}% of predicted work done)", f * 100.0))
+            .unwrap_or_default();
         writeln!(
             out,
-            "note: deadline expired; the count is an exact lower bound over the processed prefix"
+            "note: deadline expired; the count is an exact lower bound over the processed prefix{pct}"
         )
         .map_err(|e| err(format!("write error: {e}")))?;
     }
@@ -1682,18 +2150,19 @@ fn run_count_budgeted(
         ]);
         writeln!(out, "{}", doc.pretty()).map_err(|e| err(format!("write error: {e}")))?;
     }
-    telem.emit(
-        vec![
-            ("command".to_string(), Json::Str("count".to_string())),
-            ("dataset".to_string(), Json::Str(file.to_string())),
-            ("algorithm".to_string(), Json::Str(label)),
-            ("threads".to_string(), Json::UInt(threads as u64)),
-            ("butterflies".to_string(), Json::UInt(xi)),
-            ("complete".to_string(), Json::Bool(complete)),
-            ("plan".to_string(), plan.to_json()),
-        ],
-        out,
-    )
+    let mut meta = vec![
+        ("command".to_string(), Json::Str("count".to_string())),
+        ("dataset".to_string(), Json::Str(file.to_string())),
+        ("algorithm".to_string(), Json::Str(label)),
+        ("threads".to_string(), Json::UInt(threads as u64)),
+        ("butterflies".to_string(), Json::UInt(xi)),
+        ("complete".to_string(), Json::Bool(complete)),
+        ("plan".to_string(), plan.to_json()),
+    ];
+    if let Some(f) = fraction {
+        meta.push(("fraction_complete".to_string(), Json::Float(f)));
+    }
+    telem.emit_with(meta, out, complete)
 }
 
 /// `bfly report history`: fold every `*.json` run report under the given
@@ -1820,6 +2289,8 @@ mod tests {
                 report: None,
                 trace: None,
                 stream: None,
+                progress: false,
+                flight_recorder: None,
                 max_bytes: None,
                 max_work: None,
                 deadline_ms: None,
@@ -1910,6 +2381,9 @@ mod tests {
                 stats: false,
                 report: None,
                 trace: None,
+                stream: None,
+                progress: false,
+                flight_recorder: None,
             }
         );
         assert!(parse(&sv(&["tip", "g.tsv"])).is_err()); // missing --k
@@ -1933,6 +2407,9 @@ mod tests {
                 stats: false,
                 report: None,
                 trace: None,
+                stream: None,
+                progress: false,
+                flight_recorder: None,
             }
         );
         // --decompose is boolean: the next token stays positional.
@@ -2880,6 +3357,356 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.class, ErrorClass::Parse);
         assert!(e.msg.contains("malformed report"), "{}", e.msg);
+    }
+
+    #[test]
+    fn parses_liveness_and_gauge_flags() {
+        // --progress is boolean: the next token stays positional.
+        let cmd = parse(&sv(&["count", "--progress", "g.tsv"])).unwrap();
+        match &cmd {
+            Command::Count {
+                file,
+                progress,
+                flight_recorder,
+                ..
+            } => {
+                assert_eq!(file, "g.tsv");
+                assert!(progress);
+                assert!(flight_recorder.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(wants_progress(&cmd));
+        assert!(!streams_to_stdout(&cmd));
+
+        // --flight-recorder takes a file; tip/wing grew --stream too.
+        let cmd = parse(&sv(&[
+            "tip",
+            "g.tsv",
+            "--decompose",
+            "--stream",
+            "-",
+            "--flight-recorder",
+            "crash.json",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Tip {
+                stream,
+                progress,
+                flight_recorder,
+                ..
+            } => {
+                assert_eq!(stream.as_deref(), Some("-"));
+                assert!(!progress);
+                assert_eq!(flight_recorder.as_deref(), Some("crash.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(streams_to_stdout(&cmd));
+        assert!(!wants_progress(&cmd));
+        let cmd = parse(&sv(&["wing", "g.tsv", "--k", "1", "--progress"])).unwrap();
+        assert!(wants_progress(&cmd));
+
+        // report diff grew --gauges / --gauge-tolerance.
+        match parse(&sv(&[
+            "report",
+            "diff",
+            "a.json",
+            "b.json",
+            "--gauges",
+            "--gauge-tolerance",
+            "40",
+        ]))
+        .unwrap()
+        {
+            Command::Report {
+                action:
+                    ReportAction::Diff {
+                        gauges,
+                        gauge_tolerance,
+                        ..
+                    },
+            } => {
+                assert!(gauges);
+                assert!((gauge_tolerance - 40.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default tolerance is 25%; --gauges stays boolean.
+        match parse(&sv(&["report", "diff", "a.json", "b.json", "--gauges"])).unwrap() {
+            Command::Report {
+                action:
+                    ReportAction::Diff {
+                        gauges,
+                        gauge_tolerance,
+                        ..
+                    },
+            } => {
+                assert!(gauges);
+                assert!((gauge_tolerance - 25.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_progress_stream_end_to_end() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "50",
+                "--n",
+                "50",
+                "--edges",
+                "400",
+                "--seed",
+                "41",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let spath = dir.join("stream.ndjson");
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--progress",
+                "--stream",
+                spath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("butterflies ="));
+
+        // Every stream line parses; seq is strictly monotonic across the
+        // monitor thread and the closing events; the stream opens with
+        // run_start and closes with run_end; the final heartbeat lands on
+        // fraction exactly 1.0.
+        let text = std::fs::read_to_string(&spath).unwrap();
+        let events: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert!(events.len() >= 3, "{text}");
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("seq").and_then(|s| s.as_u64()).expect("seq"))
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        assert_eq!(
+            events[0].get("type").and_then(|v| v.as_str()),
+            Some("run_start")
+        );
+        assert_eq!(
+            events.last().unwrap().get("type").and_then(|v| v.as_str()),
+            Some("run_end")
+        );
+        let heartbeats: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("type").and_then(|v| v.as_str()) == Some("heartbeat"))
+            .collect();
+        assert!(!heartbeats.is_empty(), "{text}");
+        let last_hb = heartbeats.last().unwrap();
+        assert_eq!(last_hb.get("final").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(last_hb.get("fraction").and_then(|v| v.as_f64()), Some(1.0));
+        // The closing counters event carries the hub totals the report
+        // would have, so a stream consumer needs no side channel.
+        assert!(events.iter().any(|e| {
+            e.get("type").and_then(|v| v.as_str()) == Some("counters")
+                && e.get("values")
+                    .and_then(|v| v.get("wedges_expanded"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+                    > 0
+        }));
+    }
+
+    #[test]
+    fn deadline_truncation_reports_fraction_and_dumps_flight() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-truncate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        // The kernel polls the deadline every DEADLINE_STRIDE (4096)
+        // vertices, so the partition side must be bigger than one stride
+        // for an expired deadline to cut anything.
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "6000",
+                "--n",
+                "6000",
+                "--edges",
+                "12000",
+                "--seed",
+                "43",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // The fault hook sleeps past the 1 ms deadline (the budget clock
+        // starts at parse), so the kernel is guaranteed to be cut at its
+        // first poll — deterministic truncation, not a race.
+        let rpath = dir.join("trunc.json");
+        let fpath = dir.join("flight.json");
+        std::env::set_var("BFLY_FAULT_SLEEP_MS", "30");
+        let mut sink = Vec::new();
+        let res = run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--deadline-ms",
+                "1",
+                "--report",
+                rpath.to_str().unwrap(),
+                "--flight-recorder",
+                fpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut sink,
+        );
+        std::env::remove_var("BFLY_FAULT_SLEEP_MS");
+        res.unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("deadline expired"), "{text}");
+        assert!(text.contains("% of predicted work done"), "{text}");
+
+        // The report meta carries complete=false plus the measured
+        // fraction; --json-errors would surface the same field on the
+        // abort path.
+        let rep = RunReport::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(n, v)| n == "complete" && matches!(v, Json::Bool(false))));
+        let frac = rep
+            .meta
+            .iter()
+            .find(|(n, _)| n == "fraction_complete")
+            .and_then(|(_, v)| v.as_f64())
+            .expect("fraction_complete in meta");
+        assert!((0.0..1.0).contains(&frac), "{frac}");
+
+        // The flight recorder dumped the ring with the deadline reason
+        // and a final snapshot.
+        let dump = Json::parse(&std::fs::read_to_string(&fpath).unwrap()).unwrap();
+        assert_eq!(
+            dump.get("reason").and_then(|v| v.as_str()),
+            Some("deadline")
+        );
+        assert!(dump.get("events").and_then(|v| v.as_arr()).is_some());
+        assert!(dump.get("snapshot").is_some());
+    }
+
+    #[test]
+    fn cli_error_fraction_lands_in_json_line() {
+        let e = classified(ErrorClass::Budget, "work cap hit").with_fraction(Some(0.25));
+        let doc = Json::parse(&e.to_json_line()).unwrap();
+        assert_eq!(
+            doc.get("fraction_complete").and_then(|v| v.as_f64()),
+            Some(0.25)
+        );
+        // with_fraction never overwrites an already-annotated error.
+        let e = e.with_fraction(Some(0.75));
+        assert_eq!(e.fraction, Some(0.25));
+        // Without an annotation the field is absent, not null.
+        let e = classified(ErrorClass::Budget, "x");
+        assert!(!e.to_json_line().contains("fraction_complete"));
+    }
+
+    #[test]
+    fn report_diff_gauges_gates_regressions_but_not_spans() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-gauge-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        run(
+            parse(&sv(&[
+                "generate",
+                "--kind",
+                "uniform",
+                "--m",
+                "30",
+                "--n",
+                "30",
+                "--edges",
+                "200",
+                "--seed",
+                "47",
+                "--out",
+                gpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let rpath = dir.join("base.json");
+        run(
+            parse(&sv(&[
+                "count",
+                gpath.to_str().unwrap(),
+                "--adaptive",
+                "--report",
+                rpath.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Inflate a real gauge far past the tolerance; counters stay
+        // identical so only the gauge lane can fail.
+        let mut rep = load_report(rpath.to_str().unwrap()).unwrap();
+        let target = rep
+            .gauges
+            .iter_mut()
+            .find(|(n, _)| !n.starts_with("span."))
+            .expect("a non-span gauge");
+        target.1 = target.1 * 10.0 + 1000.0;
+        // And plant a wildly-regressed span gauge in both: informational,
+        // must never gate.
+        rep.gauges.push(("span.fake.total_us".to_string(), 1e9));
+        let bad = dir.join("inflated.json");
+        std::fs::write(&bad, rep.to_json_string()).unwrap();
+        let mut base = load_report(rpath.to_str().unwrap()).unwrap();
+        base.gauges.push(("span.fake.total_us".to_string(), 1.0));
+        std::fs::write(&rpath, base.to_json_string()).unwrap();
+
+        let diff_args = |gauges: bool| -> Result<(), CliError> {
+            let mut args = vec![
+                "report",
+                "diff",
+                rpath.to_str().unwrap(),
+                bad.to_str().unwrap(),
+            ];
+            if gauges {
+                args.push("--gauges");
+            }
+            run(parse(&sv(&args)).unwrap(), &mut Vec::new())
+        };
+        // Without --gauges the inflated gauge is informational.
+        diff_args(false).unwrap();
+        // With --gauges it gates — and the message names the gauge lane,
+        // not the span.
+        let e = diff_args(true).unwrap_err();
+        assert!(e.msg.contains("gauge"), "{}", e.msg);
+        assert!(!e.msg.contains("span.fake"), "{}", e.msg);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! line instead of prose.
 
 use bfly_cli::CliError;
+use bfly_core::telemetry::{GateWriter, StderrGate};
 
 // With `--features alloc-track` every allocation in the process is
 // metered: mem.current_bytes / mem.peak_bytes gauges go live and
@@ -31,10 +32,14 @@ fn main() {
         Err(e) => fail(&e, json_errors),
     };
     // `--stream -` claims stdout for the NDJSON event stream; the human
-    // summary moves to stderr so both stay parseable.
+    // summary moves to stderr so both stay parseable. Stderr-bound output
+    // goes through the process-wide gate that the --progress line and the
+    // monitor thread also take, so concurrent writers never interleave
+    // mid-line. (With --progress alone the summary stays on stdout, which
+    // cannot collide with the stderr progress line.)
     let res = if bfly_cli::streams_to_stdout(&cmd) {
-        let mut stderr = std::io::stderr().lock();
-        bfly_cli::run(cmd, &mut stderr)
+        let mut gated = GateWriter::new(StderrGate::global());
+        bfly_cli::run(cmd, &mut gated)
     } else {
         let mut stdout = std::io::stdout().lock();
         bfly_cli::run(cmd, &mut stdout)

@@ -41,7 +41,7 @@ use crate::family::{
 use bfly_graph::ordering::{degree_descending, relabel};
 use bfly_graph::{BipartiteGraph, Side};
 use bfly_sparse::{choose2, CheckedAccum};
-use bfly_telemetry::{timed_span, Json, NoopRecorder, Recorder};
+use bfly_telemetry::{timed_span, Counter, Json, NoopRecorder, Recorder, WorkForecast};
 use std::time::Instant;
 
 /// One-pass structural profile of a bipartite graph — everything the cost
@@ -184,6 +184,14 @@ impl Plan {
     /// The vertex set the plan partitions.
     pub fn partition_side(&self) -> Side {
         self.invariant.partitioned_side()
+    }
+
+    /// Predicted total work for liveness monitoring: counting plans
+    /// forecast the `wedges_expanded` counter *exactly* (`est_work` is
+    /// the Σ C(deg, 2) total the kernel will expand), so
+    /// `progress.fraction` ends at exactly 1.0 on a completed run.
+    pub fn forecast(&self) -> WorkForecast {
+        WorkForecast::new(Counter::WedgesExpanded, self.est_work)
     }
 
     /// Render as a JSON object (the `--explain` payload).
@@ -332,6 +340,15 @@ pub struct PeelPlan {
 }
 
 impl PeelPlan {
+    /// Predicted total work for liveness monitoring: peel plans
+    /// forecast the `supports_recomputed` counter from the wedge-work
+    /// *estimate* of the repair kernels — approximate (peeling repairs
+    /// only surviving wedges), so the progress model clamps and the
+    /// monitor snaps to 1.0 on completion.
+    pub fn forecast(&self) -> WorkForecast {
+        WorkForecast::new(Counter::SupportsRecomputed, self.est_work)
+    }
+
     /// Render as a JSON object (the `--explain` payload).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -400,6 +417,7 @@ pub fn profile_and_peel_plan_recorded<R: Recorder>(
             rec.gauge("peel.chunks", plan.chunks as f64);
             rec.gauge("peel.est_work", plan.est_work as f64);
             rec.gauge("peel.est_work_alt", plan.est_work_alt as f64);
+            rec.gauge("progress.total_work", plan.forecast().total as f64);
         }
         (profile, plan)
     })
@@ -457,6 +475,9 @@ fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
     rec.gauge("plan.par_chunks", chunks);
     rec.gauge("plan.est_work", plan.est_work as f64);
     rec.gauge("plan.est_work_alt", plan.est_work_alt as f64);
+    // Liveness: the forecast total the monitor seeds its ProgressModel
+    // with, visible in reports even when no monitor ran.
+    rec.gauge("progress.total_work", plan.forecast().total as f64);
 }
 
 /// Execute a previously selected plan on `g`.
@@ -728,7 +749,11 @@ pub fn execute_plan_checked_recorded<R: Recorder>(
         partial,
         context: "count_adaptive",
     })?;
-    Ok(Partial { value, complete })
+    Ok(if complete {
+        Partial::complete(value)
+    } else {
+        Partial::truncated(value)
+    })
 }
 
 /// [`count_adaptive_budgeted_recorded`] without telemetry.
@@ -774,6 +799,7 @@ pub fn count_adaptive_budgeted_recorded<R: Recorder>(
     Ok(Partial {
         value: (r.value, plan),
         complete: r.complete,
+        fraction: r.fraction,
     })
 }
 

@@ -179,12 +179,18 @@ pub fn record_memory<R: Recorder>(rec: &mut R) {
 /// `complete = false` means the computation stopped at the last phase
 /// boundary before the deadline and `value` holds best-effort state
 /// (documented per entry point).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partial<T> {
     /// The (possibly truncated) result.
     pub value: T,
     /// Whether the computation ran to completion.
     pub complete: bool,
+    /// Estimated fraction of the predicted total work that was done when
+    /// the result was produced: `Some(1.0)` for complete results, a
+    /// `[0, 1]` estimate against the plan's work forecast at truncation
+    /// (see [`bfly_telemetry::WorkForecast`]), `None` when no forecast
+    /// was available to measure against.
+    pub fraction: Option<f64>,
 }
 
 impl<T> Partial<T> {
@@ -193,15 +199,37 @@ impl<T> Partial<T> {
         Partial {
             value,
             complete: true,
+            fraction: Some(1.0),
         }
     }
 
-    /// A result cut short at a phase boundary.
+    /// A result cut short at a phase boundary, progress unknown.
     pub fn truncated(value: T) -> Self {
         Partial {
             value,
             complete: false,
+            fraction: None,
         }
+    }
+
+    /// A result cut short with a known completed fraction (clamped to
+    /// `[0, 1]`).
+    pub fn truncated_at(value: T, fraction: f64) -> Self {
+        Partial {
+            value,
+            complete: false,
+            fraction: Some(fraction.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Annotate the completed fraction after the fact (e.g. the CLI
+    /// measuring hub counters against the plan forecast); clamped to
+    /// `[0, 1]`. Complete results keep their exact 1.0.
+    pub fn with_fraction(mut self, fraction: f64) -> Self {
+        if !self.complete {
+            self.fraction = Some(fraction.clamp(0.0, 1.0));
+        }
+        self
     }
 }
 
@@ -276,7 +304,18 @@ mod tests {
 
     #[test]
     fn partial_constructors() {
-        assert!(Partial::complete(7u64).complete);
-        assert!(!Partial::truncated(7u64).complete);
+        let done = Partial::complete(7u64);
+        assert!(done.complete);
+        assert_eq!(done.fraction, Some(1.0));
+        let cut = Partial::truncated(7u64);
+        assert!(!cut.complete);
+        assert_eq!(cut.fraction, None);
+        let at = Partial::truncated_at(7u64, 0.42);
+        assert_eq!(at.fraction, Some(0.42));
+        assert_eq!(Partial::truncated_at(7u64, 7.0).fraction, Some(1.0));
+        // with_fraction annotates truncated results but never rewrites a
+        // complete one.
+        assert_eq!(cut.with_fraction(0.6).fraction, Some(0.6));
+        assert_eq!(done.with_fraction(0.6).fraction, Some(1.0));
     }
 }

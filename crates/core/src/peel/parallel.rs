@@ -488,9 +488,10 @@ pub fn tip_numbers_budgeted_recorded<R: Recorder>(
     if !complete {
         crate::budget::record_degraded(rec, "deadline");
     }
-    Ok(crate::budget::Partial {
-        value: peel,
-        complete,
+    Ok(if complete {
+        crate::budget::Partial::complete(peel)
+    } else {
+        crate::budget::Partial::truncated(peel)
     })
 }
 
@@ -511,9 +512,10 @@ pub fn wing_numbers_budgeted_recorded<R: Recorder>(
     if !complete {
         crate::budget::record_degraded(rec, "deadline");
     }
-    Ok(crate::budget::Partial {
-        value: peel,
-        complete,
+    Ok(if complete {
+        crate::budget::Partial::complete(peel)
+    } else {
+        crate::budget::Partial::truncated(peel)
     })
 }
 

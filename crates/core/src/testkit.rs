@@ -163,7 +163,11 @@ pub fn arb_family_graph() -> impl Strategy<Value = BipartiteGraph> {
 ///   own readers retry it), anything else a hard failure the consumer
 ///   must surface;
 /// * **truncation** ([`FaultyReader::with_truncation`]): clean EOF at
-///   byte `n`, as if the file were cut mid-write.
+///   byte `n`, as if the file were cut mid-write;
+/// * **slowness** ([`FaultyReader::with_delay`]): sleep before each
+///   `read`, modelling a congested pipe or cold storage — combined with
+///   `with_chunk` this starves a consumer for a controllable wall-clock
+///   span (the stall-watchdog tests drive on it).
 #[derive(Debug, Clone)]
 pub struct FaultyReader {
     data: Vec<u8>,
@@ -172,6 +176,7 @@ pub struct FaultyReader {
     error_at: Option<(usize, std::io::ErrorKind)>,
     fired: bool,
     truncate_at: Option<usize>,
+    delay: Option<std::time::Duration>,
 }
 
 impl FaultyReader {
@@ -185,6 +190,7 @@ impl FaultyReader {
             error_at: None,
             fired: false,
             truncate_at: None,
+            delay: None,
         }
     }
 
@@ -205,10 +211,21 @@ impl FaultyReader {
         self.truncate_at = Some(n);
         self
     }
+
+    /// Sleep `delay` before every `read` call (a slow pipe). Pair with
+    /// [`FaultyReader::with_chunk`] to stretch a fixed payload over a
+    /// chosen wall-clock span.
+    pub fn with_delay(mut self, delay: std::time::Duration) -> Self {
+        self.delay = Some(delay);
+        self
+    }
 }
 
 impl std::io::Read for FaultyReader {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(delay) = self.delay {
+            std::thread::sleep(delay);
+        }
         if let Some((n, kind)) = self.error_at {
             if !self.fired && self.pos >= n {
                 self.fired = true;

@@ -2,10 +2,14 @@
 //!
 //! [`diff_reports`] lines up two [`RunReport`]s and produces a row per
 //! comparable quantity. Only **counters** gate (exceed the threshold →
-//! failure): they are deterministic for a fixed graph and algorithm, so
-//! the CI gate is immune to machine noise. Wall-clock rows — phase and
-//! span totals, histogram quantiles, gauges — are reported for humans
-//! but never fail the gate.
+//! failure) by default: they are deterministic for a fixed graph and
+//! algorithm, so the CI gate is immune to machine noise. Wall-clock rows
+//! — phase and span totals, histogram quantiles, gauges — are reported
+//! for humans but never fail the gate, unless explicitly promoted:
+//! `--hist` gates histogram p50/p99 rows at a separate tolerance, and
+//! `--gauges` does the same for gauge rows (useful for deterministic
+//! levels like `mem.peak_bytes`; wall-clock-shaped `span.*` gauges stay
+//! informational even then).
 
 use crate::report::RunReport;
 
@@ -44,17 +48,21 @@ pub struct ReportDiff {
     /// When set, histogram p50/p99 rows gate at this separate tolerance
     /// (percent); `None` keeps them informational.
     pub hist_tolerance_pct: Option<f64>,
+    /// When set, gauge rows gate at this separate tolerance (percent);
+    /// `None` keeps them informational. `span.*` gauges (wall-clock
+    /// aggregates lowered from hub snapshots) never gate.
+    pub gauge_tolerance_pct: Option<f64>,
 }
 
 impl ReportDiff {
     /// The threshold a row is judged against: histogram quantile rows
-    /// use the `--hist` tolerance, everything gated uses the counter
-    /// threshold.
+    /// use the `--hist` tolerance, gauge rows the `--gauges` tolerance,
+    /// everything else gated uses the counter threshold.
     fn row_threshold(&self, row: &DiffRow) -> f64 {
-        if row.kind == "hist" {
-            self.hist_tolerance_pct.unwrap_or(self.threshold_pct)
-        } else {
-            self.threshold_pct
+        match row.kind {
+            "hist" => self.hist_tolerance_pct.unwrap_or(self.threshold_pct),
+            "gauge" => self.gauge_tolerance_pct.unwrap_or(self.threshold_pct),
+            _ => self.threshold_pct,
         }
     }
 
@@ -116,8 +124,9 @@ impl ReportDiff {
                 self.threshold_pct
             );
         } else {
-            let counters = fails.iter().filter(|r| r.kind != "hist").count();
-            let hists = fails.len() - counters;
+            let hists = fails.iter().filter(|r| r.kind == "hist").count();
+            let gauges = fails.iter().filter(|r| r.kind == "gauge").count();
+            let counters = fails.len() - hists - gauges;
             let mut what = Vec::new();
             if counters > 0 {
                 what.push(format!(
@@ -129,6 +138,12 @@ impl ReportDiff {
                 what.push(format!(
                     "{hists} histogram quantile(s) past the {}% tolerance",
                     self.hist_tolerance_pct.unwrap_or(self.threshold_pct)
+                ));
+            }
+            if gauges > 0 {
+                what.push(format!(
+                    "{gauges} gauge(s) past the {}% tolerance",
+                    self.gauge_tolerance_pct.unwrap_or(self.threshold_pct)
                 ));
             }
             let _ = writeln!(out, "diff: {}", what.join(", "));
@@ -175,7 +190,7 @@ fn name_union<'a>(
 /// Compare two reports. Counters gate at `threshold_pct`; phases, span
 /// totals, histogram quantiles, and gauges are informational.
 pub fn diff_reports(base: &RunReport, new: &RunReport, threshold_pct: f64) -> ReportDiff {
-    diff_reports_with(base, new, threshold_pct, None)
+    diff_reports_full(base, new, threshold_pct, None, None)
 }
 
 /// Like [`diff_reports`], but with `hist_tolerance_pct` set the
@@ -190,6 +205,24 @@ pub fn diff_reports_with(
     new: &RunReport,
     threshold_pct: f64,
     hist_tolerance_pct: Option<f64>,
+) -> ReportDiff {
+    diff_reports_full(base, new, threshold_pct, hist_tolerance_pct, None)
+}
+
+/// Full-control comparison: `hist_tolerance_pct` promotes histogram
+/// p50/p99 rows to gating (see [`diff_reports_with`]);
+/// `gauge_tolerance_pct` promotes gauge rows the same way (the CLI's
+/// `report diff --gauges`). Gauge promotion is aimed at deterministic
+/// levels — `mem.peak_bytes`, `plan.est_work`, `budget.degraded` —
+/// while `span.*` gauges (wall-clock span aggregates lowered from hub
+/// snapshots) always stay informational, mirroring the never-gated span
+/// rows they mirror.
+pub fn diff_reports_full(
+    base: &RunReport,
+    new: &RunReport,
+    threshold_pct: f64,
+    hist_tolerance_pct: Option<f64>,
+    gauge_tolerance_pct: Option<f64>,
 ) -> ReportDiff {
     let mut rows = Vec::new();
 
@@ -220,13 +253,14 @@ pub fn diff_reports_with(
         new.gauges.iter().map(|(n, _)| n.as_str()),
     ) {
         let (b, v) = (gauge(base, &name), gauge(new, &name));
+        let gated = gauge_tolerance_pct.is_some() && !name.starts_with("span.");
         rows.push(DiffRow {
             kind: "gauge",
             name,
             base: b,
             new: v,
             delta_pct: delta_pct(b, v),
-            gated: false,
+            gated,
         });
     }
 
@@ -295,6 +329,7 @@ pub fn diff_reports_with(
         rows,
         threshold_pct,
         hist_tolerance_pct,
+        gauge_tolerance_pct,
     }
 }
 
@@ -413,6 +448,39 @@ mod tests {
         assert_eq!(fails[0].kind, "counter");
         // Identical histograms never trip the tolerance.
         assert!(diff_reports_with(&base, &base, 10.0, Some(0.0)).passed());
+    }
+
+    #[test]
+    fn gauges_gate_only_with_a_tolerance() {
+        let mut base = base_report();
+        base.gauges.push(("mem.peak_bytes".into(), 1000.0));
+        let mut new = base.clone();
+        new.gauges[1].1 = 1500.0; // mem.peak_bytes +50%
+                                  // Default diff: informational only.
+        assert!(diff_reports(&base, &new, 10.0).passed());
+        // --gauges: gauge rows gate at the tolerance.
+        let d = diff_reports_full(&base, &new, 10.0, None, Some(25.0));
+        assert!(!d.passed());
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, "gauge");
+        assert_eq!(fails[0].name, "mem.peak_bytes");
+        assert!(d.render_table().contains("gauge(s) past the 25% tolerance"));
+        // Within tolerance: passes.
+        assert!(diff_reports_full(&base, &new, 10.0, None, Some(60.0)).passed());
+    }
+
+    #[test]
+    fn span_gauges_stay_informational_even_with_gauge_gating() {
+        let mut base = base_report();
+        base.gauges.push(("span.count.total_us".into(), 100.0));
+        let mut new = base.clone();
+        new.gauges[1].1 = 100000.0; // wall clock exploded; still info
+        let d = diff_reports_full(&base, &new, 10.0, None, Some(25.0));
+        assert!(d.passed(), "span.* gauges are wall-clock, never gated");
+        // par_imbalance, a non-span gauge, does gate.
+        new.gauges[0].1 = 50.0;
+        assert!(!diff_reports_full(&base, &new, 10.0, None, Some(25.0)).passed());
     }
 
     #[test]

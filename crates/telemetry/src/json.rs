@@ -46,6 +46,14 @@ impl Json {
         }
     }
 
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {

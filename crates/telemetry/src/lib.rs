@@ -36,26 +36,34 @@
 use std::time::Instant;
 
 mod diff;
+pub mod flight;
 mod hist;
 pub mod history;
 mod hub;
 mod json;
 pub mod mem;
 mod openmetrics;
+pub mod progress;
 mod report;
 mod span;
 mod stream;
 mod trace;
+pub mod watchdog;
 
-pub use diff::{diff_reports, diff_reports_with, DiffRow, ReportDiff};
+pub use diff::{diff_reports, diff_reports_full, diff_reports_with, DiffRow, ReportDiff};
+pub use flight::{install_panic_hook, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::Histogram;
 pub use history::{History, HistoryError, TrendRow};
 pub use hub::{MetricsHub, MetricsSnapshot, SpanAgg};
 pub use json::Json;
 pub use openmetrics::{parse_exposition, to_openmetrics, validate_exposition, Exposition};
+pub use progress::{
+    GateWriter, Monitor, MonitorConfig, MonitorStats, ProgressModel, StderrGate, WorkForecast,
+};
 pub use report::{PhaseRow, ReportError, RunReport};
 pub use span::{parse_span_cap, SpanRow, ThreadTrace, DEFAULT_SPAN_CAP};
-pub use stream::{NdjsonSink, StreamRecorder};
+pub use stream::{NdjsonSink, SharedSink, StreamRecorder};
+pub use watchdog::StallWatchdog;
 
 /// Every work counter the engine knows. Adding a variant: append it to
 /// [`Counter::TABLE`] **in discriminant order** — `ALL`, `name`, and
@@ -95,12 +103,17 @@ pub enum Counter {
     IncDeletes,
     /// Wedge endpoints visited by incremental support updates.
     IncWedgeWork,
+    /// Stall windows detected by the liveness watchdog (see
+    /// [`watchdog::StallWatchdog`]): sampling intervals in which no
+    /// monitored counter advanced for the configured patience. Raised by
+    /// the monitor thread, never by kernels.
+    StallsDetected,
 }
 
 impl Counter {
     /// Single source of truth: every counter with its stable report
     /// name, in discriminant order.
-    const TABLE: [(Counter, &'static str); 14] = [
+    const TABLE: [(Counter, &'static str); 15] = [
         (Counter::WedgesExpanded, "wedges_expanded"),
         (Counter::SpaScatters, "spa_scatters"),
         (Counter::AccumEntries, "accum_entries"),
@@ -115,6 +128,7 @@ impl Counter {
         (Counter::IncInserts, "inc_inserts"),
         (Counter::IncDeletes, "inc_deletes"),
         (Counter::IncWedgeWork, "inc_wedge_work"),
+        (Counter::StallsDetected, "stalls_detected"),
     ];
 
     /// Number of counters (length of [`Counter::ALL`]).

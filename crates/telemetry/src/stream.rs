@@ -21,7 +21,9 @@
 //! composes with `--stats`/`--report`/`--trace`.
 
 use std::io::Write;
+use std::sync::{Arc, Mutex};
 
+use crate::flight::FlightRecorder;
 use crate::json::Json;
 use crate::report::RunReport;
 use crate::{Counter, InMemoryRecorder, Recorder, ThreadTrace, WorkTally};
@@ -58,6 +60,13 @@ impl NdjsonSink {
         Self::from_writer(Box::new(std::io::stdout()))
     }
 
+    /// Discard every line. Used when only the side effects of emission
+    /// matter — e.g. `--flight-recorder` without `--stream` still wants
+    /// heartbeats stamped with `seq` and teed into the ring.
+    pub fn null() -> Self {
+        Self::from_writer(Box::new(std::io::sink()))
+    }
+
     /// Stream to a file, created or truncated.
     pub fn file(path: &str) -> std::io::Result<Self> {
         Ok(Self::from_writer(Box::new(std::fs::File::create(path)?)))
@@ -67,9 +76,17 @@ impl NdjsonSink {
     /// flush it. IO failures increment an internal error count instead
     /// of propagating: telemetry must not abort the run it observes.
     pub fn emit(&mut self, ty: &str, fields: Vec<(String, Json)>) {
+        self.emit_line(ty, fields);
+    }
+
+    /// [`NdjsonSink::emit`] that also hands the rendered line back to the
+    /// caller (with the `seq` it was stamped with), so wrappers like
+    /// [`SharedSink`] can tee it into a [`FlightRecorder`].
+    fn emit_line(&mut self, ty: &str, fields: Vec<(String, Json)>) -> (u64, String) {
+        let seq = self.seq;
         let mut obj = vec![
             ("type".to_string(), Json::Str(ty.to_string())),
-            ("seq".to_string(), Json::UInt(self.seq)),
+            ("seq".to_string(), Json::UInt(seq)),
         ];
         obj.extend(fields);
         self.seq += 1;
@@ -80,11 +97,87 @@ impl NdjsonSink {
         {
             self.write_errors += 1;
         }
+        (seq, line)
     }
 
     /// Events emitted so far.
     pub fn events(&self) -> u64 {
         self.seq
+    }
+
+    /// Write failures swallowed so far (reported on `run_end`).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Wrap this sink so several producers (the recorder on the main
+    /// thread, a monitor thread emitting heartbeats) can interleave
+    /// events under one monotonic `seq`.
+    pub fn into_shared(self) -> SharedSink {
+        SharedSink::new(self)
+    }
+}
+
+/// A cloneable handle over one [`NdjsonSink`]: every [`SharedSink::emit`]
+/// takes the internal lock for the whole line, so events from different
+/// threads never interleave mid-line and `seq` stays strictly monotonic
+/// across all producers. Optionally tees every emitted line into a
+/// [`FlightRecorder`] ring so crash dumps carry the recent event tail.
+#[derive(Clone)]
+pub struct SharedSink {
+    sink: Arc<Mutex<NdjsonSink>>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink")
+            .field("flight", &self.flight.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedSink {
+    /// Share `sink` between producers.
+    pub fn new(sink: NdjsonSink) -> Self {
+        SharedSink {
+            sink: Arc::new(Mutex::new(sink)),
+            flight: None,
+        }
+    }
+
+    /// Tee every emitted line into `flight` (in addition to the sink's
+    /// writer).
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Emit one event line under the sink lock. See [`NdjsonSink::emit`].
+    pub fn emit(&self, ty: &str, fields: Vec<(String, Json)>) {
+        let (seq, line) = match self.sink.lock() {
+            Ok(mut sink) => sink.emit_line(ty, fields),
+            Err(poisoned) => poisoned.into_inner().emit_line(ty, fields),
+        };
+        if let Some(flight) = &self.flight {
+            flight.record(seq, &line);
+        }
+    }
+
+    /// Events emitted so far (across all producers).
+    pub fn events(&self) -> u64 {
+        match self.sink.lock() {
+            Ok(sink) => sink.events(),
+            Err(poisoned) => poisoned.into_inner().events(),
+        }
+    }
+
+    /// Write failures swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        match self.sink.lock() {
+            Ok(sink) => sink.write_errors(),
+            Err(poisoned) => poisoned.into_inner().write_errors(),
+        }
     }
 }
 
@@ -94,7 +187,7 @@ impl NdjsonSink {
 #[derive(Debug, Default)]
 pub struct StreamRecorder {
     inner: InMemoryRecorder,
-    sink: Option<NdjsonSink>,
+    sink: Option<SharedSink>,
 }
 
 impl StreamRecorder {
@@ -107,10 +200,22 @@ impl StreamRecorder {
     }
 
     /// Attach a sink; emits the `run_start` line.
-    pub fn with_sink(mut self, mut sink: NdjsonSink) -> Self {
+    pub fn with_sink(self, sink: NdjsonSink) -> Self {
+        self.with_shared_sink(sink.into_shared())
+    }
+
+    /// Attach an already-shared sink (e.g. one a monitor thread also
+    /// emits heartbeats into); emits the `run_start` line. Recorder
+    /// events and the other producers' events share one monotonic `seq`.
+    pub fn with_shared_sink(mut self, sink: SharedSink) -> Self {
         sink.emit("run_start", vec![]);
         self.sink = Some(sink);
         self
+    }
+
+    /// Handle to the attached sink, for wiring additional producers.
+    pub fn shared_sink(&self) -> Option<SharedSink> {
+        self.sink.clone()
     }
 
     /// Forwarded span-cap override (see
@@ -126,7 +231,7 @@ impl StreamRecorder {
 
     /// Stream any spans the inner recorder gained past `from`.
     fn stream_new_spans(&mut self, from: usize) {
-        let Some(sink) = self.sink.as_mut() else {
+        let Some(sink) = self.sink.as_ref() else {
             return;
         };
         for s in &self.inner.spans()[from..] {
@@ -158,7 +263,7 @@ impl StreamRecorder {
         let before = self.inner.spans().len();
         let rep = self.inner.report(meta);
         self.stream_new_spans(before); // spans closed by report()
-        if let Some(sink) = self.sink.as_mut() {
+        if let Some(sink) = self.sink.as_ref() {
             sink.emit(
                 "counters",
                 vec![(
@@ -185,7 +290,7 @@ impl StreamRecorder {
                     ],
                 );
             }
-            let errors = sink.write_errors;
+            let errors = sink.write_errors();
             sink.emit(
                 "run_end",
                 vec![
@@ -208,7 +313,7 @@ impl Recorder for StreamRecorder {
 
     fn gauge(&mut self, name: &'static str, value: f64) {
         self.inner.gauge(name, value);
-        if let Some(sink) = self.sink.as_mut() {
+        if let Some(sink) = self.sink.as_ref() {
             sink.emit(
                 "gauge",
                 vec![
@@ -239,7 +344,7 @@ impl Recorder for StreamRecorder {
             .iter()
             .find(|(n, _, _)| n == name)
             .map(|(_, secs, count)| (*secs, *count));
-        if let (Some(sink), Some((secs, count))) = (self.sink.as_mut(), row) {
+        if let (Some(sink), Some((secs, count))) = (self.sink.as_ref(), row) {
             sink.emit(
                 "phase",
                 vec![

@@ -1,0 +1,119 @@
+//! Stall detection for long runs: a [`StallWatchdog`] is fed one
+//! observation per monitor sampling interval — "did any monitored
+//! counter advance since the last sample?" — and fires exactly once per
+//! stall window when the answer has been "no" for the configured
+//! patience. It never kills the run: the monitor thread that owns it
+//! emits a `stall` event with a full snapshot and raises the
+//! [`Counter::StallsDetected`](crate::Counter::StallsDetected) counter,
+//! leaving the decision to the operator watching the stream.
+//!
+//! A *stall window* is one maximal span of consecutive idle intervals:
+//! after firing, the watchdog stays silent until progress resumes and a
+//! fresh window begins, so a run wedged for an hour produces one stall
+//! event, not one per sample.
+
+/// Idle-interval state machine. Deliberately clock-free: the owner
+/// decides what "one interval" means, which makes the semantics exactly
+/// testable without sleeping.
+#[derive(Debug, Clone)]
+pub struct StallWatchdog {
+    patience: u32,
+    idle: u32,
+    fired_this_window: bool,
+    stalls: u64,
+}
+
+impl StallWatchdog {
+    /// Fire after `patience` consecutive idle intervals (min 1).
+    pub fn new(patience: u32) -> Self {
+        StallWatchdog {
+            patience: patience.max(1),
+            idle: 0,
+            fired_this_window: false,
+            stalls: 0,
+        }
+    }
+
+    /// Feed one sampling interval; `advanced` is whether any monitored
+    /// counter moved since the previous sample. Returns `true` exactly
+    /// when this interval completes a stall window's patience — once per
+    /// window.
+    pub fn observe(&mut self, advanced: bool) -> bool {
+        if advanced {
+            self.idle = 0;
+            self.fired_this_window = false;
+            return false;
+        }
+        self.idle += 1;
+        if self.idle >= self.patience && !self.fired_this_window {
+            self.fired_this_window = true;
+            self.stalls += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Consecutive idle intervals so far in the current window.
+    pub fn idle_intervals(&self) -> u32 {
+        self.idle
+    }
+
+    /// Whether the current window has already fired.
+    pub fn is_stalled(&self) -> bool {
+        self.fired_this_window
+    }
+
+    /// Stall windows detected over the watchdog's lifetime.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_per_stall_window() {
+        let mut dog = StallWatchdog::new(3);
+        // Two idle intervals: under patience, silent.
+        assert!(!dog.observe(false));
+        assert!(!dog.observe(false));
+        assert!(!dog.is_stalled());
+        // Third completes the window — fires once...
+        assert!(dog.observe(false));
+        assert!(dog.is_stalled());
+        // ...and stays silent while the same stall drags on.
+        for _ in 0..10 {
+            assert!(!dog.observe(false));
+        }
+        assert_eq!(dog.stalls(), 1);
+        // Progress re-arms; a second stall is a second window.
+        assert!(!dog.observe(true));
+        assert!(!dog.is_stalled());
+        assert!(!dog.observe(false));
+        assert!(!dog.observe(false));
+        assert!(dog.observe(false));
+        assert_eq!(dog.stalls(), 2);
+    }
+
+    #[test]
+    fn progress_resets_the_idle_run_before_patience() {
+        let mut dog = StallWatchdog::new(3);
+        for _ in 0..5 {
+            assert!(!dog.observe(false));
+            assert!(!dog.observe(false));
+            assert!(!dog.observe(true)); // always saved at the brink
+        }
+        assert_eq!(dog.stalls(), 0);
+        assert_eq!(dog.idle_intervals(), 0);
+    }
+
+    #[test]
+    fn zero_patience_is_clamped_to_one_interval() {
+        let mut dog = StallWatchdog::new(0);
+        assert!(dog.observe(false));
+        assert!(!dog.observe(false));
+        assert_eq!(dog.stalls(), 1);
+    }
+}
