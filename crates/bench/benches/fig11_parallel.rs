@@ -1,9 +1,13 @@
 //! Criterion bench for **Fig. 11**: parallel timing of all eight
 //! invariants on each stand-in, inside a pinned thread pool
-//! (`BFLY_THREADS`, default 6 to match the paper's machine).
+//! (`BFLY_THREADS`, default 6 to match the paper's machine), plus the
+//! global-order kernels (vertex-priority and ranked aggregation). On
+//! the skewed stand-ins these do a fraction of the best fixed side's
+//! wedge work (0.16–0.62×, a measured ≥1.3× speedup end to end —
+//! EXPERIMENTS.md E13); perf-smoke gates the work ratio in CI.
 
 use bfly_bench::{load_datasets, scale_from_env, threads_from_env};
-use bfly_core::{count_parallel, Invariant};
+use bfly_core::{count_parallel, count_priority_parallel, count_ranked_parallel, Invariant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -26,6 +30,13 @@ fn bench_fig11(c: &mut Criterion) {
                 |b, (g, inv)| b.iter(|| pool.install(|| black_box(count_parallel(g, *inv)))),
             );
         }
+        let chunks = pool.current_num_threads().max(1);
+        group.bench_with_input(BenchmarkId::new(name, "priority"), &g, |b, g| {
+            b.iter(|| pool.install(|| black_box(count_priority_parallel(g, chunks))))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "ranked"), &g, |b, g| {
+            b.iter(|| pool.install(|| black_box(count_ranked_parallel(g, chunks))))
+        });
     }
     group.finish();
 }

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! bfly stats    <file> [--format konect|edgelist|mtx]
-//! bfly count    <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum]
+//! bfly count    <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum|priority|ranked]
+//!                      [--member priority|ranked]
 //!                      [--adaptive] [--explain] [--parallel] [--threads N]
 //! bfly tip      <file> --k K [--side v1|v2]
 //! bfly wing     <file> --k K
@@ -34,6 +35,10 @@ use bfly_core::adaptive::{
     profile_and_peel_plan_recorded, select_plan, GraphProfile, PeelPlan,
 };
 use bfly_core::baseline::{count_hash_aggregation, count_vertex_priority};
+use bfly_core::family::{
+    count_priority_parallel_recorded, count_priority_recorded, count_ranked_parallel_recorded,
+    count_ranked_recorded,
+};
 use bfly_core::peel::{
     k_tip_recorded, k_wing_recorded, tip_numbers, tip_numbers_shared, tip_numbers_with_chunks,
     wing_numbers_shared, wing_numbers_with_chunks,
@@ -45,7 +50,8 @@ use bfly_core::telemetry::{
 };
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_parallel_shared,
-    count_recorded, count_via_spgemm, enumerate_butterflies, BflyError, Invariant, ResourceBudget,
+    count_priority_shared, count_ranked_shared, count_recorded, count_via_spgemm,
+    enumerate_butterflies, BflyError, Invariant, ResourceBudget,
 };
 use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list, IoError};
 use bfly_graph::matrix_market::read_matrix_market_file;
@@ -325,6 +331,14 @@ pub enum Algorithm {
     Hash,
     /// Vertex-priority baseline.
     VertexPriority,
+    /// Vertex-priority engine kernel ([`bfly_core::count_priority`]):
+    /// global degree-descending order, each wedge expanded once from its
+    /// highest-priority endpoint.
+    Priority,
+    /// Ranked wedge-aggregation engine kernel
+    /// ([`bfly_core::count_ranked`]): the priority wedge set in rank
+    /// order through weight-balanced flat SPA buckets.
+    Ranked,
     /// Full enumeration (small graphs!).
     Enumerate,
 }
@@ -543,7 +557,8 @@ bfly — butterfly counting and peeling for bipartite graphs
 
 USAGE:
   bfly stats       <file> [--format konect|edgelist|mtx]
-  bfly count       <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum]
+  bfly count       <file> [--algorithm auto|adaptive|inv1..inv8|spgemm|hash|vp|enum|priority|ranked]
+                          [--member priority|ranked]
                           [--adaptive] [--explain] [--parallel] [--threads N]
                           [--max-bytes B] [--max-work W] [--deadline-ms MS]
                           [--format ...]
@@ -685,6 +700,8 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
         "spgemm" => Ok(Algorithm::Spgemm),
         "hash" => Ok(Algorithm::Hash),
         "vp" | "vertex-priority" => Ok(Algorithm::VertexPriority),
+        "priority" => Ok(Algorithm::Priority),
+        "ranked" => Ok(Algorithm::Ranked),
         "enum" | "enumerate" => Ok(Algorithm::Enumerate),
         _ => {
             if let Some(nstr) = s.strip_prefix("inv") {
@@ -756,6 +773,28 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 match rest.flag("algorithm") {
                     Some(a) => parse_algorithm(a)?,
                     None => Algorithm::Auto,
+                }
+            };
+            // --member is the engine-kernel spelling from the adaptive
+            // vocabulary: sugar for --algorithm priority|ranked, rejected
+            // when an algorithm was also named explicitly.
+            let algorithm = match rest.flag("member") {
+                None => algorithm,
+                Some(m) => {
+                    if rest.flag("algorithm").is_some() || rest.has("adaptive") {
+                        return Err(err(
+                            "--member conflicts with --algorithm/--adaptive; pick one spelling",
+                        ));
+                    }
+                    match m {
+                        "priority" => Algorithm::Priority,
+                        "ranked" => Algorithm::Ranked,
+                        other => {
+                            return Err(err(format!(
+                                "unknown member {other:?} (use priority or ranked)"
+                            )))
+                        }
+                    }
                 }
             };
             // Budgets degrade through the adaptive planner, so they imply
@@ -1970,6 +2009,16 @@ fn pick_auto(g: &BipartiteGraph) -> Invariant {
 /// [`bfly_core::telemetry::NoopRecorder`] this monomorphizes to the
 /// uninstrumented loops; the baselines without recorded variants still get
 /// a phase timer.
+/// Human label for the engine a plan runs: the invariant for fixed
+/// members, the kernel name for the global-order members.
+fn plan_engine(plan: &bfly_core::Plan) -> String {
+    match plan.member {
+        bfly_core::Member::Fixed(inv) => format!("{inv}"),
+        bfly_core::Member::Priority => "priority".to_string(),
+        bfly_core::Member::Ranked => "ranked".to_string(),
+    }
+}
+
 fn run_count<R: Recorder>(
     g: &BipartiteGraph,
     algorithm: Algorithm,
@@ -1992,10 +2041,10 @@ fn run_count<R: Recorder>(
         Algorithm::Adaptive => {
             if parallel {
                 let (xi, plan) = count_adaptive_parallel_recorded(g, rec);
-                (xi, format!("{} (adaptive, parallel)", plan.invariant))
+                (xi, format!("{} (adaptive, parallel)", plan_engine(&plan)))
             } else {
                 let (xi, plan) = count_adaptive_recorded(g, rec);
-                (xi, format!("{} (adaptive)", plan.invariant))
+                (xi, format!("{} (adaptive)", plan_engine(&plan)))
             }
         }
         Algorithm::Family(inv) => {
@@ -2017,6 +2066,28 @@ fn run_count<R: Recorder>(
         Algorithm::VertexPriority => timed_phase(rec, "count_vertex_priority", |_| {
             (count_vertex_priority(g), "vertex-priority".to_string())
         }),
+        Algorithm::Priority => {
+            if parallel {
+                let chunks = rayon::current_num_threads().max(1);
+                (
+                    count_priority_parallel_recorded(g, chunks, rec),
+                    "priority (parallel)".to_string(),
+                )
+            } else {
+                (count_priority_recorded(g, rec), "priority".to_string())
+            }
+        }
+        Algorithm::Ranked => {
+            if parallel {
+                let chunks = rayon::current_num_threads().max(1);
+                (
+                    count_ranked_parallel_recorded(g, chunks, rec),
+                    "ranked (parallel)".to_string(),
+                )
+            } else {
+                (count_ranked_recorded(g, rec), "ranked".to_string())
+            }
+        }
         Algorithm::Enumerate => timed_phase(rec, "count_enumeration", |_| {
             (count_by_enumeration(g), "enumeration".to_string())
         }),
@@ -2045,6 +2116,14 @@ fn run_count_live(
         Algorithm::Family(inv) if parallel => (
             count_parallel_shared(g, inv, hub),
             format!("{inv} (parallel)"),
+        ),
+        Algorithm::Priority if parallel => (
+            count_priority_shared(g, rayon::current_num_threads().max(1), hub),
+            "priority (parallel)".to_string(),
+        ),
+        Algorithm::Ranked if parallel => (
+            count_ranked_shared(g, rayon::current_num_threads().max(1), hub),
+            "ranked (parallel)".to_string(),
         ),
         other => {
             let mut rec: &MetricsHub = hub;
@@ -2357,6 +2436,8 @@ mod tests {
             ("spgemm", Algorithm::Spgemm),
             ("hash", Algorithm::Hash),
             ("vp", Algorithm::VertexPriority),
+            ("priority", Algorithm::Priority),
+            ("ranked", Algorithm::Ranked),
             ("enum", Algorithm::Enumerate),
             ("inv8", Algorithm::Family(Invariant::Inv8)),
         ] {
@@ -2364,6 +2445,59 @@ mod tests {
         }
         assert!(parse_algorithm("inv9").is_err());
         assert!(parse_algorithm("magic").is_err());
+    }
+
+    #[test]
+    fn member_flag_selects_global_order_kernels() {
+        for (m, want) in [
+            ("priority", Algorithm::Priority),
+            ("ranked", Algorithm::Ranked),
+        ] {
+            let cmd = parse(&sv(&["count", "g.tsv", "--member", m])).unwrap();
+            assert!(
+                matches!(cmd, Command::Count { algorithm, .. } if algorithm == want),
+                "--member {m}"
+            );
+        }
+        // The long spelling means the same thing.
+        let cmd = parse(&sv(&["count", "g.tsv", "--algorithm", "ranked"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Count {
+                algorithm: Algorithm::Ranked,
+                ..
+            }
+        ));
+        // Conflicting spellings and unknown members are usage errors.
+        assert!(parse(&sv(&[
+            "count",
+            "g.tsv",
+            "--member",
+            "priority",
+            "--algorithm",
+            "inv1"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "count",
+            "g.tsv",
+            "--member",
+            "priority",
+            "--adaptive"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&["count", "g.tsv", "--member", "nope"])).is_err());
+        // Budget flags imply the adaptive planner, which a forced kernel
+        // cannot degrade through.
+        assert!(parse(&sv(&[
+            "count",
+            "g.tsv",
+            "--member",
+            "ranked",
+            "--max-bytes",
+            "1000"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -3235,6 +3369,70 @@ mod tests {
         // split_args also treats it as boolean, so it never eats a token.
         let cmd = parse(&sv(&["count", "--json-errors", "g.tsv"])).unwrap();
         assert!(matches!(cmd, Command::Count { file, .. } if file == "g.tsv"));
+    }
+
+    #[test]
+    fn member_kernels_end_to_end_match_fixed_invariants() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-member");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        let gp_owned = gpath.to_str().unwrap().to_string();
+        let gp = gp_owned.as_str();
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "chunglu", "--m", "80", "--n", "60", "--edges", "600",
+                "--exp1", "1.0", "--exp2", "1.0", "--seed", "7", "--out", gp,
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let count_of = |args: &[&str]| -> u64 {
+            let mut sink = Vec::new();
+            run(parse(&sv(args)).unwrap(), &mut sink).unwrap();
+            let text = String::from_utf8(sink).unwrap();
+            let line = text
+                .lines()
+                .find(|l| l.starts_with("butterflies ="))
+                .unwrap_or_else(|| panic!("no count line in {text:?}"))
+                .to_string();
+            line.split('=')
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let want = count_of(&["count", gp, "--algorithm", "inv1"]);
+        assert_eq!(count_of(&["count", gp, "--member", "priority"]), want);
+        assert_eq!(count_of(&["count", gp, "--member", "ranked"]), want);
+        assert_eq!(
+            count_of(&[
+                "count",
+                gp,
+                "--member",
+                "priority",
+                "--parallel",
+                "--threads",
+                "2"
+            ]),
+            want
+        );
+        assert_eq!(
+            count_of(&[
+                "count",
+                gp,
+                "--member",
+                "ranked",
+                "--parallel",
+                "--threads",
+                "2"
+            ]),
+            want
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

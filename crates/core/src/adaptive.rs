@@ -36,7 +36,10 @@ use crate::budget::{record_degraded, record_memory, Partial, ResourceBudget};
 use crate::error::BflyError;
 use crate::family::{
     count_blocked_recorded, count_partitioned_checked_recorded,
-    count_partitioned_parallel_balanced_recorded, count_recorded, Invariant,
+    count_partitioned_parallel_balanced_recorded, count_priority_checked_deadline,
+    count_priority_parallel_recorded, count_priority_recorded, count_ranked_checked_deadline,
+    count_ranked_parallel_recorded, count_ranked_recorded, count_recorded, priority_wedge_work,
+    Invariant, RANKED_BUCKET_WEDGES,
 };
 use bfly_graph::ordering::{degree_descending, relabel};
 use bfly_graph::{BipartiteGraph, Side};
@@ -44,9 +47,10 @@ use bfly_sparse::{choose2, CheckedAccum};
 use bfly_telemetry::{timed_span, Counter, Json, NoopRecorder, Recorder, WorkForecast};
 use std::time::Instant;
 
-/// One-pass structural profile of a bipartite graph — everything the cost
-/// model reads. Cheap: `O(|V1| + |V2|)` over the stored degree arrays, no
-/// edge traversal.
+/// Structural profile of a bipartite graph — everything the cost model
+/// reads. Cheap: one pass over the two degree arrays for the side terms,
+/// plus one degree sort and one edge pass for the exact vertex-priority
+/// work term (still far below the counting work it predicts).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphProfile {
     /// `|V1|` (rows of `A`).
@@ -64,6 +68,15 @@ pub struct GraphProfile {
     pub wedges_v1: u64,
     /// `Σ_{v ∈ V2} C(deg(v), 2)` — the wedge work of partitioning **V1**.
     pub wedges_v2: u64,
+    /// Exact wedge work of the vertex-priority kernel under the global
+    /// degree-descending order: `Σ_j [C(deg j, 2) − C(g_j, 2)]` where
+    /// `g_j` counts the strictly-lower-priority neighbours of `j`
+    /// ([`priority_wedge_work`]). *Not* bounded by
+    /// `min(wedges_v1, wedges_v2)` in general — on near-uniform graphs it
+    /// can exceed the best fixed side by up to ~30% — which is why
+    /// [`select_plan`] gates the priority member on this measured value
+    /// rather than assuming an advantage.
+    pub wedges_priority: u64,
     /// Degree skew of V1: `max_deg_v1 / mean_deg_v1` (0 when edgeless).
     pub skew_v1: f64,
     /// Degree skew of V2: `max_deg_v2 / mean_deg_v2` (0 when edgeless).
@@ -108,6 +121,7 @@ impl GraphProfile {
             max_deg_v2,
             wedges_v1,
             wedges_v2,
+            wedges_priority: priority_wedge_work(g),
             skew_v1: skew(max_deg_v1, nv1),
             skew_v2: skew(max_deg_v2, nv2),
         }
@@ -140,6 +154,7 @@ impl GraphProfile {
             ("max_deg_v2".into(), Json::UInt(self.max_deg_v2 as u64)),
             ("wedges_v1".into(), Json::UInt(self.wedges_v1)),
             ("wedges_v2".into(), Json::UInt(self.wedges_v2)),
+            ("wedges_priority".into(), Json::UInt(self.wedges_priority)),
             ("skew_v1".into(), Json::Float(self.skew_v1)),
             ("skew_v2".into(), Json::Float(self.skew_v2)),
         ])
@@ -164,19 +179,66 @@ pub enum ExecMode {
     },
 }
 
+/// Which counting engine a [`Plan`] runs: one of the paper's eight fixed
+/// invariants, or one of the global-order kernels that supersede them on
+/// sufficiently skewed graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Member {
+    /// A fixed invariant of the paper's family (partition one side,
+    /// expand every wedge through the other).
+    Fixed(Invariant),
+    /// The vertex-priority kernel ([`crate::family::count_priority`]):
+    /// global degree-descending order over `V1 ∪ V2`, each wedge expanded
+    /// only from its strictly-highest-priority endpoint.
+    Priority,
+    /// Ranked wedge aggregation ([`crate::family::count_ranked`]): the
+    /// priority wedge set processed in rank order through weight-balanced
+    /// buckets of flat SPA batches.
+    Ranked,
+}
+
+impl Member {
+    /// Short lowercase name (the `--explain` / gauge vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Member::Fixed(_) => "fixed",
+            Member::Priority => "priority",
+            Member::Ranked => "ranked",
+        }
+    }
+
+    /// Stable numeric encoding for the `plan.member` gauge.
+    pub fn gauge_value(&self) -> f64 {
+        match self {
+            Member::Fixed(_) => 0.0,
+            Member::Priority => 1.0,
+            Member::Ranked => 2.0,
+        }
+    }
+}
+
 /// The cost model's full decision for one graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
-    /// The family member to run (fixes partition side, traversal
-    /// direction, and `A₀` vs. `A₂`).
+    /// The engine that runs: a fixed invariant, or a global-order kernel.
+    /// When this is [`Member::Priority`] / [`Member::Ranked`], `invariant`
+    /// still names the best *fixed* member — the budget degradation
+    /// fallback and the `est_work_alt` baseline.
+    pub member: Member,
+    /// The best fixed family member (fixes partition side, traversal
+    /// direction, and `A₀` vs. `A₂`). Authoritative only when `member`
+    /// is [`Member::Fixed`]; otherwise the fallback.
     pub invariant: Invariant,
     /// Renumber the partitioned side by descending degree first.
     pub degree_ordered: bool,
     /// Flat, blocked, or parallel execution.
     pub mode: ExecMode,
-    /// Exact wedge work of the chosen partition side.
+    /// Exact wedge work of the chosen engine: the chosen partition side's
+    /// `Σ C(deg, 2)` for a fixed member, [`GraphProfile::wedges_priority`]
+    /// for the priority/ranked members.
     pub est_work: u64,
-    /// Wedge work the rejected side would have done.
+    /// Wedge work of the rejected alternative: the other side for a fixed
+    /// member, the best fixed side for priority/ranked.
     pub est_work_alt: u64,
 }
 
@@ -187,9 +249,14 @@ impl Plan {
     }
 
     /// Predicted total work for liveness monitoring: counting plans
-    /// forecast the `wedges_expanded` counter *exactly* (`est_work` is
-    /// the Σ C(deg, 2) total the kernel will expand), so
-    /// `progress.fraction` ends at exactly 1.0 on a completed run.
+    /// forecast the `wedges_expanded` counter *exactly*, so
+    /// `progress.fraction` ends at exactly 1.0 on a completed run and
+    /// can never overshoot. For a fixed member `est_work` is the chosen
+    /// side's Σ C(deg, 2); for the priority and ranked members it is the
+    /// closed-form [`priority_wedge_work`] total — both kernels expand
+    /// exactly that many wedges (pinned by their unit tests), so the
+    /// per-member forecast stays exact rather than reusing the one-side
+    /// formula the fixed members use.
     pub fn forecast(&self) -> WorkForecast {
         WorkForecast::new(Counter::WedgesExpanded, self.est_work)
     }
@@ -202,6 +269,7 @@ impl Plan {
             ExecMode::Parallel { chunks } => ("parallel", 0, chunks as u64),
         };
         Json::Obj(vec![
+            ("member".into(), Json::Str(self.member.name().into())),
             (
                 "invariant".into(),
                 Json::UInt(self.invariant.number() as u64),
@@ -243,6 +311,19 @@ pub const BLOCKED_MIN_PARTITION: usize = 1 << 16;
 /// Block size used when the plan goes blocked.
 pub const DEFAULT_BLOCK_SIZE: usize = 4096;
 
+/// Best-fixed-side wedge-work floor below which the global-order members
+/// are never selected: the priority rank sort plus the extra edge pass
+/// cost more than they can save on tiny inputs.
+pub const PRIORITY_MIN_WORK: u64 = 1 << 10;
+
+/// Fraction of the best fixed side's work the priority wedge total must
+/// undercut before a global-order member is selected. The margin absorbs
+/// the rank-sort overhead and the slightly worse locality of combined
+/// `V1 ∪ V2` iteration; measured on the stand-in generators, strongly
+/// skewed graphs land at 0.75–0.86 (selected) while near-uniform graphs
+/// land at 1.0–1.3 (rejected).
+pub const PRIORITY_ADVANTAGE: f64 = 0.9;
+
 /// Sequential selection: [`select_plan`] with `parallel = false`.
 pub fn select_invariant(profile: &GraphProfile) -> Plan {
     select_plan(profile, false, 0)
@@ -266,7 +347,14 @@ pub fn select_invariant(profile: &GraphProfile) -> Plan {
 ///   the edge count (otherwise the relabel costs more than it saves);
 /// * **mode** — parallel (degree-balanced chunks, one per worker) when
 ///   requested, else blocked when the partitioned side exceeds
-///   [`BLOCKED_MIN_PARTITION`], else flat.
+///   [`BLOCKED_MIN_PARTITION`], else flat;
+/// * **member** — when the exact priority wedge total
+///   ([`GraphProfile::wedges_priority`]) undercuts the best fixed side by
+///   [`PRIORITY_ADVANTAGE`] and that side clears [`PRIORITY_MIN_WORK`],
+///   the plan runs a global-order kernel instead of the fixed invariant:
+///   [`Member::Ranked`] when parallel, [`Member::Priority`] otherwise.
+///   `est_work` then becomes the priority total (keeping
+///   [`Plan::forecast`] exact) and `est_work_alt` the fixed side it beat.
 pub fn select_plan(profile: &GraphProfile, parallel: bool, workers: usize) -> Plan {
     let cost_v2 = profile.partition_cost(Side::V2);
     let cost_v1 = profile.partition_cost(Side::V1);
@@ -306,7 +394,36 @@ pub fn select_plan(profile: &GraphProfile, parallel: bool, workers: usize) -> Pl
     };
     let degree_ordered = profile.skew(side) >= DEGREE_ORDER_SKEW_THRESHOLD
         && est_work >= DEGREE_ORDER_MIN_WORK_PER_EDGE * profile.nedges as u64;
+    // Global-order members: selected only when the *measured* priority
+    // wedge total undercuts the best fixed side by the advantage margin
+    // (the relation is regime-dependent — near-uniform graphs invert it,
+    // so the gate compares, never assumes). Ranked is the parallel shape
+    // (bucketed batches feed `balanced_chunk_bounds`), priority the
+    // sequential one; degree ordering is superseded by the global rank.
+    let advantage = (profile.wedges_priority as u128) * 10 < (est_work as u128) * 9;
+    debug_assert_eq!(PRIORITY_ADVANTAGE, 0.9, "gate arithmetic hard-codes 9/10");
+    if advantage && est_work >= PRIORITY_MIN_WORK {
+        return Plan {
+            member: if parallel {
+                Member::Ranked
+            } else {
+                Member::Priority
+            },
+            invariant,
+            degree_ordered: false,
+            mode: if parallel {
+                ExecMode::Parallel {
+                    chunks: workers.max(1),
+                }
+            } else {
+                ExecMode::Flat
+            },
+            est_work: profile.wedges_priority,
+            est_work_alt: est_work,
+        };
+    }
     Plan {
+        member: Member::Fixed(invariant),
         invariant,
         degree_ordered,
         mode,
@@ -445,6 +562,7 @@ fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
     if !R::ENABLED {
         return;
     }
+    rec.gauge("plan.member", plan.member.gauge_value());
     rec.gauge("plan.invariant", plan.invariant.number() as f64);
     rec.gauge(
         "plan.partition_side",
@@ -491,6 +609,20 @@ pub fn execute_plan(g: &BipartiteGraph, plan: &Plan) -> u64 {
 /// so no inverse mapping is needed here. Per-vertex consumers go through
 /// [`butterflies_per_vertex_degree_ordered`], which does map back.
 pub fn execute_plan_recorded<R: Recorder>(g: &BipartiteGraph, plan: &Plan, rec: &mut R) -> u64 {
+    // Global-order members ignore partition side, blocking, and degree
+    // ordering — the global rank *is* their ordering heuristic. The
+    // kernels emit their own count/count_parallel phases.
+    match (plan.member, plan.mode) {
+        (Member::Priority, ExecMode::Parallel { chunks }) => {
+            return count_priority_parallel_recorded(g, chunks, rec)
+        }
+        (Member::Priority, _) => return count_priority_recorded(g, rec),
+        (Member::Ranked, ExecMode::Parallel { chunks }) => {
+            return count_ranked_parallel_recorded(g, chunks, rec)
+        }
+        (Member::Ranked, _) => return count_ranked_recorded(g, rec),
+        (Member::Fixed(_), _) => {}
+    }
     let side = plan.partition_side();
     let ordered;
     let g_exec: &BipartiteGraph = if plan.degree_ordered {
@@ -603,6 +735,33 @@ fn spa_bytes(n: usize) -> u64 {
 /// pair matrix, one accumulator per worker on a huge side), not malloc
 /// accounting.
 pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
+    if !matches!(plan.member, Member::Fixed(_)) {
+        // Global-order members: one accumulator per chunk sized by the
+        // *larger* side (starts live on both sides), the two rank arrays,
+        // the per-start weight array when chunked, and — for ranked — one
+        // flat wedge batch per chunk.
+        let n = profile.nv1.max(profile.nv2);
+        let nboth = (profile.nv1 + profile.nv2) as u64;
+        let chunks = match plan.mode {
+            ExecMode::Parallel { chunks } => chunks.max(1) as u64,
+            _ => 1,
+        };
+        let batches = if matches!(plan.member, Member::Ranked) {
+            chunks.saturating_mul(4 * RANKED_BUCKET_WEDGES)
+        } else {
+            0
+        };
+        let weights = if chunks > 1 || matches!(plan.member, Member::Ranked) {
+            8 * nboth
+        } else {
+            0
+        };
+        return chunks
+            .saturating_mul(spa_bytes(n))
+            .saturating_add(4 * nboth)
+            .saturating_add(weights)
+            .saturating_add(batches);
+    }
     let n = match plan.partition_side() {
         Side::V1 => profile.nv1,
         Side::V2 => profile.nv2,
@@ -627,7 +786,12 @@ pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
 /// 1. halve the parallel chunk count (each chunk owns an accumulator the
 ///    size of the partitioned side),
 /// 2. abandon parallelism entirely,
-/// 3. drop the degree-ordered relabel (it copies the graph).
+/// 3. demote a global-order member to its best fixed invariant (dropping
+///    the rank arrays, the ranked batches, and the max-side accumulator
+///    for the partition-side one — `est_work`/`est_work_alt` swap back,
+///    and the wedge-work cap is re-checked against the higher fixed
+///    total),
+/// 4. drop the degree-ordered relabel (it copies the graph).
 ///
 /// Each applied degradation is recorded once via
 /// [`record_degraded`]`(rec, "bytes")`. A byte cap below the floor — one
@@ -655,6 +819,12 @@ pub fn select_plan_budgeted<R: Recorder>(
             }
             ExecMode::Parallel { .. } => {
                 plan.mode = ExecMode::Flat;
+                degraded = true;
+            }
+            _ if !matches!(plan.member, Member::Fixed(_)) => {
+                plan.member = Member::Fixed(plan.invariant);
+                std::mem::swap(&mut plan.est_work, &mut plan.est_work_alt);
+                budget.check_wedge_work(plan.est_work)?;
                 degraded = true;
             }
             _ if plan.degree_ordered => {
@@ -702,6 +872,31 @@ pub fn execute_plan_checked_recorded<R: Recorder>(
     deadline: Option<Instant>,
     rec: &mut R,
 ) -> crate::error::Result<Partial<u64>> {
+    if !matches!(plan.member, Member::Fixed(_)) {
+        let chunks = match plan.mode {
+            ExecMode::Parallel { chunks } => chunks,
+            _ => 1,
+        };
+        let phase = if chunks > 1 {
+            "count_parallel"
+        } else {
+            "count"
+        };
+        let (acc, complete) = bfly_telemetry::timed_phase(rec, phase, |_| match plan.member {
+            Member::Priority => count_priority_checked_deadline(g, chunks, deadline),
+            Member::Ranked => count_ranked_checked_deadline(g, chunks, deadline),
+            Member::Fixed(_) => unreachable!(),
+        })?;
+        let value = acc.finish().map_err(|partial| BflyError::CountOverflow {
+            partial,
+            context: "count_adaptive",
+        })?;
+        return Ok(if complete {
+            Partial::complete(value)
+        } else {
+            Partial::truncated(value)
+        });
+    }
     let side = plan.partition_side();
     let ordered;
     let g_exec: &BipartiteGraph = if plan.degree_ordered {
@@ -930,6 +1125,7 @@ mod tests {
         ] {
             for degree_ordered in [false, true] {
                 let plan = Plan {
+                    member: Member::Fixed(invariant),
                     invariant,
                     degree_ordered,
                     mode,
@@ -1115,17 +1311,122 @@ mod tests {
         assert!(try_count_adaptive(&g).is_ok());
     }
 
+    /// A strongly-skewed stand-in that clears both member-gate terms:
+    /// priority work < 0.9× the best fixed side, fixed side ≥ the floor.
+    /// (Seed pinned; the selection tests assert the gate fired.)
+    fn skewed_standin() -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(1812);
+        chung_lu(160, 120, 1600, 1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn skewed_graphs_select_global_order_members() {
+        let g = skewed_standin();
+        let p = GraphProfile::compute(&g);
+        let best_fixed = p.wedges_v1.min(p.wedges_v2);
+        assert!(
+            (p.wedges_priority as u128) * 10 < (best_fixed as u128) * 9
+                && best_fixed >= PRIORITY_MIN_WORK,
+            "stand-in no longer clears the gate: priority {} vs fixed {best_fixed}",
+            p.wedges_priority
+        );
+        let want = count_brute_force(&g);
+        let seq = select_plan(&p, false, 0);
+        assert_eq!(seq.member, Member::Priority);
+        assert!(!seq.degree_ordered);
+        assert_eq!(seq.est_work, p.wedges_priority);
+        assert_eq!(seq.est_work_alt, best_fixed);
+        assert_eq!(execute_plan(&g, &seq), want);
+        let par = select_plan(&p, true, 4);
+        assert_eq!(par.member, Member::Ranked);
+        assert!(matches!(par.mode, ExecMode::Parallel { chunks: 4 }));
+        assert_eq!(execute_plan(&g, &par), want);
+        // Checked twins agree and report completion.
+        for plan in [&seq, &par] {
+            let r = execute_plan_checked_recorded(&g, plan, None, &mut NoopRecorder).unwrap();
+            assert!(r.complete);
+            assert_eq!(r.value, want);
+        }
+    }
+
+    #[test]
+    fn near_uniform_graphs_keep_fixed_members() {
+        // Near-uniform degrees: measured priority work *exceeds* the best
+        // fixed side (the regime where the global order loses), so the
+        // gate must not fire even though the work floor is cleared.
+        let mut rng = StdRng::seed_from_u64(4005);
+        let g = uniform_exact(120, 120, 2400, &mut rng);
+        let p = GraphProfile::compute(&g);
+        assert!(p.wedges_v1.min(p.wedges_v2) >= PRIORITY_MIN_WORK);
+        for (parallel, workers) in [(false, 0), (true, 4)] {
+            let plan = select_plan(&p, parallel, workers);
+            assert!(matches!(plan.member, Member::Fixed(_)), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn global_order_forecast_is_exact_for_both_members() {
+        use bfly_telemetry::InMemoryRecorder;
+        let g = skewed_standin();
+        let mut rec = InMemoryRecorder::new();
+        let (_, plan) = count_adaptive_recorded(&g, &mut rec);
+        assert_eq!(plan.member, Member::Priority);
+        assert_eq!(rec.counter(Counter::WedgesExpanded), plan.forecast().total);
+        let mut rec_par = InMemoryRecorder::new();
+        let (_, plan_par) = count_adaptive_parallel_recorded(&g, &mut rec_par);
+        assert_eq!(plan_par.member, Member::Ranked);
+        assert_eq!(
+            rec_par.counter(Counter::WedgesExpanded),
+            plan_par.forecast().total
+        );
+        assert_eq!(rec.gauge_value("plan.member"), Some(1.0));
+        assert_eq!(rec_par.gauge_value("plan.member"), Some(2.0));
+    }
+
+    #[test]
+    fn byte_cap_demotes_global_order_member_to_fixed() {
+        use bfly_telemetry::InMemoryRecorder;
+        let g = skewed_standin();
+        let p = GraphProfile::compute(&g);
+        let chosen = select_plan(&p, false, 0);
+        assert_eq!(chosen.member, Member::Priority);
+        // Cap below the priority plan's scratch but at the fixed flat
+        // floor: the planner must demote to the fixed invariant and the
+        // count must be unchanged.
+        let mut fixed = chosen.clone();
+        fixed.member = Member::Fixed(fixed.invariant);
+        std::mem::swap(&mut fixed.est_work, &mut fixed.est_work_alt);
+        let floor = plan_scratch_bytes(&p, &fixed);
+        assert!(floor < plan_scratch_bytes(&p, &chosen));
+        let budget = ResourceBudget::unlimited().with_max_bytes(floor);
+        let mut rec = InMemoryRecorder::new();
+        let r = count_adaptive_budgeted_recorded(&g, false, &budget, &mut rec).unwrap();
+        assert!(r.complete);
+        assert_eq!(r.value.0, count_brute_force(&g));
+        assert!(matches!(r.value.1.member, Member::Fixed(_)));
+        assert_eq!(rec.gauge_value("budget.degraded"), Some(1.0));
+    }
+
     #[test]
     fn json_payloads_name_every_field() {
         let g = BipartiteGraph::complete(3, 9);
         let p = GraphProfile::compute(&g);
         let plan = select_invariant(&p);
         let pj = p.to_json();
-        for key in ["nv1", "nv2", "nedges", "wedges_v1", "wedges_v2", "skew_v1"] {
+        for key in [
+            "nv1",
+            "nv2",
+            "nedges",
+            "wedges_v1",
+            "wedges_v2",
+            "wedges_priority",
+            "skew_v1",
+        ] {
             assert!(pj.get(key).is_some(), "profile missing {key}");
         }
         let lj = plan.to_json();
         for key in [
+            "member",
             "invariant",
             "partition_side",
             "mode",

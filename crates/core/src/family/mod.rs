@@ -38,6 +38,8 @@ pub mod blocked;
 pub mod engine;
 pub mod literal;
 pub mod parallel;
+pub mod priority;
+pub mod ranked;
 pub mod verify;
 
 use bfly_graph::{BipartiteGraph, Side};
@@ -55,9 +57,21 @@ pub use parallel::{
     count_partitioned_parallel_recorded, count_partitioned_parallel_shared,
     try_count_partitioned_parallel, wedge_weights,
 };
+pub use priority::{
+    butterflies_per_vertex_priority, count_priority, count_priority_parallel,
+    count_priority_parallel_recorded, count_priority_recorded, count_priority_shared,
+    edge_supports_priority, priority_start_weights, priority_wedge_work, priority_wedge_work_with,
+    try_count_priority, try_count_priority_parallel, PriorityRanks,
+};
+pub use ranked::{
+    count_ranked, count_ranked_parallel, count_ranked_parallel_recorded, count_ranked_recorded,
+    count_ranked_shared, try_count_ranked, try_count_ranked_parallel, RANKED_BUCKET_WEDGES,
+};
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 
 pub(crate) use parallel::count_partitioned_parallel_checked_deadline;
+pub(crate) use priority::count_priority_checked_deadline;
+pub(crate) use ranked::count_ranked_checked_deadline;
 
 /// One of the paper's eight loop invariants (equivalently, the derived
 /// algorithm that maintains it).

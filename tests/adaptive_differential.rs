@@ -9,9 +9,10 @@
 
 use bfly::core::adaptive::{
     count_adaptive, count_adaptive_parallel, execute_plan, select_plan, ExecMode, GraphProfile,
-    Plan,
+    Member, Plan,
 };
 use bfly::core::baseline::{count_hash_aggregation, count_vertex_priority};
+use bfly::core::family::{count_priority, count_ranked};
 use bfly::core::testkit::{arb_family_graph, fixture_battery};
 use bfly::core::{count, count_brute_force, count_via_spgemm, Invariant};
 use bfly::graph::BipartiteGraph;
@@ -25,6 +26,8 @@ fn assert_adaptive_agrees(g: &BipartiteGraph, label: &str) {
     assert_eq!(count_via_spgemm(g), want, "{label}: spgemm");
     assert_eq!(count_hash_aggregation(g), want, "{label}: hash baseline");
     assert_eq!(count_vertex_priority(g), want, "{label}: vertex priority");
+    assert_eq!(count_priority(g), want, "{label}: priority kernel");
+    assert_eq!(count_ranked(g), want, "{label}: ranked kernel");
     for inv in Invariant::ALL {
         assert_eq!(count(g, inv), want, "{label}: {inv}");
     }
@@ -40,23 +43,30 @@ fn assert_adaptive_agrees(g: &BipartiteGraph, label: &str) {
         plan.est_work <= plan.est_work_alt,
         "{label}: plan picked the more expensive side: {plan:?}"
     );
-    // Force every execution mode and both degree-ordering settings for
-    // the selected invariant: re-association and renumbering never change
-    // the total.
-    for mode in [
-        ExecMode::Flat,
-        ExecMode::Blocked { block_size: 8 },
-        ExecMode::Parallel { chunks: 3 },
+    // Force every member × execution mode × degree-ordering combination:
+    // re-association, renumbering, the global-order kernels, and the
+    // chunked/bucketed parallel shapes never change the total.
+    for member in [
+        Member::Fixed(plan.invariant),
+        Member::Priority,
+        Member::Ranked,
     ] {
-        for degree_ordered in [false, true] {
-            let forced = Plan {
-                invariant: plan.invariant,
-                degree_ordered,
-                mode,
-                est_work: plan.est_work,
-                est_work_alt: plan.est_work_alt,
-            };
-            assert_eq!(execute_plan(g, &forced), want, "{label}: forced {forced:?}");
+        for mode in [
+            ExecMode::Flat,
+            ExecMode::Blocked { block_size: 8 },
+            ExecMode::Parallel { chunks: 3 },
+        ] {
+            for degree_ordered in [false, true] {
+                let forced = Plan {
+                    member,
+                    invariant: plan.invariant,
+                    degree_ordered,
+                    mode,
+                    est_work: plan.est_work,
+                    est_work_alt: plan.est_work_alt,
+                };
+                assert_eq!(execute_plan(g, &forced), want, "{label}: forced {forced:?}");
+            }
         }
     }
 }
@@ -98,6 +108,12 @@ proptest! {
         for inv in Invariant::ALL {
             prop_assert_eq!(count(&g, inv), want);
         }
+        prop_assert_eq!(count_priority(&g), want);
+        prop_assert_eq!(count_ranked(&g), want);
+        for chunks in [2usize, 4] {
+            prop_assert_eq!(bfly::core::count_priority_parallel(&g, chunks), want);
+            prop_assert_eq!(bfly::core::count_ranked_parallel(&g, chunks), want);
+        }
     }
 
     /// The wedge-work estimates the cost model ranks sides by are exact.
@@ -108,9 +124,17 @@ proptest! {
         prop_assert_eq!(p.wedges_v2, g.wedges_through_v2());
         let plan = select_plan(&p, false, 0);
         prop_assert!(plan.est_work <= plan.est_work_alt);
-        prop_assert_eq!(
-            plan.est_work + plan.est_work_alt,
-            p.wedges_v1 + p.wedges_v2
-        );
+        match plan.member {
+            Member::Fixed(_) => prop_assert_eq!(
+                plan.est_work + plan.est_work_alt,
+                p.wedges_v1 + p.wedges_v2
+            ),
+            // Global-order members carry the exact priority total, with
+            // the displaced best fixed side as the alternative.
+            Member::Priority | Member::Ranked => {
+                prop_assert_eq!(plan.est_work, p.wedges_priority);
+                prop_assert_eq!(plan.est_work_alt, p.wedges_v1.min(p.wedges_v2));
+            }
+        }
     }
 }

@@ -32,11 +32,14 @@ fn unlimited_budget_reproduces_every_fixture_count() {
 fn byte_caps_degrade_the_plan_but_not_the_count() {
     for (name, g) in fixture_battery() {
         let want = count_adaptive(&g).0;
-        // The flat sequential plan with degree ordering shed is the
-        // cheapest shape the planner can degrade to; any cap at or above
-        // its scratch floor must still produce the exact count.
+        // The fixed-member flat sequential plan with degree ordering shed
+        // is the cheapest shape the planner can degrade to (a selected
+        // global-order member demotes to its fixed fallback first); any
+        // cap at or above its scratch floor must still produce the exact
+        // count.
         let profile = GraphProfile::compute(&g);
         let mut flat = bfly::core::select_plan(&profile, false, 1);
+        flat.member = bfly::core::Member::Fixed(flat.invariant);
         flat.degree_ordered = false;
         flat.mode = bfly::core::ExecMode::Flat;
         let floor = plan_scratch_bytes(&profile, &flat);

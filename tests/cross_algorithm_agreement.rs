@@ -1,12 +1,18 @@
 //! Integration: every counting algorithm in the workspace — the eight
-//! derived invariants (sequential, parallel, blocked), the three
-//! specification counters, and the two exact baselines — must agree on the
-//! same graph, across a spread of generator regimes and edge cases.
+//! derived invariants (sequential, parallel, blocked), the two
+//! global-order kernels (vertex-priority and ranked aggregation), the
+//! three specification counters, and the two exact baselines — must agree
+//! on the same graph, across a spread of generator regimes and edge cases.
 
 use bfly::core::adaptive::{count_adaptive, count_adaptive_parallel};
 use bfly::core::baseline::{count_hash_aggregation, count_vertex_priority};
-use bfly::core::family::count_blocked;
+use bfly::core::edge_support::edge_supports;
+use bfly::core::family::{
+    butterflies_per_vertex_priority, count_blocked, count_priority, count_priority_parallel,
+    count_ranked, count_ranked_parallel, edge_supports_priority,
+};
 use bfly::core::testkit::fixture_battery;
+use bfly::core::vertex_counts::butterflies_per_vertex;
 use bfly::core::{
     count, count_brute_force, count_dense_formula, count_parallel, count_via_spgemm, Invariant,
 };
@@ -38,6 +44,38 @@ fn assert_all_agree(g: &BipartiteGraph, label: &str) {
     }
     assert_eq!(count_hash_aggregation(g), want, "{label}: hash baseline");
     assert_eq!(count_vertex_priority(g), want, "{label}: vertex priority");
+    // Global-order kernels: totals sequential and at 1/2/4 chunks…
+    assert_eq!(count_priority(g), want, "{label}: priority sequential");
+    assert_eq!(count_ranked(g), want, "{label}: ranked sequential");
+    for chunks in [1usize, 2, 4] {
+        assert_eq!(
+            count_priority_parallel(g, chunks),
+            want,
+            "{label}: priority parallel/{chunks}"
+        );
+        assert_eq!(
+            count_ranked_parallel(g, chunks),
+            want,
+            "{label}: ranked parallel/{chunks}"
+        );
+    }
+    // …and the per-vertex / per-edge attributions against the oracles.
+    let (pv1, pv2) = butterflies_per_vertex_priority(g);
+    assert_eq!(
+        pv1,
+        butterflies_per_vertex(g, Side::V1),
+        "{label}: priority per-vertex V1"
+    );
+    assert_eq!(
+        pv2,
+        butterflies_per_vertex(g, Side::V2),
+        "{label}: priority per-vertex V2"
+    );
+    assert_eq!(
+        edge_supports_priority(g),
+        edge_supports(g),
+        "{label}: priority per-edge supports"
+    );
     let (xi, plan) = count_adaptive(g);
     assert_eq!(xi, want, "{label}: adaptive (plan {plan:?})");
     let (xi_par, plan_par) = count_adaptive_parallel(g);

@@ -84,6 +84,41 @@ proptest! {
 }
 
 #[test]
+fn progress_fraction_reaches_exactly_one_for_global_order_kernels() {
+    // The forecast fix: the priority/ranked members seed the progress
+    // monitor with the closed-form priority wedge total instead of the
+    // one-side Σ C(deg, 2) formula, so the final heartbeat lands on
+    // fraction == 1.0 exactly — never short of it, and (pinned via the
+    // un-clamped done/total identity) never past it.
+    use bfly::core::adaptive::{select_plan, GraphProfile, Member};
+    use bfly::core::family::{count_priority_recorded, count_ranked_recorded};
+    use bfly::core::telemetry::ProgressModel;
+    use bfly::core::testkit::skewed_graph;
+
+    let g = skewed_graph(160, 120, 1600, 1.0, 42);
+    let p = GraphProfile::compute(&g);
+    for (parallel, want_member) in [(false, Member::Priority), (true, Member::Ranked)] {
+        let plan = select_plan(&p, parallel, 4);
+        assert_eq!(plan.member, want_member, "stand-in must select the kernel");
+        let forecast = plan.forecast();
+        assert_eq!(forecast.counter, Counter::WedgesExpanded);
+        let mut rec = InMemoryRecorder::new();
+        match want_member {
+            Member::Priority => count_priority_recorded(&g, &mut rec),
+            Member::Ranked => count_ranked_recorded(&g, &mut rec),
+            Member::Fixed(_) => unreachable!(),
+        };
+        let done = rec.counter(forecast.counter);
+        assert_eq!(done, forecast.total, "{want_member:?}: forecast drifted");
+        let mut model = ProgressModel::new(forecast.total);
+        model.observe(done);
+        // Exactly 1.0 *without* the finish() snap: the forecast itself
+        // is exact, so the clamp never engages in either direction.
+        assert_eq!(model.fraction(), 1.0, "{want_member:?}");
+    }
+}
+
+#[test]
 fn run_report_round_trips_through_json() {
     // Exercise counters, gauges, phases, and series in one report.
     let g = BipartiteGraph::complete(6, 5);
