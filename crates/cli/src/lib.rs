@@ -50,12 +50,16 @@ use bfly_core::telemetry::{
 };
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_parallel_shared,
-    count_priority_shared, count_ranked_shared, count_recorded, count_via_spgemm,
-    enumerate_butterflies, BflyError, Invariant, ResourceBudget,
+    count_priority_shared, count_ranked_shared, count_recorded, count_segmented_budgeted_recorded,
+    count_sharded_recorded, count_via_spgemm, enumerate_butterflies, BflyError, Invariant,
+    ResourceBudget,
 };
 use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list, IoError};
 use bfly_graph::matrix_market::read_matrix_market_file;
-use bfly_graph::{BipartiteGraph, GraphStats, Side, StandIn};
+use bfly_graph::{
+    convert_to_bfly, is_bfly_file, read_bfly_file, write_bfly_file, BipartiteGraph, GraphStats,
+    SegmentedGraph, Side, StandIn, TextFormat,
+};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -107,6 +111,13 @@ pub enum Command {
         /// `--deadline-ms`: wall-clock deadline; expiry yields a partial
         /// (exact lower bound) count rather than an error.
         deadline_ms: Option<u64>,
+        /// `--shards N`: shard-by-vertex-range execution with exactly N
+        /// shards. On a `.bfly` input the shards stream from disk
+        /// (out-of-core); on a text input they run in memory.
+        shards: Option<usize>,
+        /// `--shard-bytes B`: size shards so each holds roughly B bytes
+        /// of on-disk payload (`.bfly` inputs only).
+        shard_bytes: Option<u64>,
     },
     /// `bfly tip`.
     Tip {
@@ -485,6 +496,7 @@ impl From<BflyError> for CliError {
             BflyError::CountOverflow { .. } => ErrorClass::Overflow,
             BflyError::InvalidGraph { .. }
             | BflyError::Io(IoError::Parse { .. })
+            | BflyError::Io(IoError::Format(_))
             | BflyError::Report(_) => ErrorClass::Parse,
             BflyError::Io(IoError::Io(_)) | BflyError::Sparse(_) => ErrorClass::Runtime,
         };
@@ -561,6 +573,7 @@ USAGE:
                           [--member priority|ranked]
                           [--adaptive] [--explain] [--parallel] [--threads N]
                           [--max-bytes B] [--max-work W] [--deadline-ms MS]
+                          [--shards N] [--shard-bytes B]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
                           [--stream FILE|-] [--progress] [--flight-recorder FILE]
@@ -593,6 +606,12 @@ USAGE:
 
 Budget flags route `count` through the adaptive planner, degrading the
 plan (fewer chunks, flat kernel, no degree ordering) before refusing.
+A --max-bytes cap below the resident graph selects the out-of-core
+sharded tier on `.bfly` inputs (see `bfly convert <in> <out.bfly>`):
+the count streams wedge-balanced vertex-range shards off the file,
+merging per-shard partials exactly. --shards / --shard-bytes pick the
+shard count or on-disk shard size directly. Every command reads
+`.bfly` files; only `count` executes them out-of-core.
 
 --stream emits one NDJSON telemetry event per line as the run
 progresses (flushed per line); `--stream -` uses stdout and moves the
@@ -766,6 +785,14 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
             let max_bytes = opt_u64("max-bytes")?;
             let max_work = opt_u64("max-work")?;
             let deadline_ms = opt_u64("deadline-ms")?;
+            let shards = match opt_u64("shards")? {
+                Some(0) => return Err(err("--shards must be at least 1")),
+                s => s.map(|v| v as usize),
+            };
+            let shard_bytes = match opt_u64("shard-bytes")? {
+                Some(0) => return Err(err("--shard-bytes must be at least 1")),
+                s => s,
+            };
             let budgeted = max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some();
             let algorithm = if rest.has("adaptive") {
                 Algorithm::Adaptive
@@ -797,14 +824,17 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                     }
                 }
             };
-            // Budgets degrade through the adaptive planner, so they imply
-            // --adaptive; a fixed algorithm has nothing to degrade to.
-            let algorithm = match (budgeted, algorithm) {
+            // Budgets and sharding run through the adaptive planner, so
+            // they imply --adaptive; a fixed algorithm has nothing to
+            // degrade to and no partition plan to shard.
+            let sharded = shards.is_some() || shard_bytes.is_some();
+            let algorithm = match (budgeted || sharded, algorithm) {
                 (true, Algorithm::Auto) | (true, Algorithm::Adaptive) => Algorithm::Adaptive,
                 (true, other) => {
                     return Err(err(format!(
-                        "--max-bytes/--max-work/--deadline-ms run through the adaptive \
-                         planner; drop --algorithm {other:?} or use --algorithm adaptive"
+                        "--max-bytes/--max-work/--deadline-ms/--shards/--shard-bytes run \
+                         through the adaptive planner; drop --algorithm {other:?} or use \
+                         --algorithm adaptive"
                     )))
                 }
                 (false, a) => a,
@@ -825,6 +855,8 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 max_bytes,
                 max_work,
                 deadline_ms,
+                shards,
+                shard_bytes,
             })
         }
         "tip" => {
@@ -1014,8 +1046,21 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
     }
 }
 
-/// Load a graph, sniffing the format when not forced.
+/// Load a graph, sniffing the format when not forced. `.bfly` files
+/// (detected by magic, not extension) load through the binary reader —
+/// every command accepts them; `count` can additionally execute them
+/// out-of-core without this full materialisation (`--shards`,
+/// `--shard-bytes`, or a byte budget).
 pub fn load_graph(path: &str, format: Option<Format>) -> Result<BipartiteGraph, CliError> {
+    if format.is_none() && is_bfly_file(path) {
+        return read_bfly_file(path).map_err(|e| {
+            let class = match &e {
+                IoError::Parse { .. } | IoError::Format(_) => ErrorClass::Parse,
+                IoError::Io(_) => ErrorClass::Runtime,
+            };
+            classified(class, format!("failed to load {path}: {e}"))
+        });
+    }
     let fmt = match format {
         Some(f) => f,
         None => sniff_format(path)?,
@@ -1027,7 +1072,7 @@ pub fn load_graph(path: &str, format: Option<Format>) -> Result<BipartiteGraph, 
     };
     res.map_err(|e| {
         let class = match &e {
-            IoError::Parse { .. } => ErrorClass::Parse,
+            IoError::Parse { .. } | IoError::Format(_) => ErrorClass::Parse,
             IoError::Io(_) => ErrorClass::Runtime,
         };
         classified(class, format!("failed to load {path}: {e}"))
@@ -1461,20 +1506,97 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             max_bytes,
             max_work,
             deadline_ms,
+            shards,
+            shard_bytes,
         } => {
             let live = progress || flight_recorder.is_some();
+            let mut budget = ResourceBudget::unlimited();
+            if let Some(v) = max_bytes {
+                budget = budget.with_max_bytes(v);
+            }
+            if let Some(v) = max_work {
+                budget = budget.with_max_wedge_work(v);
+            }
+            if let Some(v) = deadline_ms {
+                budget = budget.with_deadline_in(std::time::Duration::from_millis(v));
+            }
+            // Out-of-core route: a `.bfly` input with sharding flags or a
+            // byte budget executes shard-by-vertex-range straight off the
+            // file, never materialising the full graph.
+            if format.is_none() && is_bfly_file(&file) {
+                if shards.is_some() || shard_bytes.is_some() || max_bytes.is_some() {
+                    let telem = Telem::with_liveness(
+                        stats,
+                        report,
+                        trace,
+                        stream,
+                        progress,
+                        flight_recorder,
+                        "count",
+                    )?;
+                    return run_count_segmented(
+                        &file,
+                        shards,
+                        shard_bytes,
+                        &budget,
+                        explain,
+                        telem,
+                        out,
+                    );
+                }
+            } else if shard_bytes.is_some() {
+                return Err(err(
+                    "--shard-bytes sizes on-disk shards and needs a .bfly input \
+                     (see `bfly convert <in> <out.bfly>`)",
+                ));
+            }
             let g = load_graph(&file, format)?;
+            if let Some(nshards) = shards {
+                // In-memory sharded execution: the adaptive plan's fixed
+                // invariant over explicit vertex-range shards, merged
+                // exactly. Exercises the same shard algebra as the
+                // out-of-core path on an already-resident graph.
+                if max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some() {
+                    return Err(err(
+                        "--shards with a budget needs a .bfly input; on text inputs \
+                         use either --shards or the budget flags",
+                    ));
+                }
+                let mut telem = Telem::with_liveness(
+                    stats,
+                    report,
+                    trace,
+                    stream,
+                    progress,
+                    flight_recorder,
+                    "count",
+                )?;
+                fault_injection();
+                let profile = GraphProfile::compute(&g);
+                let plan = select_plan(&profile, false, 0);
+                let inv = plan.invariant;
+                let xi = with_recorder!(telem, |rec| count_sharded_recorded(&g, inv, nshards, rec));
+                let label = format!("{inv} (sharded, {nshards} shards)");
+                w(out, format!("butterflies = {xi}  [{label}]"))?;
+                if explain {
+                    let mut sharded_plan = plan.clone();
+                    sharded_plan.mode = bfly_core::ExecMode::Sharded { shards: nshards };
+                    let doc = Json::Obj(vec![
+                        ("profile".to_string(), profile.to_json()),
+                        ("plan".to_string(), sharded_plan.to_json()),
+                    ]);
+                    w(out, doc.pretty())?;
+                }
+                let meta = vec![
+                    ("command".to_string(), Json::Str("count".to_string())),
+                    ("dataset".to_string(), Json::Str(file.clone())),
+                    ("algorithm".to_string(), Json::Str(label)),
+                    ("shards".to_string(), Json::UInt(nshards as u64)),
+                    ("butterflies".to_string(), Json::UInt(xi)),
+                ];
+                return telem.emit(meta, out);
+            }
             if max_bytes.is_some() || max_work.is_some() || deadline_ms.is_some() {
-                let mut budget = ResourceBudget::unlimited();
-                if let Some(v) = max_bytes {
-                    budget = budget.with_max_bytes(v);
-                }
-                if let Some(v) = max_work {
-                    budget = budget.with_max_wedge_work(v);
-                }
-                if let Some(v) = deadline_ms {
-                    budget = budget.with_deadline_in(std::time::Duration::from_millis(v));
-                }
                 let telem = Telem::with_liveness(
                     stats,
                     report,
@@ -1881,6 +2003,44 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             format,
             out: path,
         } => {
+            if path.ends_with(".bfly") {
+                // Text inputs stream through the one-pass converter
+                // (bounded memory regardless of |E|); a `.bfly` input is
+                // re-encoded via the in-memory writer.
+                if format.is_none() && is_bfly_file(&file) {
+                    let g = load_graph(&file, None)?;
+                    let bytes = write_bfly_file(&g, &path)
+                        .map_err(|e| err(format!("write {path}: {e}")))?;
+                    return w(
+                        out,
+                        format!("wrote {} edges ({bytes} bytes) to {path}", g.nedges()),
+                    );
+                }
+                let fmt = match format {
+                    Some(Format::Konect) => TextFormat::Konect,
+                    Some(Format::EdgeList) => TextFormat::EdgeList,
+                    Some(Format::MatrixMarket) => TextFormat::MatrixMarket,
+                    None => match sniff_format(&file)? {
+                        Format::Konect => TextFormat::Konect,
+                        Format::EdgeList => TextFormat::EdgeList,
+                        Format::MatrixMarket => TextFormat::MatrixMarket,
+                    },
+                };
+                let s = convert_to_bfly(&file, fmt, &path).map_err(|e| {
+                    let class = match &e {
+                        IoError::Parse { .. } | IoError::Format(_) => ErrorClass::Parse,
+                        IoError::Io(_) => ErrorClass::Runtime,
+                    };
+                    classified(class, format!("convert {file}: {e}"))
+                })?;
+                return w(
+                    out,
+                    format!(
+                        "wrote {} edges ({} bytes, {}x{}) to {path}",
+                        s.nedges, s.bytes_written, s.nv1, s.nv2
+                    ),
+                );
+            }
             let g = load_graph(&file, format)?;
             let mut buf = Vec::new();
             if path.ends_with(".mtx") {
@@ -2244,6 +2404,94 @@ fn run_count_budgeted(
     telem.emit_with(meta, out, complete)
 }
 
+/// The out-of-core counting path: opens the `.bfly` file as a
+/// [`SegmentedGraph`] and streams wedge-balanced vertex-range shards
+/// through [`count_segmented_budgeted_recorded`] — the full graph is
+/// never resident; peak memory is the metadata, one shard, and one
+/// accumulator. Shard count comes from `--shards`, `--shard-bytes`, or
+/// the byte budget (in that precedence); budget refusals exit through
+/// [`ErrorClass::Budget`] and a deadline cut yields a flagged partial
+/// exactly like the in-memory budgeted path.
+fn run_count_segmented(
+    file: &str,
+    shards: Option<usize>,
+    shard_bytes: Option<u64>,
+    budget: &ResourceBudget,
+    explain: bool,
+    mut telem: Telem,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let sg = SegmentedGraph::open(file).map_err(|e| {
+        let class = match &e {
+            IoError::Parse { .. } | IoError::Format(_) => ErrorClass::Parse,
+            IoError::Io(_) => ErrorClass::Runtime,
+        };
+        classified(class, format!("failed to open {file}: {e}"))
+    })?;
+    let profile = bfly_core::segmented_profile(&sg);
+    if telem.live.is_some() {
+        telem.set_forecast(select_plan(&profile, false, 0).forecast());
+    }
+    fault_injection();
+    let result = with_recorder!(telem, |rec| count_segmented_budgeted_recorded(
+        &sg,
+        shards,
+        shard_bytes,
+        budget,
+        rec
+    ));
+    let r = match result {
+        Ok(r) => r,
+        Err(e) => {
+            let fraction = telem.fail("budget");
+            return Err(CliError::from(e).with_fraction(fraction));
+        }
+    };
+    let complete = r.complete;
+    let fraction = if complete { Some(1.0) } else { r.fraction };
+    let (xi, plan) = r.value;
+    let nshards = match plan.mode {
+        bfly_core::ExecMode::Sharded { shards } => shards,
+        _ => 1,
+    };
+    let label = format!(
+        "{} (out-of-core, {nshards} shards{})",
+        plan.invariant,
+        if complete { "" } else { ", partial" }
+    );
+    writeln!(out, "butterflies = {xi}  [{label}]").map_err(|e| err(format!("write error: {e}")))?;
+    if !complete {
+        let pct = fraction
+            .map(|f| format!(" (~{:.0}% of predicted work done)", f * 100.0))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "note: deadline expired; the count is an exact lower bound over the processed prefix{pct}"
+        )
+        .map_err(|e| err(format!("write error: {e}")))?;
+    }
+    if explain {
+        let doc = Json::Obj(vec![
+            ("profile".to_string(), profile.to_json()),
+            ("plan".to_string(), plan.to_json()),
+        ]);
+        writeln!(out, "{}", doc.pretty()).map_err(|e| err(format!("write error: {e}")))?;
+    }
+    let mut meta = vec![
+        ("command".to_string(), Json::Str("count".to_string())),
+        ("dataset".to_string(), Json::Str(file.to_string())),
+        ("algorithm".to_string(), Json::Str(label)),
+        ("shards".to_string(), Json::UInt(nshards as u64)),
+        ("butterflies".to_string(), Json::UInt(xi)),
+        ("complete".to_string(), Json::Bool(complete)),
+        ("plan".to_string(), plan.to_json()),
+    ];
+    if let Some(f) = fraction {
+        meta.push(("fraction_complete".to_string(), Json::Float(f)));
+    }
+    telem.emit_with(meta, out, complete)
+}
+
 /// `bfly report history`: fold every `*.json` run report under the given
 /// directories into a schema-versioned cross-run history, render trend
 /// lines, and optionally gate on the newest run. An existing history at
@@ -2373,6 +2621,8 @@ mod tests {
                 max_bytes: None,
                 max_work: None,
                 deadline_ms: None,
+                shards: None,
+                shard_bytes: None,
             }
         );
     }
@@ -3513,6 +3763,118 @@ mod tests {
             .meta
             .iter()
             .any(|(n, v)| n == "complete" && matches!(v, Json::Bool(true))));
+    }
+
+    #[test]
+    fn outofcore_convert_and_sharded_counts_match_in_memory() {
+        let dir = std::env::temp_dir().join("bfly-cli-test-outofcore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.tsv");
+        let gp_owned = gpath.to_str().unwrap().to_string();
+        let gp = gp_owned.as_str();
+        run(
+            parse(&sv(&[
+                "generate", "--kind", "chunglu", "--m", "60", "--n", "40", "--edges", "400",
+                "--seed", "77", "--out", gp,
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let count_of = |args: &[&str]| -> u64 {
+            let mut sink = Vec::new();
+            run(parse(&sv(args)).unwrap(), &mut sink).unwrap();
+            String::from_utf8(sink)
+                .unwrap()
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let want = count_of(&["count", gp, "--adaptive"]);
+
+        // Convert to .bfly via the streaming converter.
+        let bpath = dir.join("g.bfly");
+        let bp_owned = bpath.to_str().unwrap().to_string();
+        let bp = bp_owned.as_str();
+        let mut sink = Vec::new();
+        run(
+            parse(&sv(&["convert", gp, "--out", bp])).unwrap(),
+            &mut sink,
+        )
+        .unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("edges"));
+
+        // Every command reads .bfly transparently; plain count loads it.
+        assert_eq!(count_of(&["count", bp, "--adaptive"]), want);
+        let mut sink = Vec::new();
+        run(parse(&sv(&["stats", bp])).unwrap(), &mut sink).unwrap();
+        assert!(String::from_utf8(sink).unwrap().contains("|E|"));
+
+        // Explicit shard counts stream out-of-core and merge exactly.
+        for n in ["1", "2", "4"] {
+            assert_eq!(count_of(&["count", bp, "--shards", n]), want, "shards {n}");
+        }
+        assert_eq!(count_of(&["count", bp, "--shard-bytes", "256"]), want);
+
+        // In-memory sharded execution on the text input agrees too.
+        assert_eq!(count_of(&["count", gp, "--shards", "3"]), want);
+
+        // A byte budget below the resident graph routes the .bfly input
+        // through the sharded tier; the report carries the shard gauges
+        // and memory accounting.
+        let g = load_graph(gp, None).unwrap();
+        let profile = GraphProfile::compute(&g);
+        let floor = profile.resident_bytes
+            + bfly_core::plan_scratch_bytes(&profile, &select_plan(&profile, false, 0));
+        let cap_owned = (floor - 1).to_string();
+        let rpath = dir.join("ooc.json");
+        let rp_owned = rpath.to_str().unwrap().to_string();
+        assert_eq!(
+            count_of(&[
+                "count",
+                bp,
+                "--max-bytes",
+                cap_owned.as_str(),
+                "--report",
+                rp_owned.as_str(),
+            ]),
+            want
+        );
+        let rep = RunReport::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert!(rep
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "shards_planned" && *v >= 1.0));
+        assert!(rep.gauges.iter().any(|(n, _)| n == "plan.shards"));
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(n, v)| n == "complete" && matches!(v, Json::Bool(true))));
+
+        // --shard-bytes needs a .bfly input.
+        assert!(run(
+            parse(&sv(&["count", gp, "--shard-bytes", "256"])).unwrap(),
+            &mut Vec::new(),
+        )
+        .is_err());
+
+        // A corrupt .bfly (valid magic, garbage header) is parse-class.
+        let corrupt = dir.join("corrupt.bfly");
+        let mut junk = b"BFLYCSR\0".to_vec();
+        junk.resize(256, 0xAB);
+        std::fs::write(&corrupt, &junk).unwrap();
+        let e = run(
+            parse(&sv(&["count", corrupt.to_str().unwrap()])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert_eq!(e.exit_code(), 3);
     }
 
     #[test]

@@ -81,6 +81,21 @@ pub struct GraphProfile {
     pub skew_v1: f64,
     /// Degree skew of V2: `max_deg_v2 / mean_deg_v2` (0 when edgeless).
     pub skew_v2: f64,
+    /// Estimated heap bytes of the materialized CSR/CSC pair itself
+    /// ([`graph_resident_bytes`]) — what an in-memory plan must keep
+    /// resident before any scratch is allocated. A byte budget below this
+    /// makes "doesn't fit" a *planned* condition: [`select_plan_budgeted`]
+    /// selects the sharded tier outright instead of degrading scratch.
+    pub resident_bytes: u64,
+}
+
+/// Estimated heap bytes of holding a graph of the given shape in memory
+/// as a [`BipartiteGraph`]: both CSR orientations' column indices plus
+/// the two row-pointer arrays (matching
+/// [`SegmentedGraph::resident_bytes`](bfly_graph::SegmentedGraph::resident_bytes),
+/// so on-disk and in-memory profiles agree on the number).
+pub fn graph_resident_bytes(nv1: usize, nv2: usize, nedges: usize) -> u64 {
+    2 * (4 * nedges as u64 + 8 * (nv1 + nv2 + 2) as u64)
 }
 
 impl GraphProfile {
@@ -124,6 +139,7 @@ impl GraphProfile {
             wedges_priority: priority_wedge_work(g),
             skew_v1: skew(max_deg_v1, nv1),
             skew_v2: skew(max_deg_v2, nv2),
+            resident_bytes: graph_resident_bytes(nv1, nv2, nedges),
         }
     }
 
@@ -157,6 +173,7 @@ impl GraphProfile {
             ("wedges_priority".into(), Json::UInt(self.wedges_priority)),
             ("skew_v1".into(), Json::Float(self.skew_v1)),
             ("skew_v2".into(), Json::Float(self.skew_v2)),
+            ("resident_bytes".into(), Json::UInt(self.resident_bytes)),
         ])
     }
 }
@@ -176,6 +193,16 @@ pub enum ExecMode {
     Parallel {
         /// Number of work chunks (normally the worker count).
         chunks: usize,
+    },
+    /// Shard-by-vertex-range execution ([`crate::family::count_sharded`]):
+    /// wedge-balanced contiguous shards of the partitioned side counted
+    /// independently and merged exactly — the out-of-core tier, selected
+    /// when the byte budget cannot hold the resident graph. On a `.bfly`
+    /// input only the metadata, one shard, and one accumulator are ever
+    /// resident.
+    Sharded {
+        /// Number of vertex-range shards.
+        shards: usize,
     },
 }
 
@@ -263,10 +290,11 @@ impl Plan {
 
     /// Render as a JSON object (the `--explain` payload).
     pub fn to_json(&self) -> Json {
-        let (mode, block_size, chunks) = match self.mode {
-            ExecMode::Flat => ("flat", 0u64, 0u64),
-            ExecMode::Blocked { block_size } => ("blocked", block_size as u64, 0),
-            ExecMode::Parallel { chunks } => ("parallel", 0, chunks as u64),
+        let (mode, block_size, chunks, shards) = match self.mode {
+            ExecMode::Flat => ("flat", 0u64, 0u64, 0u64),
+            ExecMode::Blocked { block_size } => ("blocked", block_size as u64, 0, 0),
+            ExecMode::Parallel { chunks } => ("parallel", 0, chunks as u64, 0),
+            ExecMode::Sharded { shards } => ("sharded", 0, 0, shards as u64),
         };
         Json::Obj(vec![
             ("member".into(), Json::Str(self.member.name().into())),
@@ -286,6 +314,7 @@ impl Plan {
             ("mode".into(), Json::Str(mode.into())),
             ("block_size".into(), Json::UInt(block_size)),
             ("chunks".into(), Json::UInt(chunks)),
+            ("shards".into(), Json::UInt(shards)),
             ("est_work".into(), Json::UInt(self.est_work)),
             ("est_work_alt".into(), Json::UInt(self.est_work_alt)),
         ])
@@ -558,7 +587,7 @@ pub fn profile_and_plan_recorded<R: Recorder>(
 }
 
 /// Emit the `plan.*` gauges describing a selected plan.
-fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
+pub(crate) fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
     if !R::ENABLED {
         return;
     }
@@ -583,14 +612,16 @@ fn record_plan_gauges<R: Recorder>(rec: &mut R, plan: &Plan) {
         "plan.degree_ordered",
         if plan.degree_ordered { 1.0 } else { 0.0 },
     );
-    let (blocked, block_size, chunks) = match plan.mode {
-        ExecMode::Flat => (0.0, 0.0, 0.0),
-        ExecMode::Blocked { block_size } => (1.0, block_size as f64, 0.0),
-        ExecMode::Parallel { chunks } => (0.0, 0.0, chunks as f64),
+    let (blocked, block_size, chunks, shards) = match plan.mode {
+        ExecMode::Flat => (0.0, 0.0, 0.0, 0.0),
+        ExecMode::Blocked { block_size } => (1.0, block_size as f64, 0.0, 0.0),
+        ExecMode::Parallel { chunks } => (0.0, 0.0, chunks as f64, 0.0),
+        ExecMode::Sharded { shards } => (0.0, 0.0, 0.0, shards as f64),
     };
     rec.gauge("plan.blocked", blocked);
     rec.gauge("plan.block_size", block_size);
     rec.gauge("plan.par_chunks", chunks);
+    rec.gauge("plan.shards", shards);
     rec.gauge("plan.est_work", plan.est_work as f64);
     rec.gauge("plan.est_work_alt", plan.est_work_alt as f64);
     // Liveness: the forecast total the monitor seeds its ProgressModel
@@ -616,9 +647,15 @@ pub fn execute_plan_recorded<R: Recorder>(g: &BipartiteGraph, plan: &Plan, rec: 
         (Member::Priority, ExecMode::Parallel { chunks }) => {
             return count_priority_parallel_recorded(g, chunks, rec)
         }
+        (Member::Priority, ExecMode::Sharded { shards }) => {
+            return count_priority_parallel_recorded(g, shards, rec)
+        }
         (Member::Priority, _) => return count_priority_recorded(g, rec),
         (Member::Ranked, ExecMode::Parallel { chunks }) => {
             return count_ranked_parallel_recorded(g, chunks, rec)
+        }
+        (Member::Ranked, ExecMode::Sharded { shards }) => {
+            return count_ranked_parallel_recorded(g, shards, rec)
         }
         (Member::Ranked, _) => return count_ranked_recorded(g, rec),
         (Member::Fixed(_), _) => {}
@@ -652,7 +689,47 @@ pub fn execute_plan_recorded<R: Recorder>(g: &BipartiteGraph, plan: &Plan, rec: 
                 )
             })
         }
+        ExecMode::Sharded { shards } => {
+            crate::family::count_sharded_recorded(g_exec, plan.invariant, shards, rec)
+        }
     }
+}
+
+/// Refine a parallel plan's chunk count from the *measured* wedge-weight
+/// distribution instead of the fixed one-chunk-per-worker default.
+///
+/// [`select_plan`] sizes `ExecMode::Parallel { chunks }` to the worker
+/// count before any weights exist; the measured `chunk_us` histograms
+/// (BENCH_PARALLEL.md) show that on skewed graphs one chunk then inherits
+/// most of the wedge mass and the rest of the pool idles — the
+/// `par_imbalance` gauge regularly exceeds 2. This pass computes the
+/// exact per-vertex weights (the same array the executor's
+/// [`balanced_chunk_bounds`](crate::family::balanced_chunk_bounds) pass
+/// uses, so the cost is one extra prefix scan) and resizes via
+/// [`tuned_chunk_count`](crate::family::tuned_chunk_count): enough chunks
+/// that the p90 vertex weight stops dominating a chunk, capped so the
+/// per-chunk accumulator scratch stays bounded.
+///
+/// Only fixed-member parallel plans are tuned — the global-order kernels
+/// batch by rank buckets, and sequential modes have no chunks. Emits the
+/// final count as `plan.par_chunks` (overwriting the selection-time
+/// gauge) plus `plan.tuned_chunks` so reports show both.
+pub fn tune_plan_chunks<R: Recorder>(g: &BipartiteGraph, plan: &mut Plan, rec: &mut R) {
+    let (Member::Fixed(_), ExecMode::Parallel { chunks }) = (plan.member, plan.mode) else {
+        return;
+    };
+    let side = plan.partition_side();
+    let (part_adj, other_adj) = match side {
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+    };
+    let weights = crate::family::wedge_weights(part_adj, other_adj);
+    let tuned = crate::family::tuned_chunk_count(&weights, chunks);
+    if tuned != chunks {
+        plan.mode = ExecMode::Parallel { chunks: tuned };
+        rec.gauge("plan.par_chunks", tuned as f64);
+    }
+    rec.gauge("plan.tuned_chunks", tuned as f64);
 }
 
 /// Count with the adaptively selected sequential plan. Returns the count
@@ -680,7 +757,8 @@ pub fn count_adaptive_parallel_recorded<R: Recorder>(
     rec: &mut R,
 ) -> (u64, Plan) {
     let workers = rayon::current_num_threads().max(1);
-    let (_, plan) = profile_and_plan_recorded(g, true, workers, rec);
+    let (_, mut plan) = profile_and_plan_recorded(g, true, workers, rec);
+    tune_plan_chunks(g, &mut plan, rec);
     let xi = execute_plan_recorded(g, &plan, rec);
     (xi, plan)
 }
@@ -716,7 +794,8 @@ pub fn try_count_adaptive_parallel_recorded<R: Recorder>(
 ) -> crate::error::Result<(u64, Plan)> {
     crate::error::validate_graph(g)?;
     let workers = rayon::current_num_threads().max(1);
-    let (_, plan) = profile_and_plan_recorded(g, true, workers, rec);
+    let (_, mut plan) = profile_and_plan_recorded(g, true, workers, rec);
+    tune_plan_chunks(g, &mut plan, rec);
     let r = execute_plan_checked_recorded(g, &plan, None, rec)?;
     Ok((r.value, plan))
 }
@@ -744,6 +823,7 @@ pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
         let nboth = (profile.nv1 + profile.nv2) as u64;
         let chunks = match plan.mode {
             ExecMode::Parallel { chunks } => chunks.max(1) as u64,
+            ExecMode::Sharded { shards } => shards.max(1) as u64,
             _ => 1,
         };
         let batches = if matches!(plan.member, Member::Ranked) {
@@ -771,6 +851,36 @@ pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
         ExecMode::Parallel { chunks } => {
             (chunks as u64).saturating_mul(spa_bytes(n)) + 16 * n as u64
         }
+        ExecMode::Sharded { shards } => {
+            // Out-of-core footprint: the `.bfly` metadata (degree arrays
+            // plus payload indexes for both sides), one shard's worth of
+            // decoded partition rows, one decoded other-side row, one
+            // accumulator over the partitioned side, and the shard
+            // balancing arrays. Unlike the in-memory modes this *replaces*
+            // the resident graph rather than adding to it.
+            let shards = shards.max(1) as u64;
+            let nboth = (profile.nv1 + profile.nv2) as u64;
+            let max_deg_other = match plan.partition_side() {
+                Side::V1 => profile.max_deg_v2,
+                Side::V2 => profile.max_deg_v1,
+            } as u64;
+            let metadata = 12 * nboth + 32;
+            let shard_rows = (4 * profile.nedges as u64 + 8 * n as u64) / shards;
+            let rowbuf = 12 * max_deg_other;
+            let weights = 8 * n as u64 + 8 * (shards + 1);
+            // One transient beyond the steady state: the shard's encoded
+            // varint payload is alive alongside its decoded rows during
+            // segment decode (varints run ~half the decoded width). The
+            // wedge-weight scan streams through a window sized to the
+            // same per-shard budget, so it is covered by the same terms.
+            let shard_payload = shard_rows / 2;
+            metadata
+                .saturating_add(shard_rows)
+                .saturating_add(shard_payload)
+                .saturating_add(rowbuf)
+                .saturating_add(spa_bytes(n))
+                .saturating_add(weights)
+        }
     };
     let relabel_copy = if plan.degree_ordered {
         16 * profile.nedges as u64 + 8 * (profile.nv1 + profile.nv2) as u64
@@ -780,8 +890,20 @@ pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
     mode.saturating_add(relabel_copy)
 }
 
-/// Budget-aware [`select_plan`]: starts from the unconstrained choice and
-/// degrades it until it fits, in preference order —
+/// Budget-aware [`select_plan`] under **total** accounting: an in-memory
+/// plan's byte cost is the resident graph ([`GraphProfile::resident_bytes`])
+/// *plus* [`plan_scratch_bytes`]. Two regimes:
+///
+/// **Doesn't fit at all** — when the cap cannot hold even the cheapest
+/// in-memory shape (resident graph + one flat accumulator over the best
+/// fixed partition side), "doesn't fit" is a *planned* tier, not a
+/// degradation: the returned plan is [`ExecMode::Sharded`] with a shard
+/// count sized so one shard's rows plus the accumulator fit the cap, and
+/// no `budget.degraded` gauge is recorded. Sharded scratch *replaces* the
+/// resident term — only metadata, one shard, and one accumulator are live.
+///
+/// **Fits, tightly** — starts from the unconstrained choice and degrades
+/// until resident + scratch fits, in preference order —
 ///
 /// 1. halve the parallel chunk count (each chunk owns an accumulator the
 ///    size of the partitioned side),
@@ -794,10 +916,10 @@ pub fn plan_scratch_bytes(profile: &GraphProfile, plan: &Plan) -> u64 {
 /// 4. drop the degree-ordered relabel (it copies the graph).
 ///
 /// Each applied degradation is recorded once via
-/// [`record_degraded`]`(rec, "bytes")`. A byte cap below the floor — one
-/// accumulator over the partitioned side — and a wedge-work cap below
-/// `est_work` (already the minimum over both sides, so no cheaper shape
-/// exists) fail with [`BflyError::BudgetExceeded`].
+/// [`record_degraded`]`(rec, "bytes")`. A byte cap below even the sharded
+/// tier's floor and a wedge-work cap below `est_work` (already the
+/// minimum over both sides, so no cheaper shape exists) fail with
+/// [`BflyError::BudgetExceeded`] carrying the exact estimated bytes.
 pub fn select_plan_budgeted<R: Recorder>(
     profile: &GraphProfile,
     parallel: bool,
@@ -805,11 +927,29 @@ pub fn select_plan_budgeted<R: Recorder>(
     budget: &ResourceBudget,
     rec: &mut R,
 ) -> crate::error::Result<Plan> {
+    let total_bytes = |plan: &Plan| {
+        profile
+            .resident_bytes
+            .saturating_add(plan_scratch_bytes(profile, plan))
+    };
     let mut plan = select_plan(profile, parallel, workers);
     budget.check_wedge_work(plan.est_work)?;
+    // Floor of the in-memory regime: the resident graph plus the flat
+    // fixed-member accumulator. Below it no degradation sequence can
+    // ever fit, so the planner goes straight to the sharded tier.
+    let mut floor = plan.clone();
+    if !matches!(floor.member, Member::Fixed(_)) {
+        floor.member = Member::Fixed(floor.invariant);
+        std::mem::swap(&mut floor.est_work, &mut floor.est_work_alt);
+    }
+    floor.mode = ExecMode::Flat;
+    floor.degree_ordered = false;
+    if !budget.bytes_fit(total_bytes(&floor)) {
+        return select_sharded_plan(profile, budget);
+    }
     let mut degraded = false;
     loop {
-        if budget.bytes_fit(plan_scratch_bytes(profile, &plan)) {
+        if budget.bytes_fit(total_bytes(&plan)) {
             break;
         }
         match plan.mode {
@@ -836,6 +976,43 @@ pub fn select_plan_budgeted<R: Recorder>(
     }
     if degraded {
         record_degraded(rec, "bytes");
+    }
+    budget.check_bytes(total_bytes(&plan))?;
+    Ok(plan)
+}
+
+/// The "doesn't fit" tier of [`select_plan_budgeted`]: a fixed-member
+/// [`ExecMode::Sharded`] plan whose shard count is doubled from 1 until
+/// one shard's rows plus the single accumulator fit the byte cap (capped
+/// at one vertex per shard). Global-order members are normalised to the
+/// best fixed invariant first — their rank arrays span both sides at
+/// once, which is exactly what the tier cannot afford. The final
+/// [`ResourceBudget::check_bytes`] carries the exact estimated bytes of
+/// the smallest viable shape, so an impossible cap fails through the
+/// same [`BflyError::BudgetExceeded`] path as every other shape.
+fn select_sharded_plan(
+    profile: &GraphProfile,
+    budget: &ResourceBudget,
+) -> crate::error::Result<Plan> {
+    let mut plan = select_plan(profile, false, 0);
+    if !matches!(plan.member, Member::Fixed(_)) {
+        plan.member = Member::Fixed(plan.invariant);
+        std::mem::swap(&mut plan.est_work, &mut plan.est_work_alt);
+    }
+    plan.degree_ordered = false;
+    budget.check_wedge_work(plan.est_work)?;
+    let part_len = match plan.partition_side() {
+        Side::V1 => profile.nv1,
+        Side::V2 => profile.nv2,
+    }
+    .max(1);
+    let mut shards = 1usize;
+    loop {
+        plan.mode = ExecMode::Sharded { shards };
+        if budget.bytes_fit(plan_scratch_bytes(profile, &plan)) || shards >= part_len {
+            break;
+        }
+        shards = (shards * 2).min(part_len);
     }
     budget.check_bytes(plan_scratch_bytes(profile, &plan))?;
     Ok(plan)
@@ -875,6 +1052,7 @@ pub fn execute_plan_checked_recorded<R: Recorder>(
     if !matches!(plan.member, Member::Fixed(_)) {
         let chunks = match plan.mode {
             ExecMode::Parallel { chunks } => chunks,
+            ExecMode::Sharded { shards } => shards,
             _ => 1,
         };
         let phase = if chunks > 1 {
@@ -934,6 +1112,22 @@ pub fn execute_plan_checked_recorded<R: Recorder>(
                     plan.invariant.update_part(),
                     &mut acc,
                     deadline,
+                    rec,
+                )
+            });
+            (acc, complete)
+        }
+        ExecMode::Sharded { shards } => {
+            let mut acc = CheckedAccum::new();
+            let complete = bfly_telemetry::timed_phase(rec, "count", |rec| {
+                crate::family::sharded::count_sharded_partitioned_checked_recorded(
+                    part_adj,
+                    other_adj,
+                    plan.invariant.traversal(),
+                    plan.invariant.update_part(),
+                    shards,
+                    deadline,
+                    &mut acc,
                     rec,
                 )
             });
@@ -1246,9 +1440,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(93);
         let g = uniform_exact(50, 50, 320, &mut rng);
         let profile = GraphProfile::compute(&g);
-        // Room for exactly one accumulator: parallelism must be abandoned,
-        // and the count must still be exact.
-        let flat_floor = plan_scratch_bytes(&profile, &select_plan(&profile, false, 0));
+        // Room for the resident graph plus exactly one accumulator:
+        // parallelism must be abandoned, and the count must still be
+        // exact (byte costs are total: resident + scratch).
+        let flat_floor =
+            profile.resident_bytes + plan_scratch_bytes(&profile, &select_plan(&profile, false, 0));
         let budget = ResourceBudget::unlimited().with_max_bytes(flat_floor);
         let mut rec = InMemoryRecorder::new();
         let r = count_adaptive_budgeted_recorded(&g, true, &budget, &mut rec).unwrap();
@@ -1257,8 +1453,19 @@ mod tests {
         assert!(!matches!(r.value.1.mode, ExecMode::Parallel { chunks } if chunks > 1));
         assert_eq!(rec.gauge_value("budget.degraded"), Some(1.0));
         assert!(rec.spans().iter().any(|s| s.name == "degraded"));
-        // A cap below the single-accumulator floor has no viable shape.
-        let starved = ResourceBudget::unlimited().with_max_bytes(flat_floor - 1);
+        // One byte below the in-memory floor: the planner routes to the
+        // *planned* sharded tier — still exact, no degradation recorded,
+        // because sharded scratch replaces the resident graph.
+        let ooc = ResourceBudget::unlimited().with_max_bytes(flat_floor - 1);
+        let mut rec_ooc = InMemoryRecorder::new();
+        let r_ooc = count_adaptive_budgeted_recorded(&g, true, &ooc, &mut rec_ooc).unwrap();
+        assert!(r_ooc.complete);
+        assert_eq!(r_ooc.value.0, count_brute_force(&g));
+        assert!(matches!(r_ooc.value.1.mode, ExecMode::Sharded { .. }));
+        assert_eq!(rec_ooc.gauge_value("budget.degraded"), None);
+        assert!(rec_ooc.gauge_value("plan.shards").unwrap_or(0.0) >= 1.0);
+        // A cap below even the sharded tier's metadata has no viable shape.
+        let starved = ResourceBudget::unlimited().with_max_bytes(64);
         let err = count_adaptive_budgeted(&g, true, &starved).unwrap_err();
         assert!(matches!(
             err,
@@ -1396,8 +1603,8 @@ mod tests {
         let mut fixed = chosen.clone();
         fixed.member = Member::Fixed(fixed.invariant);
         std::mem::swap(&mut fixed.est_work, &mut fixed.est_work_alt);
-        let floor = plan_scratch_bytes(&p, &fixed);
-        assert!(floor < plan_scratch_bytes(&p, &chosen));
+        let floor = p.resident_bytes + plan_scratch_bytes(&p, &fixed);
+        assert!(plan_scratch_bytes(&p, &fixed) < plan_scratch_bytes(&p, &chosen));
         let budget = ResourceBudget::unlimited().with_max_bytes(floor);
         let mut rec = InMemoryRecorder::new();
         let r = count_adaptive_budgeted_recorded(&g, false, &budget, &mut rec).unwrap();
@@ -1421,6 +1628,7 @@ mod tests {
             "wedges_v2",
             "wedges_priority",
             "skew_v1",
+            "resident_bytes",
         ] {
             assert!(pj.get(key).is_some(), "profile missing {key}");
         }
@@ -1432,6 +1640,7 @@ mod tests {
             "mode",
             "degree_ordered",
             "est_work",
+            "shards",
         ] {
             assert!(lj.get(key).is_some(), "plan missing {key}");
         }

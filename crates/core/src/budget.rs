@@ -26,8 +26,17 @@ use std::time::{Duration, Instant};
 /// unlimited; [`ResourceBudget::default`] is unlimited on all three.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ResourceBudget {
-    /// Cap on bytes of working memory the operation may allocate beyond
-    /// the input graph (accumulators, scratch pools, pair matrices).
+    /// Cap on total bytes of working memory: the resident input graph
+    /// *plus* everything the operation allocates (accumulators, scratch
+    /// pools, pair matrices). A cap below the resident graph itself is a
+    /// meaningful request — the adaptive planner answers it with the
+    /// out-of-core sharded tier
+    /// ([`ExecMode::Sharded`](crate::adaptive::ExecMode)), which never
+    /// materialises the whole graph. Exception: [`PairMatrix`] builds
+    /// take the graph as already paid for and budget only their own
+    /// scratch.
+    ///
+    /// [`PairMatrix`]: crate::pair_matrix::PairMatrix
     pub max_bytes: Option<u64>,
     /// Cap on wedge work (Σ C(deg, 2) over the traversed side) — the
     /// budget analogue of the profile's `est_work`.

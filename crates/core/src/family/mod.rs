@@ -40,6 +40,7 @@ pub mod literal;
 pub mod parallel;
 pub mod priority;
 pub mod ranked;
+pub mod sharded;
 pub mod verify;
 
 use bfly_graph::{BipartiteGraph, Side};
@@ -55,7 +56,8 @@ pub use parallel::{
     count_parallel_with_threads, count_parallel_with_threads_recorded, count_partitioned_parallel,
     count_partitioned_parallel_balanced, count_partitioned_parallel_balanced_recorded,
     count_partitioned_parallel_recorded, count_partitioned_parallel_shared,
-    try_count_partitioned_parallel, wedge_weights,
+    try_count_partitioned_parallel, tuned_chunk_count, tuned_chunk_count_from_latency,
+    wedge_weights, weight_p90,
 };
 pub use priority::{
     butterflies_per_vertex_priority, count_priority, count_priority_parallel,
@@ -66,6 +68,11 @@ pub use priority::{
 pub use ranked::{
     count_ranked, count_ranked_parallel, count_ranked_parallel_recorded, count_ranked_recorded,
     count_ranked_shared, try_count_ranked, try_count_ranked_parallel, RANKED_BUCKET_WEDGES,
+};
+pub use sharded::{
+    count_segmented, count_segmented_budgeted_recorded, count_segmented_sharded_recorded,
+    count_sharded, count_sharded_recorded, segmented_profile, segmented_wedge_weights,
+    try_count_sharded,
 };
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 

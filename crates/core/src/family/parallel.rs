@@ -226,6 +226,63 @@ pub fn balanced_chunk_bounds(weights: &[u64], nchunks: usize) -> Vec<usize> {
     bounds
 }
 
+/// The p90 of the nonzero entries of a wedge-weight array — the statistic
+/// the `vertex_wedges` histogram records per run, computed here directly
+/// from the weights so chunk sizing can use it before any run exists.
+/// Zero weights are excluded (most vertices of a sparse graph trigger no
+/// wedges at all; including them collapses every percentile to 0).
+/// Returns 0 when all weights are zero.
+pub fn weight_p90(weights: &[u64]) -> u64 {
+    let mut nz: Vec<u64> = weights.iter().copied().filter(|&w| w > 0).collect();
+    if nz.is_empty() {
+        return 0;
+    }
+    let k = (nz.len() - 1) * 9 / 10;
+    *nz.select_nth_unstable(k).1
+}
+
+/// Measured-distribution chunk sizing: replaces the fixed
+/// one-chunk-per-worker constant with a count derived from the wedge
+/// weights themselves. The per-chunk work target is
+/// `max(total / (4·workers), p90 nonzero vertex weight)` — four chunks
+/// per worker gives the scheduler slack to absorb stragglers (the
+/// `chunk_us` histograms show p90/p50 ratios of 3–8 on the skewed
+/// stand-ins), while the p90 floor stops the target from dropping below
+/// what a single heavy vertex forces into one chunk anyway
+/// ([`balanced_chunk_bounds`] cannot split a vertex). The result is
+/// clamped to `[workers, 64·workers]` — never fewer chunks than workers,
+/// never so many that per-chunk accumulator setup dominates — and to the
+/// vertex count.
+pub fn tuned_chunk_count(weights: &[u64], workers: usize) -> usize {
+    let workers = workers.max(1);
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return workers.min(weights.len().max(1));
+    }
+    let target = (total / (4 * workers as u64))
+        .max(weight_p90(weights))
+        .max(1);
+    let chunks = (total / target).max(1) as usize;
+    chunks
+        .clamp(workers, 64 * workers)
+        .min(weights.len().max(1))
+}
+
+/// Latency-feedback chunk sizing for repeated runs: scale the previous
+/// chunk count by how far the measured `chunk_us` p90 overshoots the
+/// target per-chunk latency (perf-history replays feed the prior run's
+/// histogram in). A p90 at twice the target doubles the chunks; an
+/// undershoot merges them, never below 1. Clamped to 64× the previous
+/// count to keep a corrupt history from exploding the chunk table.
+pub fn tuned_chunk_count_from_latency(prev_chunks: usize, p90_us: u64, target_us: u64) -> usize {
+    let prev = prev_chunks.max(1);
+    if p90_us == 0 || target_us == 0 {
+        return prev;
+    }
+    let scaled = (prev as u128 * p90_us as u128).div_ceil(target_us as u128);
+    scaled.clamp(1, prev as u128 * 64) as usize
+}
+
 /// [`count_partitioned_parallel`] with degree-balanced chunk boundaries:
 /// the partitioned vertices are split into `nchunks` contiguous ranges of
 /// roughly equal *wedge work* (per [`balanced_chunk_bounds`]) rather than
@@ -483,6 +540,75 @@ mod tests {
     use bfly_graph::generators::{chung_lu, uniform_exact};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn weight_p90_ignores_zeros_and_orders_correctly() {
+        assert_eq!(weight_p90(&[]), 0);
+        assert_eq!(weight_p90(&[0, 0, 0]), 0);
+        assert_eq!(weight_p90(&[7]), 7);
+        // Ten nonzero values 1..=10: index (10-1)*9/10 = 8 → value 9.
+        let w: Vec<u64> = (1..=10).collect();
+        assert_eq!(weight_p90(&w), 9);
+        // Zeros interleaved must not shift the percentile.
+        let w: Vec<u64> = (1..=10).flat_map(|v| [0, v]).collect();
+        assert_eq!(weight_p90(&w), 9);
+    }
+
+    #[test]
+    fn tuned_chunk_count_stays_within_clamp() {
+        // Uniform weights: total/(4w) dominates → ~4 chunks per worker.
+        let uniform = vec![10u64; 1000];
+        let c = tuned_chunk_count(&uniform, 8);
+        assert!((8..=512).contains(&c), "{c}");
+        assert!(c >= 8, "never fewer chunks than workers");
+        // One massive vertex: the p90 floor keeps the count small rather
+        // than slicing around an unsplittable vertex.
+        let mut skewed = vec![1u64; 100];
+        skewed[0] = 1_000_000;
+        let c = tuned_chunk_count(&skewed, 4);
+        assert!((4..=100).contains(&c), "{c}");
+        // Degenerate inputs: never more chunks than vertices.
+        assert_eq!(tuned_chunk_count(&[], 6), 1);
+        assert_eq!(tuned_chunk_count(&[0, 0], 6), 2);
+        assert_eq!(
+            tuned_chunk_count(&uniform, 0),
+            tuned_chunk_count(&uniform, 1)
+        );
+    }
+
+    #[test]
+    fn tuned_chunk_counts_still_count_exactly() {
+        let mut rng = StdRng::seed_from_u64(515);
+        let g = chung_lu(80, 60, 700, 1.0, 0.6, &mut rng);
+        let want = count_via_spgemm(&g);
+        let (part_adj, other_adj) = (g.biadjacency_t(), g.biadjacency());
+        let weights = wedge_weights(part_adj, other_adj);
+        for workers in [1, 2, 4] {
+            let chunks = tuned_chunk_count(&weights, workers);
+            let inv = Invariant::Inv1;
+            let got = count_partitioned_parallel_balanced(
+                part_adj,
+                other_adj,
+                inv.traversal(),
+                inv.update_part(),
+                chunks,
+            );
+            assert_eq!(got, want, "workers {workers} chunks {chunks}");
+        }
+    }
+
+    #[test]
+    fn latency_feedback_scales_chunks_proportionally() {
+        // p90 at twice the target doubles the chunks.
+        assert_eq!(tuned_chunk_count_from_latency(8, 2000, 1000), 16);
+        // Undershoot merges, never below 1.
+        assert_eq!(tuned_chunk_count_from_latency(8, 100, 1000), 1);
+        // Missing measurements leave the count alone.
+        assert_eq!(tuned_chunk_count_from_latency(8, 0, 1000), 8);
+        assert_eq!(tuned_chunk_count_from_latency(8, 1000, 0), 8);
+        // A corrupt history cannot explode the chunk table.
+        assert_eq!(tuned_chunk_count_from_latency(2, u64::MAX, 1), 128);
+    }
 
     #[test]
     fn parallel_matches_sequential_on_random_graphs() {

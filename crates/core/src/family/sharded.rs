@@ -1,0 +1,767 @@
+//! Shard-by-vertex-range execution: the out-of-core tier.
+//!
+//! Every member of the family updates one exposed vertex at a time, and
+//! vertex `k`'s eq. 18 contribution depends only on `N(k)` and the rows
+//! of the opposite orientation — never on another exposed vertex's
+//! accumulator state. Contiguous vertex ranges ("shards") of the
+//! partitioned side therefore count independently and their
+//! [`CheckedAccum`] partials merge *exactly*, the same algebra the
+//! parallel chunks already rely on, lifted from threads to shards
+//! (ROADMAP item 2; cf. Wang et al., arXiv 1812.00283 on partitioned
+//! exactness and Shi & Shun, arXiv 1907.08607 on vertex-range wedge
+//! decomposition).
+//!
+//! Two drivers share that algebra:
+//!
+//! * **In-memory** ([`count_sharded`]): the resident graph processed one
+//!   wedge-balanced shard at a time through the exact engine kernel —
+//!   one SPA for the whole run, one `CheckedAccum` per shard. The
+//!   global-order members (priority/ranked) shard through their
+//!   existing chunk-merge kernels, with chunks = shards.
+//! * **Out-of-core** ([`count_segmented_budgeted_recorded`]): a
+//!   [`SegmentedGraph`] (the `.bfly` on-disk format) counted without
+//!   ever materializing the full graph. Each shard materializes only
+//!   its own partitioned-side rows ([`SegmentedGraph::segment`]);
+//!   opposite-side rows stream through a [`RowReader`]. Peak memory is
+//!   the reader's metadata plus one shard plus one SPA — the
+//!   `mem.peak_bytes` gauge proves it.
+//!
+//! Shards are sized by the same [`balanced_chunk_bounds`] wedge-weighted
+//! splitting the parallel kernels use, so skewed graphs get even shards
+//! by *work*, not vertex count. Telemetry: a `shard` span per shard, the
+//! `shards_planned` / `shard_bytes` gauges, a `shard_wedges` series (the
+//! per-shard forecast), and the `shards_processed` counter.
+
+use super::engine::{
+    update_for_vertex_checked_recorded, update_for_vertex_recorded, DEADLINE_STRIDE,
+};
+use super::parallel::{balanced_chunk_bounds, wedge_weights};
+use super::{
+    count_priority_checked_deadline, count_ranked_checked_deadline, Invariant, PartFilter,
+    Traversal,
+};
+use crate::adaptive::{plan_scratch_bytes, select_plan, ExecMode, GraphProfile, Member, Plan};
+use crate::budget::{record_degraded, record_memory, Partial, ResourceBudget};
+use crate::error::BflyError;
+use bfly_graph::{BipartiteGraph, SegmentedGraph, Side};
+use bfly_sparse::{choose2, CheckedAccum, Pattern, Spa};
+use bfly_telemetry::{timed_span, Counter, NoopRecorder, Recorder};
+use std::time::Instant;
+
+/// Payload window ceiling for streaming passes over the on-disk graph
+/// (the wedge-weight scan and [`SegmentedGraph::load`]-style row
+/// walks). Bounds both the encoded bytes read and the decoded columns
+/// per window; budgeted execution shrinks the window further to the
+/// per-shard payload so scan transients stay within the shard terms of
+/// [`crate::adaptive::plan_scratch_bytes`].
+pub(crate) const STREAM_WINDOW_BYTES: u64 = 256 << 10;
+
+/// Count butterflies with invariant `inv` over `nshards` wedge-balanced
+/// vertex-range shards of the partitioned side, merging per-shard
+/// partials exactly. Identical to [`super::count`] for every shard count
+/// (pinned by `tests/shard_differential.rs`).
+pub fn count_sharded(g: &BipartiteGraph, inv: Invariant, nshards: usize) -> u64 {
+    count_sharded_recorded(g, inv, nshards, &mut NoopRecorder)
+}
+
+/// [`count_sharded`] reporting work counters, `shard` spans, and the
+/// shard gauges through `rec`.
+pub fn count_sharded_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    inv: Invariant,
+    nshards: usize,
+    rec: &mut R,
+) -> u64 {
+    let (part_adj, other_adj) = match inv.partitioned_side() {
+        Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+        Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+    };
+    let plan = shard_ranges(part_adj, other_adj, nshards, rec);
+    let mut spa = Spa::<u64>::new(part_adj.nrows());
+    let mut total = 0u64;
+    for &(lo, hi) in ordered(&plan.ranges, inv.traversal()) {
+        total += timed_span(rec, "shard", |rec| {
+            let mut sum = 0u64;
+            let mut each = |k: usize, spa: &mut Spa<u64>, rec: &mut R| {
+                sum +=
+                    update_for_vertex_recorded(part_adj, other_adj, inv.update_part(), k, spa, rec);
+            };
+            match inv.traversal() {
+                Traversal::Forward => (lo..hi).for_each(|k| each(k, &mut spa, rec)),
+                Traversal::Backward => (lo..hi).rev().for_each(|k| each(k, &mut spa, rec)),
+            }
+            sum
+        });
+        finish_shard(&plan, lo, hi, rec);
+    }
+    total
+}
+
+/// Fallible [`count_sharded`]: validates the graph and runs the
+/// overflow-checked kernel.
+pub fn try_count_sharded(
+    g: &BipartiteGraph,
+    inv: Invariant,
+    nshards: usize,
+) -> crate::error::Result<u64> {
+    crate::error::validate_graph(g)?;
+    let (acc, _complete) = count_sharded_member_checked_recorded(
+        g,
+        Member::Fixed(inv),
+        nshards,
+        None,
+        &mut NoopRecorder,
+    )?;
+    acc.finish().map_err(|partial| BflyError::CountOverflow {
+        partial,
+        context: "count_sharded",
+    })
+}
+
+/// Sharded execution of any plan member on a resident graph: fixed
+/// invariants run the checked engine kernel shard by shard; the
+/// global-order members shard through their existing chunk-merge
+/// kernels (each chunk is already an independently-counted, exactly
+/// merged unit — a shard by another name). Returns the merged
+/// accumulator and whether the traversal completed before `deadline`.
+pub(crate) fn count_sharded_member_checked_recorded<R: Recorder>(
+    g: &BipartiteGraph,
+    member: Member,
+    nshards: usize,
+    deadline: Option<Instant>,
+    rec: &mut R,
+) -> crate::error::Result<(CheckedAccum, bool)> {
+    match member {
+        Member::Priority => {
+            if R::ENABLED {
+                rec.gauge("shards_planned", nshards.max(1) as f64);
+            }
+            let r = count_priority_checked_deadline(g, nshards.max(1), deadline)?;
+            rec.incr(Counter::ShardsProcessed, nshards.max(1) as u64);
+            Ok(r)
+        }
+        Member::Ranked => {
+            if R::ENABLED {
+                rec.gauge("shards_planned", nshards.max(1) as f64);
+            }
+            let r = count_ranked_checked_deadline(g, nshards.max(1), deadline)?;
+            rec.incr(Counter::ShardsProcessed, nshards.max(1) as u64);
+            Ok(r)
+        }
+        Member::Fixed(inv) => {
+            let (part_adj, other_adj) = match inv.partitioned_side() {
+                Side::V2 => (g.biadjacency_t(), g.biadjacency()),
+                Side::V1 => (g.biadjacency(), g.biadjacency_t()),
+            };
+            let mut acc = CheckedAccum::new();
+            let complete = count_sharded_partitioned_checked_recorded(
+                part_adj,
+                other_adj,
+                inv.traversal(),
+                inv.update_part(),
+                nshards,
+                deadline,
+                &mut acc,
+                rec,
+            );
+            Ok((acc, complete))
+        }
+    }
+}
+
+/// The in-memory sharded engine: wedge-balanced shard bounds over the
+/// partitioned side, each shard counted into a private [`CheckedAccum`]
+/// through the exact per-vertex kernel, partials merged into `acc`.
+/// Polls `deadline` every [`DEADLINE_STRIDE`] exposed vertices; a cut
+/// leaves `acc` holding the exact partial over the processed prefix and
+/// returns `false`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn count_sharded_partitioned_checked_recorded<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    traversal: Traversal,
+    filter: PartFilter,
+    nshards: usize,
+    deadline: Option<Instant>,
+    acc: &mut CheckedAccum,
+    rec: &mut R,
+) -> bool {
+    let plan = shard_ranges(part_adj, other_adj, nshards, rec);
+    let mut spa = Spa::<u64>::new(part_adj.nrows());
+    let mut done = 0usize;
+    for &(lo, hi) in ordered(&plan.ranges, traversal) {
+        let mut shard_acc = CheckedAccum::new();
+        let complete = timed_span(rec, "shard", |rec| {
+            let mut run = |k: usize, spa: &mut Spa<u64>, sa: &mut CheckedAccum, rec: &mut R| {
+                done += 1;
+                if done.is_multiple_of(DEADLINE_STRIDE) {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return false;
+                        }
+                    }
+                }
+                update_for_vertex_checked_recorded(part_adj, other_adj, filter, k, spa, sa, rec);
+                true
+            };
+            match traversal {
+                Traversal::Forward => {
+                    for k in lo..hi {
+                        if !run(k, &mut spa, &mut shard_acc, rec) {
+                            return false;
+                        }
+                    }
+                }
+                Traversal::Backward => {
+                    for k in (lo..hi).rev() {
+                        if !run(k, &mut spa, &mut shard_acc, rec) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        });
+        acc.merge(shard_acc);
+        if !complete {
+            return false;
+        }
+        finish_shard(&plan, lo, hi, rec);
+    }
+    true
+}
+
+/// Planned shard layout of one run: the non-empty vertex ranges plus the
+/// per-shard wedge totals (the per-shard forecast).
+struct ShardLayout {
+    ranges: Vec<(usize, usize)>,
+    wedges: Vec<u64>,
+}
+
+/// Compute wedge-balanced shard bounds and emit the planning gauges:
+/// `shards_planned` (non-empty ranges) and `shard_bytes` (adjacency
+/// bytes of the heaviest shard's partitioned rows).
+fn shard_ranges<R: Recorder>(
+    part_adj: &Pattern,
+    other_adj: &Pattern,
+    nshards: usize,
+    rec: &mut R,
+) -> ShardLayout {
+    let weights = wedge_weights(part_adj, other_adj);
+    let bounds = balanced_chunk_bounds(&weights, nshards.max(1));
+    let mut ranges = Vec::new();
+    let mut shard_wedges = Vec::new();
+    for w in bounds.windows(2) {
+        if w[1] > w[0] {
+            ranges.push((w[0], w[1]));
+            shard_wedges.push(weights[w[0]..w[1]].iter().sum());
+        }
+    }
+    if ranges.is_empty() {
+        // A zero-vertex side still runs one (empty) shard so the span
+        // and gauge vocabulary stays uniform.
+        ranges.push((0, part_adj.nrows()));
+        shard_wedges.push(0);
+    }
+    if R::ENABLED {
+        rec.gauge("shards_planned", ranges.len() as f64);
+        let max_bytes = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let nnz = (lo..hi).map(|k| part_adj.row(k).len() as u64).sum::<u64>();
+                4 * nnz + 8 * (hi - lo) as u64
+            })
+            .max()
+            .unwrap_or(0);
+        rec.gauge("shard_bytes", max_bytes as f64);
+    }
+    ShardLayout {
+        ranges,
+        wedges: shard_wedges,
+    }
+}
+
+/// Shard bookkeeping after its span closes: the `shards_processed`
+/// counter and the `shard_wedges` series entry (per-shard forecast).
+fn finish_shard<R: Recorder>(plan: &ShardLayout, lo: usize, hi: usize, rec: &mut R) {
+    rec.incr(Counter::ShardsProcessed, 1);
+    if R::ENABLED {
+        if let Some(i) = plan.ranges.iter().position(|&r| r == (lo, hi)) {
+            rec.series_push("shard_wedges", plan.wedges[i] as f64);
+        }
+    }
+}
+
+/// Iterate shard ranges in traversal order (reversed for backward
+/// members, so the exposure order matches the unsharded run).
+fn ordered(
+    ranges: &[(usize, usize)],
+    traversal: Traversal,
+) -> Box<dyn Iterator<Item = &(usize, usize)> + '_> {
+    match traversal {
+        Traversal::Forward => Box::new(ranges.iter()),
+        Traversal::Backward => Box::new(ranges.iter().rev()),
+    }
+}
+
+/// Profile an on-disk graph from its resident degree arrays — the same
+/// side terms [`GraphProfile::compute`] derives, without materializing
+/// an edge. `wedges_priority` is not measurable without the resident
+/// graph (the priority rank needs a full edge pass), so it is pinned to
+/// `u64::MAX`: the planner's global-member gate then never fires, and
+/// out-of-core plans always run a fixed invariant — the only members
+/// the segment kernel implements.
+pub fn segmented_profile(sg: &SegmentedGraph) -> GraphProfile {
+    let side_terms = |side: Side| {
+        let mut max_deg = 0usize;
+        let mut wedges = 0u64;
+        for &d in sg.degrees(side) {
+            max_deg = max_deg.max(d as usize);
+            wedges = wedges.saturating_add(choose2(d as u64));
+        }
+        (max_deg, wedges)
+    };
+    let (max_deg_v1, wedges_v1) = side_terms(Side::V1);
+    let (max_deg_v2, wedges_v2) = side_terms(Side::V2);
+    let (nv1, nv2, nedges) = (sg.nv1(), sg.nv2(), sg.nedges() as usize);
+    let skew = |max_deg: usize, count: usize| {
+        if nedges == 0 || count == 0 {
+            0.0
+        } else {
+            max_deg as f64 * count as f64 / nedges as f64
+        }
+    };
+    GraphProfile {
+        nv1,
+        nv2,
+        nedges,
+        max_deg_v1,
+        max_deg_v2,
+        wedges_v1,
+        wedges_v2,
+        wedges_priority: u64::MAX,
+        skew_v1: skew(max_deg_v1, nv1),
+        skew_v2: skew(max_deg_v2, nv2),
+        resident_bytes: sg.resident_bytes(),
+    }
+}
+
+/// Exact per-vertex wedge work of partitioning `side`, computed from the
+/// on-disk graph in one bounded-memory streaming pass: vertex `k`'s
+/// update scans `Σ_{j ∈ N(k)} deg_other(j)` entries, and the opposite
+/// side's degrees are resident.
+pub fn segmented_wedge_weights(sg: &SegmentedGraph, side: Side) -> crate::error::Result<Vec<u64>> {
+    wedge_weights_windowed(sg, side, STREAM_WINDOW_BYTES)
+}
+
+/// [`segmented_wedge_weights`] with an explicit stream-window bound —
+/// budgeted execution passes the per-shard payload size so the scan's
+/// transient footprint stays within the shard terms the plan estimate
+/// already charges.
+fn wedge_weights_windowed(
+    sg: &SegmentedGraph,
+    side: Side,
+    window_bytes: u64,
+) -> crate::error::Result<Vec<u64>> {
+    let other = match side {
+        Side::V1 => Side::V2,
+        Side::V2 => Side::V1,
+    };
+    let other_deg = sg.degrees(other);
+    let mut weights = vec![0u64; sg.side_len(side)];
+    sg.for_each_row(side, 0, sg.side_len(side), window_bytes.max(1), |k, row| {
+        weights[k] = row.iter().map(|&j| other_deg[j as usize] as u64).sum();
+        Ok(())
+    })?;
+    Ok(weights)
+}
+
+/// Count an on-disk graph exactly, without budget or telemetry —
+/// [`count_segmented_budgeted_recorded`] with one shard and no limits.
+pub fn count_segmented(sg: &SegmentedGraph) -> crate::error::Result<u64> {
+    let r = count_segmented_budgeted_recorded(
+        sg,
+        Some(1),
+        None,
+        &ResourceBudget::unlimited(),
+        &mut NoopRecorder,
+    )?;
+    Ok(r.value.0)
+}
+
+/// [`count_segmented`] with an explicit shard count, reporting through
+/// `rec`.
+pub fn count_segmented_sharded_recorded<R: Recorder>(
+    sg: &SegmentedGraph,
+    nshards: usize,
+    rec: &mut R,
+) -> crate::error::Result<u64> {
+    let r = count_segmented_budgeted_recorded(
+        sg,
+        Some(nshards),
+        None,
+        &ResourceBudget::unlimited(),
+        rec,
+    )?;
+    Ok(r.value.0)
+}
+
+/// The out-of-core budgeted counter: plan, shard, and count a
+/// [`SegmentedGraph`] without ever holding the full graph.
+///
+/// Shard sizing, in precedence order: an explicit `shards`; else
+/// `shard_bytes` (shards = partitioned payload / cap, each shard's
+/// on-disk rows roughly that many bytes); else grown until the plan's
+/// scratch estimate fits `budget.max_bytes` (doubling from 1, capped at
+/// one vertex per shard — a cap no shard count satisfies fails with
+/// [`BflyError::BudgetExceeded`] carrying the exact estimate); else a
+/// single shard.
+///
+/// Execution mirrors the engine kernel exactly — same counters, same
+/// `vertex_wedges` histogram — over [`GraphSegment`] rows with
+/// opposite-side rows streamed through a [`RowReader`]. The budget's
+/// deadline is polled every [`DEADLINE_STRIDE`] vertices (a cut returns
+/// the exact processed-prefix count with `complete = false`), and
+/// measured allocation is re-checked at every shard boundary.
+///
+/// [`GraphSegment`]: bfly_graph::GraphSegment
+pub fn count_segmented_budgeted_recorded<R: Recorder>(
+    sg: &SegmentedGraph,
+    shards: Option<usize>,
+    shard_bytes: Option<u64>,
+    budget: &ResourceBudget,
+    rec: &mut R,
+) -> crate::error::Result<Partial<(u64, Plan)>> {
+    budget.record_limits(rec);
+    budget.check_measured_bytes()?;
+    let (_profile, plan) = timed_span(rec, "select", |rec| {
+        let profile = segmented_profile(sg);
+        let mut plan = select_plan(&profile, false, 0);
+        debug_assert!(matches!(plan.member, Member::Fixed(_)));
+        budget.check_wedge_work(plan.est_work)?;
+        let side = plan.partition_side();
+        let part_len = sg.side_len(side).max(1);
+        let nshards = match (shards, shard_bytes) {
+            (Some(n), _) => n.max(1),
+            (None, Some(cap)) => {
+                let payload = sg.payload_bytes(side, 0, sg.side_len(side));
+                payload.div_ceil(cap.max(1)).max(1) as usize
+            }
+            (None, None) if budget.max_bytes.is_some() => {
+                let mut s = 1usize;
+                loop {
+                    plan.mode = ExecMode::Sharded { shards: s };
+                    if budget.bytes_fit(plan_scratch_bytes(&profile, &plan)) || s >= part_len {
+                        break;
+                    }
+                    s = (s * 2).min(part_len);
+                }
+                s
+            }
+            (None, None) => 1,
+        };
+        plan.mode = ExecMode::Sharded {
+            shards: nshards.min(part_len),
+        };
+        budget.check_bytes(plan_scratch_bytes(&profile, &plan))?;
+        crate::adaptive::record_plan_gauges(rec, &plan);
+        Ok::<_, crate::error::BflyError>((profile, plan))
+    })?;
+    let ExecMode::Sharded { shards: nshards } = plan.mode else {
+        unreachable!("out-of-core plans are always sharded");
+    };
+    let side = plan.partition_side();
+    let inv = plan.invariant;
+    let filter = inv.update_part();
+    let other_side = match side {
+        Side::V1 => Side::V2,
+        Side::V2 => Side::V1,
+    };
+    // Scan with a window sized to the shard geometry: the plan estimate
+    // charges one shard's payload, so the weight scan must not hold more
+    // than that at once.
+    let scan_window = (sg.payload_bytes(side, 0, sg.side_len(side)) / nshards.max(1) as u64)
+        .clamp(4096, STREAM_WINDOW_BYTES);
+    let weights = wedge_weights_windowed(sg, side, scan_window)?;
+    let bounds = balanced_chunk_bounds(&weights, nshards);
+    let ranges: Vec<(usize, usize)> = bounds
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| (w[0], w[1]))
+        .collect();
+    if R::ENABLED {
+        rec.gauge("shards_planned", ranges.len().max(1) as f64);
+        let max_bytes = ranges
+            .iter()
+            .map(|&(lo, hi)| sg.payload_bytes(side, lo, hi))
+            .max()
+            .unwrap_or(0);
+        rec.gauge("shard_bytes", max_bytes as f64);
+    }
+    let part_len = sg.side_len(side);
+    let mut spa = Spa::<u64>::new(part_len);
+    let mut total = CheckedAccum::new();
+    let mut complete = true;
+    let mut exposed = 0usize;
+    bfly_telemetry::timed_phase(rec, "count", |rec| -> crate::error::Result<()> {
+        let mut reader = sg.row_reader(other_side);
+        'shards: for &(lo, hi) in &ranges {
+            let seg = sg.segment(side, lo, hi)?;
+            let mut shard_acc = CheckedAccum::new();
+            let wedge_total: u64 = weights[lo..hi].iter().sum();
+            let shard_complete = timed_span(rec, "shard", |rec| -> crate::error::Result<bool> {
+                // Inv1/Inv5 are forward traversals; the selector never
+                // picks a backward member, but mirror it defensively.
+                for k in lo..hi {
+                    exposed += 1;
+                    if exposed.is_multiple_of(DEADLINE_STRIDE) {
+                        if let Some(d) = budget.deadline {
+                            if Instant::now() >= d {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    let k32 = k as u32;
+                    let mut wedges = 0u64;
+                    for &j in seg.neighbors(k) {
+                        let row = reader.row(j as usize)?;
+                        let slice = match filter {
+                            PartFilter::Before => {
+                                let cut = row.partition_point(|&c| c < k32);
+                                &row[..cut]
+                            }
+                            PartFilter::After => {
+                                let cut = row.partition_point(|&c| c <= k32);
+                                &row[cut..]
+                            }
+                        };
+                        if R::ENABLED {
+                            wedges += slice.len() as u64;
+                        }
+                        for &c in slice {
+                            spa.scatter(c, 1);
+                        }
+                    }
+                    if R::ENABLED {
+                        rec.incr(Counter::VerticesExposed, 1);
+                        rec.incr(Counter::WedgesExpanded, wedges);
+                        rec.incr(Counter::SpaScatters, wedges);
+                        rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
+                        rec.hist_record("vertex_wedges", wedges);
+                    }
+                    for (_, cnt) in spa.entries() {
+                        shard_acc.add(choose2(cnt));
+                    }
+                    spa.clear();
+                }
+                Ok(true)
+            })?;
+            total.merge(shard_acc);
+            rec.incr(Counter::ShardsProcessed, 1);
+            if R::ENABLED {
+                rec.series_push("shard_wedges", wedge_total as f64);
+            }
+            if !shard_complete {
+                complete = false;
+                break 'shards;
+            }
+            budget.check_measured_bytes()?;
+        }
+        Ok(())
+    })?;
+    if !complete {
+        record_degraded(rec, "deadline");
+    }
+    record_memory(rec);
+    let value = total.finish().map_err(|partial| BflyError::CountOverflow {
+        partial,
+        context: "count_segmented",
+    })?;
+    Ok(Partial {
+        value: (value, plan),
+        complete,
+        fraction: if complete { Some(1.0) } else { None },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::count;
+    use crate::spec::count_brute_force;
+    use bfly_graph::generators::{chung_lu, uniform_exact};
+    use bfly_graph::write_bfly_file;
+    use bfly_telemetry::InMemoryRecorder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graphs() -> Vec<BipartiteGraph> {
+        let mut rng = StdRng::seed_from_u64(77);
+        vec![
+            BipartiteGraph::empty(5, 7),
+            BipartiteGraph::complete(6, 5),
+            uniform_exact(40, 30, 220, &mut rng),
+            chung_lu(60, 45, 400, 0.9, 0.6, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn sharded_totals_match_every_invariant() {
+        for g in sample_graphs() {
+            let want = count_brute_force(&g);
+            for inv in Invariant::ALL {
+                for shards in [1, 2, 4, 9] {
+                    assert_eq!(
+                        count_sharded(&g, inv, shards),
+                        want,
+                        "inv {inv:?} shards {shards}"
+                    );
+                    assert_eq!(try_count_sharded(&g, inv, shards).unwrap(), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_emits_shard_telemetry() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = uniform_exact(30, 30, 180, &mut rng);
+        let mut rec = InMemoryRecorder::new();
+        let got = count_sharded_recorded(&g, Invariant::Inv1, 4, &mut rec);
+        assert_eq!(got, count(&g, Invariant::Inv1));
+        assert_eq!(rec.gauge_value("shards_planned"), Some(4.0));
+        assert!(rec.gauge_value("shard_bytes").unwrap_or(0.0) > 0.0);
+        assert_eq!(rec.counter(Counter::ShardsProcessed), 4);
+        assert_eq!(rec.spans().iter().filter(|s| s.name == "shard").count(), 4);
+        // Work counters match the unsharded engine exactly.
+        let mut flat = InMemoryRecorder::new();
+        crate::family::count_recorded(&g, Invariant::Inv1, &mut flat);
+        assert_eq!(
+            rec.counter(Counter::WedgesExpanded),
+            flat.counter(Counter::WedgesExpanded)
+        );
+    }
+
+    #[test]
+    fn global_members_shard_through_chunk_merge() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let g = chung_lu(80, 60, 700, 1.0, 1.0, &mut rng);
+        let want = count_brute_force(&g);
+        for member in [Member::Priority, Member::Ranked] {
+            for shards in [1, 2, 4] {
+                let (acc, complete) = count_sharded_member_checked_recorded(
+                    &g,
+                    member,
+                    shards,
+                    None,
+                    &mut NoopRecorder,
+                )
+                .unwrap();
+                assert!(complete);
+                assert_eq!(acc.finish(), Ok(want), "{member:?} x{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_counting_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("bfly-sharded-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, g) in sample_graphs().into_iter().enumerate() {
+            let path = dir.join(format!("g{i}.bfly"));
+            write_bfly_file(&g, &path).unwrap();
+            let sg = SegmentedGraph::open(&path).unwrap();
+            let want = count_brute_force(&g);
+            assert_eq!(count_segmented(&sg).unwrap(), want);
+            for shards in [2, 4] {
+                let mut rec = InMemoryRecorder::new();
+                assert_eq!(
+                    count_segmented_sharded_recorded(&sg, shards, &mut rec).unwrap(),
+                    want
+                );
+                assert!(rec.counter(Counter::ShardsProcessed) >= 1);
+            }
+            // Profile agrees with the in-memory one on every shared term.
+            let p_mem = GraphProfile::compute(&g);
+            let p_seg = segmented_profile(&sg);
+            assert_eq!(p_seg.nedges, p_mem.nedges);
+            assert_eq!(p_seg.wedges_v1, p_mem.wedges_v1);
+            assert_eq!(p_seg.wedges_v2, p_mem.wedges_v2);
+            assert_eq!(p_seg.max_deg_v1, p_mem.max_deg_v1);
+            let w_seg = segmented_wedge_weights(&sg, Side::V2).unwrap();
+            let w_mem = wedge_weights(g.biadjacency_t(), g.biadjacency());
+            assert_eq!(w_seg, w_mem);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_budget_sizes_shards_and_reports_plan() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let g = uniform_exact(50, 50, 350, &mut rng);
+        let dir = std::env::temp_dir().join(format!("bfly-sharded-budget-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bfly");
+        write_bfly_file(&g, &path).unwrap();
+        let sg = SegmentedGraph::open(&path).unwrap();
+        // shard_bytes forces multiple shards.
+        let mut rec = InMemoryRecorder::new();
+        let r = count_segmented_budgeted_recorded(
+            &sg,
+            None,
+            Some(64),
+            &ResourceBudget::unlimited(),
+            &mut rec,
+        )
+        .unwrap();
+        assert!(r.complete);
+        assert_eq!(r.value.0, count_brute_force(&g));
+        assert!(matches!(r.value.1.mode, ExecMode::Sharded { shards } if shards > 1));
+        assert!(rec.gauge_value("shards_planned").unwrap_or(0.0) > 1.0);
+        // A byte budget grows the shard count instead of refusing, and an
+        // impossible budget fails with the exact estimate.
+        let budget = ResourceBudget::unlimited().with_max_bytes(plan_scratch_bytes(
+            &segmented_profile(&sg),
+            &{
+                let mut p = select_plan(&segmented_profile(&sg), false, 0);
+                p.mode = ExecMode::Sharded { shards: 50 };
+                p
+            },
+        ));
+        let r =
+            count_segmented_budgeted_recorded(&sg, None, None, &budget, &mut NoopRecorder).unwrap();
+        assert!(r.complete);
+        assert_eq!(r.value.0, count_brute_force(&g));
+        let starved = ResourceBudget::unlimited().with_max_bytes(16);
+        let err = count_segmented_budgeted_recorded(&sg, None, None, &starved, &mut NoopRecorder)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BflyError::BudgetExceeded {
+                resource: "bytes",
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_deadline_truncates_with_exact_prefix() {
+        use std::time::Duration;
+        // > DEADLINE_STRIDE partitioned vertices so a poll fires.
+        let n = 9000u32;
+        let edges: Vec<(u32, u32)> = (0..n).flat_map(|u| [(u, u), (u, (u + 1) % n)]).collect();
+        let g = BipartiteGraph::from_edges(n as usize, n as usize, &edges).unwrap();
+        let dir = std::env::temp_dir().join(format!("bfly-sharded-dl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bfly");
+        write_bfly_file(&g, &path).unwrap();
+        let sg = SegmentedGraph::open(&path).unwrap();
+        let budget = ResourceBudget::unlimited().with_deadline_in(Duration::ZERO);
+        let r = count_segmented_budgeted_recorded(&sg, Some(4), None, &budget, &mut NoopRecorder)
+            .unwrap();
+        assert!(!r.complete);
+        assert!(r.value.0 <= count_brute_force(&g));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -83,6 +83,19 @@ impl PairMatrix {
         Self::try_build_recorded(g, side, budget, &mut NoopRecorder)
     }
 
+    /// Scratch floor of the streaming fallback: one [`Spa`] over the pair
+    /// side (24 bytes/slot: values, stamps, touched list) plus the
+    /// per-row sort buffer of `(u32, u64)` entries (16 bytes each, at
+    /// most one full row live at once). A byte cap below this has no
+    /// viable build shape at all.
+    pub fn streaming_build_bytes(g: &BipartiteGraph, side: Side) -> u64 {
+        let n = match side {
+            Side::V1 => g.nv1(),
+            Side::V2 => g.nv2(),
+        } as u64;
+        40 * n
+    }
+
     /// Budget-aware [`PairMatrix::build`]: validates the graph, and when
     /// the dense path's intermediate `B = A·Aᵀ` would cross the byte
     /// budget ([`PairMatrix::dense_build_bytes`]), degrades to a
@@ -91,6 +104,13 @@ impl PairMatrix {
     /// sort per emitted row. The fallback is recorded via
     /// [`record_degraded`]`(rec, "bytes")`; both paths produce identical
     /// matrices (pinned by the unit tests).
+    ///
+    /// A cap below even the streaming floor
+    /// ([`PairMatrix::streaming_build_bytes`]) fails with
+    /// [`BflyError::BudgetExceeded`](crate::error::BflyError) carrying
+    /// the exact estimated bytes of the cheapest shape — the same typed
+    /// path the adaptive planner's sharded tier reports through, so
+    /// callers see one error shape for every "doesn't fit" verdict.
     pub fn try_build_recorded<R: Recorder>(
         g: &BipartiteGraph,
         side: Side,
@@ -101,6 +121,7 @@ impl PairMatrix {
         if budget.bytes_fit(Self::dense_build_bytes(g, side)) {
             return Ok(Self::build(g, side));
         }
+        budget.check_bytes(Self::streaming_build_bytes(g, side))?;
         record_degraded(rec, "bytes");
         let (part, other) = match side {
             Side::V1 => (g.biadjacency(), g.biadjacency_t()),
@@ -285,14 +306,33 @@ mod tests {
             // An unlimited budget takes the dense path...
             let unbudgeted = PairMatrix::try_build(&g, side, &ResourceBudget::unlimited()).unwrap();
             assert_eq!(unbudgeted.nnz(), dense.nnz());
-            // ...while a 1-byte cap forces streaming; same matrix either way.
+            // ...while a cap at the streaming floor forces streaming;
+            // same matrix either way.
             let mut rec = InMemoryRecorder::new();
-            let tight = ResourceBudget::unlimited().with_max_bytes(1);
+            let floor = PairMatrix::streaming_build_bytes(&g, side);
+            assert!(floor < PairMatrix::dense_build_bytes(&g, side) || floor > 0);
+            let tight = ResourceBudget::unlimited().with_max_bytes(floor);
             let streamed = PairMatrix::try_build_recorded(&g, side, &tight, &mut rec).unwrap();
             assert_eq!(streamed.nnz(), dense.nnz());
             assert_eq!(streamed.total(), dense.total());
             assert_eq!(streamed.top_pairs(10), dense.top_pairs(10));
             assert_eq!(rec.gauge_value("budget.degraded"), Some(1.0));
+            // A cap below even the streaming floor fails typed, carrying
+            // the exact estimate of the cheapest shape.
+            let starved = ResourceBudget::unlimited().with_max_bytes(floor - 1);
+            let err = PairMatrix::try_build(&g, side, &starved).unwrap_err();
+            match err {
+                crate::error::BflyError::BudgetExceeded {
+                    resource,
+                    limit,
+                    requested,
+                } => {
+                    assert_eq!(resource, "bytes");
+                    assert_eq!(limit, floor - 1);
+                    assert_eq!(requested, floor);
+                }
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
         }
     }
 

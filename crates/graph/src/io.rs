@@ -34,6 +34,9 @@ pub enum IoError {
         /// Description of the problem.
         msg: String,
     },
+    /// A binary `.bfly` file violated its own format contract (bad
+    /// magic, checksum mismatch, corrupt varint, inconsistent index).
+    Format(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            IoError::Format(msg) => write!(f, "invalid .bfly file: {msg}"),
         }
     }
 }

@@ -24,6 +24,7 @@
 // workspace; the indexed loops clippy flags are the clearer form here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bfly_format;
 pub mod bipartite;
 pub mod compact;
 pub mod components;
@@ -39,6 +40,10 @@ pub mod rewire;
 pub mod stats;
 pub mod temporal;
 
+pub use bfly_format::{
+    convert_to_bfly, is_bfly_file, read_bfly, read_bfly_file, write_bfly, write_bfly_file,
+    ConvertStats, GraphSegment, RowReader, SegmentedGraph, TextFormat,
+};
 pub use bipartite::{BipartiteGraph, Side};
 pub use compact::{compact, compact_by, CompactedGraph};
 pub use components::{component_subgraph, connected_components, Components};

@@ -108,12 +108,16 @@ pub enum Counter {
     /// monitored counter advanced for the configured patience. Raised by
     /// the monitor thread, never by kernels.
     StallsDetected,
+    /// Vertex-range shards completed by the sharded execution mode
+    /// (in-memory or out-of-core); each shard's partial merges exactly
+    /// into the total.
+    ShardsProcessed,
 }
 
 impl Counter {
     /// Single source of truth: every counter with its stable report
     /// name, in discriminant order.
-    const TABLE: [(Counter, &'static str); 15] = [
+    const TABLE: [(Counter, &'static str); 16] = [
         (Counter::WedgesExpanded, "wedges_expanded"),
         (Counter::SpaScatters, "spa_scatters"),
         (Counter::AccumEntries, "accum_entries"),
@@ -129,6 +133,7 @@ impl Counter {
         (Counter::IncDeletes, "inc_deletes"),
         (Counter::IncWedgeWork, "inc_wedge_work"),
         (Counter::StallsDetected, "stalls_detected"),
+        (Counter::ShardsProcessed, "shards_processed"),
     ];
 
     /// Number of counters (length of [`Counter::ALL`]).

@@ -33,30 +33,45 @@ fn byte_caps_degrade_the_plan_but_not_the_count() {
     for (name, g) in fixture_battery() {
         let want = count_adaptive(&g).0;
         // The fixed-member flat sequential plan with degree ordering shed
-        // is the cheapest shape the planner can degrade to (a selected
-        // global-order member demotes to its fixed fallback first); any
-        // cap at or above its scratch floor must still produce the exact
-        // count.
+        // is the cheapest *in-memory* shape the planner can degrade to (a
+        // selected global-order member demotes to its fixed fallback
+        // first); byte costs are total — resident graph plus scratch — so
+        // any cap at or above resident + flat floor must still produce
+        // the exact count without leaving the in-memory regime.
         let profile = GraphProfile::compute(&g);
         let mut flat = bfly::core::select_plan(&profile, false, 1);
         flat.member = bfly::core::Member::Fixed(flat.invariant);
         flat.degree_ordered = false;
         flat.mode = bfly::core::ExecMode::Flat;
-        let floor = plan_scratch_bytes(&profile, &flat);
+        let floor = profile.resident_bytes + plan_scratch_bytes(&profile, &flat);
         let budget = ResourceBudget::unlimited().with_max_bytes(floor);
         let r = count_adaptive_budgeted(&g, true, &budget).unwrap();
         assert!(r.complete, "{name}");
         assert_eq!(r.value.0, want, "{name}: degraded count must stay exact");
-        // Below the floor there is nothing left to shed: typed refusal,
-        // naming the axis.
-        if floor > 0 {
-            let budget = ResourceBudget::unlimited().with_max_bytes(floor - 1);
-            match count_adaptive_budgeted(&g, true, &budget) {
-                Err(BflyError::BudgetExceeded { resource, .. }) => {
-                    assert_eq!(resource, "bytes", "{name}")
-                }
-                other => panic!("{name}: expected bytes refusal, got {other:?}"),
+        // Below the in-memory floor the planner switches to the sharded
+        // tier — a *planned* mode, still exact — and only a cap no shard
+        // count can satisfy is a typed refusal naming the axis.
+        let budget = ResourceBudget::unlimited().with_max_bytes(floor - 1);
+        match count_adaptive_budgeted(&g, true, &budget) {
+            Ok(r) => {
+                assert!(r.complete, "{name}");
+                assert!(
+                    matches!(r.value.1.mode, bfly::core::ExecMode::Sharded { .. }),
+                    "{name}: sub-resident cap must select the sharded tier, got {:?}",
+                    r.value.1.mode
+                );
+                assert_eq!(r.value.0, want, "{name}: sharded count must stay exact");
             }
+            Err(BflyError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, "bytes", "{name}")
+            }
+            other => panic!("{name}: expected sharded plan or bytes refusal, got {other:?}"),
+        }
+        match count_adaptive_budgeted(&g, true, &ResourceBudget::unlimited().with_max_bytes(16)) {
+            Err(BflyError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, "bytes", "{name}")
+            }
+            other => panic!("{name}: expected bytes refusal, got {other:?}"),
         }
     }
 }
@@ -136,7 +151,12 @@ fn pair_matrix_streaming_fallback_is_exact() {
     for (name, g) in fixture_battery() {
         for side in [Side::V1, Side::V2] {
             let dense = PairMatrix::build(&g, side);
-            let tiny = ResourceBudget::unlimited().with_max_bytes(1);
+            // A cap at exactly the streaming floor forces the streaming
+            // path (the dense estimate is larger on every fixture); a cap
+            // below it is a typed refusal carrying the exact floor bytes,
+            // covered by the pair_matrix unit tests.
+            let tiny = ResourceBudget::unlimited()
+                .with_max_bytes(PairMatrix::streaming_build_bytes(&g, side));
             let streamed = PairMatrix::try_build(&g, side, &tiny).unwrap();
             assert_eq!(
                 streamed.total(),
