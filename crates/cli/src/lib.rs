@@ -50,9 +50,9 @@ use bfly_core::telemetry::{
 };
 use bfly_core::{
     count_auto_recorded, count_by_enumeration, count_parallel_recorded, count_parallel_shared,
-    count_priority_shared, count_ranked_shared, count_recorded, count_segmented_budgeted_recorded,
-    count_sharded_recorded, count_via_spgemm, enumerate_butterflies, BflyError, Invariant,
-    ResourceBudget,
+    count_priority_shared, count_ranked_shared, count_recorded,
+    count_segmented_checkpointed_recorded, count_sharded_recorded, count_via_spgemm,
+    enumerate_butterflies, BflyError, CheckpointConfig, Invariant, ResourceBudget,
 };
 use bfly_graph::io::{read_edge_list_file, read_konect_file, write_edge_list, IoError};
 use bfly_graph::matrix_market::read_matrix_market_file;
@@ -118,6 +118,13 @@ pub enum Command {
         /// `--shard-bytes B`: size shards so each holds roughly B bytes
         /// of on-disk payload (`.bfly` inputs only).
         shard_bytes: Option<u64>,
+        /// `--checkpoint DIR`: persist each completed shard's exact
+        /// partial to DIR so an interrupted run can resume (`.bfly`
+        /// sharded inputs only).
+        checkpoint: Option<String>,
+        /// `--resume`: skip shards already checkpointed in the
+        /// `--checkpoint` directory (after fingerprint validation).
+        resume: bool,
     },
     /// `bfly tip`.
     Tip {
@@ -574,6 +581,7 @@ USAGE:
                           [--adaptive] [--explain] [--parallel] [--threads N]
                           [--max-bytes B] [--max-work W] [--deadline-ms MS]
                           [--shards N] [--shard-bytes B]
+                          [--checkpoint DIR] [--resume]
                           [--format ...]
                           [--stats] [--report FILE] [--trace FILE]
                           [--stream FILE|-] [--progress] [--flight-recorder FILE]
@@ -612,6 +620,15 @@ the count streams wedge-balanced vertex-range shards off the file,
 merging per-shard partials exactly. --shards / --shard-bytes pick the
 shard count or on-disk shard size directly. Every command reads
 `.bfly` files; only `count` executes them out-of-core.
+
+--checkpoint DIR persists each completed shard's exact partial to DIR
+(atomic, checksummed records keyed by a graph+plan fingerprint); after
+a crash, rerunning with --resume skips the checkpointed shards and
+merges their saved partials bitwise-exactly. A fingerprint mismatch
+(edited graph, different invariant or shard layout) is a typed refusal
+(exit 3), never a silent wrong count. Both flags need the out-of-core
+sharded tier (`.bfly` input with --shards / --shard-bytes /
+--max-bytes).
 
 --stream emits one NDJSON telemetry event per line as the run
 progresses (flushed per line); `--stream -` uses stdout and moves the
@@ -657,6 +674,7 @@ fn split_args(args: &[String]) -> Result<Args, CliError> {
                     | "gate"
                     | "progress"
                     | "gauges"
+                    | "resume"
             ) {
                 flags.push((name.to_string(), None));
             } else {
@@ -839,6 +857,17 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 }
                 (false, a) => a,
             };
+            let checkpoint = rest.flag("checkpoint").map(str::to_string);
+            let resume = rest.has("resume");
+            if resume && checkpoint.is_none() {
+                return Err(err("--resume needs --checkpoint DIR to resume from"));
+            }
+            if checkpoint.is_some() && !(sharded || max_bytes.is_some()) {
+                return Err(err(
+                    "--checkpoint only applies to the out-of-core sharded tier; \
+                     add --shards/--shard-bytes (or --max-bytes) on a .bfly input",
+                ));
+            }
             Ok(Command::Count {
                 file: file()?,
                 format,
@@ -857,6 +886,8 @@ fn parse_inner(argv: &[String]) -> Result<Command, CliError> {
                 deadline_ms,
                 shards,
                 shard_bytes,
+                checkpoint,
+                resume,
             })
         }
         "tip" => {
@@ -1508,6 +1539,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
             deadline_ms,
             shards,
             shard_bytes,
+            checkpoint,
+            resume,
         } => {
             let live = progress || flight_recorder.is_some();
             let mut budget = ResourceBudget::unlimited();
@@ -1534,15 +1567,27 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), CliError> 
                         flight_recorder,
                         "count",
                     )?;
+                    let ckpt = checkpoint.map(|dir| {
+                        if resume {
+                            CheckpointConfig::resume(dir)
+                        } else {
+                            CheckpointConfig::new(dir)
+                        }
+                    });
                     return run_count_segmented(
                         &file,
                         shards,
                         shard_bytes,
                         &budget,
+                        ckpt,
                         explain,
                         telem,
                         out,
                     );
+                }
+                if checkpoint.is_some() {
+                    return Err(err("--checkpoint needs the out-of-core sharded tier; add \
+                         --shards/--shard-bytes or --max-bytes"));
                 }
             } else if shard_bytes.is_some() {
                 return Err(err(
@@ -2412,11 +2457,13 @@ fn run_count_budgeted(
 /// the byte budget (in that precedence); budget refusals exit through
 /// [`ErrorClass::Budget`] and a deadline cut yields a flagged partial
 /// exactly like the in-memory budgeted path.
+#[allow(clippy::too_many_arguments)]
 fn run_count_segmented(
     file: &str,
     shards: Option<usize>,
     shard_bytes: Option<u64>,
     budget: &ResourceBudget,
+    ckpt: Option<CheckpointConfig>,
     explain: bool,
     mut telem: Telem,
     out: &mut impl std::io::Write,
@@ -2433,11 +2480,12 @@ fn run_count_segmented(
         telem.set_forecast(select_plan(&profile, false, 0).forecast());
     }
     fault_injection();
-    let result = with_recorder!(telem, |rec| count_segmented_budgeted_recorded(
+    let result = with_recorder!(telem, |rec| count_segmented_checkpointed_recorded(
         &sg,
         shards,
         shard_bytes,
         budget,
+        ckpt.as_ref(),
         rec
     ));
     let r = match result {
@@ -2486,6 +2534,13 @@ fn run_count_segmented(
         ("complete".to_string(), Json::Bool(complete)),
         ("plan".to_string(), plan.to_json()),
     ];
+    if let Some(cfg) = &ckpt {
+        meta.push((
+            "checkpoint_dir".to_string(),
+            Json::Str(cfg.dir.display().to_string()),
+        ));
+        meta.push(("resumed".to_string(), Json::Bool(cfg.resume)));
+    }
     if let Some(f) = fraction {
         meta.push(("fraction_complete".to_string(), Json::Float(f)));
     }
@@ -2623,8 +2678,37 @@ mod tests {
                 deadline_ms: None,
                 shards: None,
                 shard_bytes: None,
+                checkpoint: None,
+                resume: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_checkpoint_and_resume() {
+        let cmd = parse(&sv(&[
+            "count",
+            "g.bfly",
+            "--shards",
+            "4",
+            "--checkpoint",
+            "/tmp/ck",
+            "--resume",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Count {
+                checkpoint, resume, ..
+            } => {
+                assert_eq!(checkpoint.as_deref(), Some("/tmp/ck"));
+                assert!(resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --resume without --checkpoint is a usage error...
+        assert!(parse(&sv(&["count", "g.bfly", "--shards", "2", "--resume"])).is_err());
+        // ...and --checkpoint without the sharded tier is too.
+        assert!(parse(&sv(&["count", "g.tsv", "--checkpoint", "/tmp/ck"])).is_err());
     }
 
     #[test]

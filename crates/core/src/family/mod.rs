@@ -70,9 +70,9 @@ pub use ranked::{
     count_ranked_shared, try_count_ranked, try_count_ranked_parallel, RANKED_BUCKET_WEDGES,
 };
 pub use sharded::{
-    count_segmented, count_segmented_budgeted_recorded, count_segmented_sharded_recorded,
-    count_sharded, count_sharded_recorded, segmented_profile, segmented_wedge_weights,
-    try_count_sharded,
+    count_segmented, count_segmented_budgeted_recorded, count_segmented_checkpointed_recorded,
+    count_segmented_sharded_recorded, count_sharded, count_sharded_recorded, segmented_profile,
+    segmented_wedge_weights, try_count_sharded,
 };
 pub use verify::{invariant_specified_value, verify_loop_invariant};
 

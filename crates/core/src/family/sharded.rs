@@ -42,6 +42,7 @@ use super::{
 };
 use crate::adaptive::{plan_scratch_bytes, select_plan, ExecMode, GraphProfile, Member, Plan};
 use crate::budget::{record_degraded, record_memory, Partial, ResourceBudget};
+use crate::checkpoint::{fingerprint_segmented, CheckpointConfig, CheckpointStore};
 use crate::error::BflyError;
 use bfly_graph::{BipartiteGraph, SegmentedGraph, Side};
 use bfly_sparse::{choose2, CheckedAccum, Pattern, Spa};
@@ -432,7 +433,34 @@ pub fn count_segmented_budgeted_recorded<R: Recorder>(
     budget: &ResourceBudget,
     rec: &mut R,
 ) -> crate::error::Result<Partial<(u64, Plan)>> {
+    count_segmented_checkpointed_recorded(sg, shards, shard_bytes, budget, None, rec)
+}
+
+/// [`count_segmented_budgeted_recorded`] with an optional durability
+/// layer: when `ckpt` is set, every completed shard's exact
+/// [`CheckedAccum`] partial is atomically persisted to the checkpoint
+/// directory (inside a `checkpoint` span, counted by
+/// `checkpoints_written`), and a resume run validates the
+/// [`fingerprint_segmented`] run-shape fingerprint, merges persisted
+/// partials for already-completed shards (`shards_skipped_resume`), and
+/// recounts only the rest — bitwise-identical to an uninterrupted run,
+/// because the shard merge algebra is exact.
+///
+/// With `ckpt = None` this is byte-for-byte the plain budgeted path:
+/// the durability layer is pay-for-use (one branch per *shard*, never
+/// per vertex).
+pub fn count_segmented_checkpointed_recorded<R: Recorder>(
+    sg: &SegmentedGraph,
+    shards: Option<usize>,
+    shard_bytes: Option<u64>,
+    budget: &ResourceBudget,
+    ckpt: Option<&CheckpointConfig>,
+    rec: &mut R,
+) -> crate::error::Result<Partial<(u64, Plan)>> {
     budget.record_limits(rec);
+    // Snapshot the reader's retry counters up front so the delta covers
+    // the wedge-weight scan as well as the shard loop.
+    let (retries0, giveups0) = sg.retry_stats();
     budget.check_measured_bytes()?;
     let (_profile, plan) = timed_span(rec, "select", |rec| {
         let profile = segmented_profile(sg);
@@ -498,77 +526,129 @@ pub fn count_segmented_budgeted_recorded<R: Recorder>(
             .unwrap_or(0);
         rec.gauge("shard_bytes", max_bytes as f64);
     }
+    // Durability layer: bind the checkpoint directory to this exact run
+    // shape (graph identity + invariant + shard ranges). A resume with a
+    // mismatched fingerprint refuses here, before any counting.
+    let store = match ckpt {
+        Some(cfg) => {
+            let fp = fingerprint_segmented(sg, inv, &ranges);
+            Some(CheckpointStore::open(cfg, fp, ranges.len())?)
+        }
+        None => None,
+    };
+    // Deterministic chaos hook: BFLY_FAULT_SHARD_ERROR=N injects a hard
+    // I/O error after N shards complete (and checkpoint, if enabled) —
+    // how CI kills a run at a shard boundary.
+    let fault_after_shards: Option<u64> = std::env::var("BFLY_FAULT_SHARD_ERROR")
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
     let part_len = sg.side_len(side);
     let mut spa = Spa::<u64>::new(part_len);
     let mut total = CheckedAccum::new();
     let mut complete = true;
     let mut exposed = 0usize;
-    bfly_telemetry::timed_phase(rec, "count", |rec| -> crate::error::Result<()> {
-        let mut reader = sg.row_reader(other_side);
-        'shards: for &(lo, hi) in &ranges {
-            let seg = sg.segment(side, lo, hi)?;
-            let mut shard_acc = CheckedAccum::new();
-            let wedge_total: u64 = weights[lo..hi].iter().sum();
-            let shard_complete = timed_span(rec, "shard", |rec| -> crate::error::Result<bool> {
-                // Inv1/Inv5 are forward traversals; the selector never
-                // picks a backward member, but mirror it defensively.
-                for k in lo..hi {
-                    exposed += 1;
-                    if exposed.is_multiple_of(DEADLINE_STRIDE) {
-                        if let Some(d) = budget.deadline {
-                            if Instant::now() >= d {
-                                return Ok(false);
-                            }
-                        }
-                    }
-                    let k32 = k as u32;
-                    let mut wedges = 0u64;
-                    for &j in seg.neighbors(k) {
-                        let row = reader.row(j as usize)?;
-                        let slice = match filter {
-                            PartFilter::Before => {
-                                let cut = row.partition_point(|&c| c < k32);
-                                &row[..cut]
-                            }
-                            PartFilter::After => {
-                                let cut = row.partition_point(|&c| c <= k32);
-                                &row[cut..]
-                            }
-                        };
+    let mut shards_done = 0u64;
+    let phase_result =
+        bfly_telemetry::timed_phase(rec, "count", |rec| -> crate::error::Result<()> {
+            let mut reader = sg.row_reader(other_side);
+            'shards: for &(lo, hi) in &ranges {
+                let wedge_total: u64 = weights[lo..hi].iter().sum();
+                if let Some(store) = &store {
+                    if let Some(saved) = store.load_shard(lo, hi)? {
+                        total.merge(saved);
+                        rec.incr(Counter::ShardsSkippedResume, 1);
                         if R::ENABLED {
-                            wedges += slice.len() as u64;
+                            rec.series_push("shard_wedges", wedge_total as f64);
                         }
-                        for &c in slice {
-                            spa.scatter(c, 1);
-                        }
+                        shards_done += 1;
+                        continue 'shards;
                     }
-                    if R::ENABLED {
-                        rec.incr(Counter::VerticesExposed, 1);
-                        rec.incr(Counter::WedgesExpanded, wedges);
-                        rec.incr(Counter::SpaScatters, wedges);
-                        rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
-                        rec.hist_record("vertex_wedges", wedges);
-                    }
-                    for (_, cnt) in spa.entries() {
-                        shard_acc.add(choose2(cnt));
-                    }
-                    spa.clear();
                 }
-                Ok(true)
-            })?;
-            total.merge(shard_acc);
-            rec.incr(Counter::ShardsProcessed, 1);
-            if R::ENABLED {
-                rec.series_push("shard_wedges", wedge_total as f64);
+                let seg = sg.segment(side, lo, hi)?;
+                let mut shard_acc = CheckedAccum::new();
+                let shard_complete =
+                    timed_span(rec, "shard", |rec| -> crate::error::Result<bool> {
+                        // Inv1/Inv5 are forward traversals; the selector never
+                        // picks a backward member, but mirror it defensively.
+                        for k in lo..hi {
+                            exposed += 1;
+                            if exposed.is_multiple_of(DEADLINE_STRIDE) {
+                                if let Some(d) = budget.deadline {
+                                    if Instant::now() >= d {
+                                        return Ok(false);
+                                    }
+                                }
+                            }
+                            let k32 = k as u32;
+                            let mut wedges = 0u64;
+                            for &j in seg.neighbors(k) {
+                                let row = reader.row(j as usize)?;
+                                let slice = match filter {
+                                    PartFilter::Before => {
+                                        let cut = row.partition_point(|&c| c < k32);
+                                        &row[..cut]
+                                    }
+                                    PartFilter::After => {
+                                        let cut = row.partition_point(|&c| c <= k32);
+                                        &row[cut..]
+                                    }
+                                };
+                                if R::ENABLED {
+                                    wedges += slice.len() as u64;
+                                }
+                                for &c in slice {
+                                    spa.scatter(c, 1);
+                                }
+                            }
+                            if R::ENABLED {
+                                rec.incr(Counter::VerticesExposed, 1);
+                                rec.incr(Counter::WedgesExpanded, wedges);
+                                rec.incr(Counter::SpaScatters, wedges);
+                                rec.incr(Counter::AccumEntries, spa.touched_len() as u64);
+                                rec.hist_record("vertex_wedges", wedges);
+                            }
+                            for (_, cnt) in spa.entries() {
+                                shard_acc.add(choose2(cnt));
+                            }
+                            spa.clear();
+                        }
+                        Ok(true)
+                    })?;
+                total.merge(shard_acc);
+                rec.incr(Counter::ShardsProcessed, 1);
+                if R::ENABLED {
+                    rec.series_push("shard_wedges", wedge_total as f64);
+                }
+                if !shard_complete {
+                    complete = false;
+                    break 'shards;
+                }
+                // Persist only *complete* shard partials: a deadline cut
+                // above leaves nothing durable, so a later resume recounts
+                // that shard from scratch instead of merging a prefix.
+                if let Some(store) = &store {
+                    timed_span(rec, "checkpoint", |_rec| {
+                        store.persist_shard(lo, hi, &shard_acc)
+                    })?;
+                    rec.incr(Counter::CheckpointsWritten, 1);
+                }
+                shards_done += 1;
+                if fault_after_shards == Some(shards_done) {
+                    return Err(BflyError::Io(bfly_graph::io::IoError::Io(
+                        std::io::Error::other(format!(
+                            "injected shard fault after {shards_done} shard(s) \
+                             (BFLY_FAULT_SHARD_ERROR)"
+                        )),
+                    )));
+                }
+                budget.check_measured_bytes()?;
             }
-            if !shard_complete {
-                complete = false;
-                break 'shards;
-            }
-            budget.check_measured_bytes()?;
-        }
-        Ok(())
-    })?;
+            Ok(())
+        });
+    let (retries1, giveups1) = sg.retry_stats();
+    rec.incr(Counter::IoRetries, retries1.saturating_sub(retries0));
+    rec.incr(Counter::IoGiveups, giveups1.saturating_sub(giveups0));
+    phase_result?;
     if !complete {
         record_degraded(rec, "deadline");
     }

@@ -55,6 +55,7 @@ pub mod adaptive;
 pub mod approx;
 pub mod baseline;
 pub mod budget;
+pub mod checkpoint;
 pub mod edge_support;
 pub mod enumerate;
 pub mod error;
@@ -78,6 +79,7 @@ pub use adaptive::{
     Member, Plan, PRIORITY_ADVANTAGE, PRIORITY_MIN_WORK,
 };
 pub use budget::{record_memory, Partial, ResourceBudget};
+pub use checkpoint::{fingerprint_segmented, CheckpointConfig, CheckpointStore};
 pub use enumerate::{count_by_enumeration, enumerate_butterflies, for_each_butterfly, Butterfly};
 pub use error::{validate_graph, BflyError};
 pub use family::{
@@ -85,11 +87,11 @@ pub use family::{
     count_parallel_shared, count_parallel_with_threads, count_parallel_with_threads_recorded,
     count_priority, count_priority_parallel, count_priority_shared, count_ranked,
     count_ranked_parallel, count_ranked_shared, count_recorded, count_segmented,
-    count_segmented_budgeted_recorded, count_segmented_sharded_recorded, count_sharded,
-    count_sharded_recorded, priority_wedge_work, segmented_profile, segmented_wedge_weights,
-    try_count, try_count_priority, try_count_priority_parallel, try_count_ranked,
-    try_count_ranked_parallel, try_count_recorded, try_count_sharded, tuned_chunk_count,
-    tuned_chunk_count_from_latency, weight_p90, Invariant,
+    count_segmented_budgeted_recorded, count_segmented_checkpointed_recorded,
+    count_segmented_sharded_recorded, count_sharded, count_sharded_recorded, priority_wedge_work,
+    segmented_profile, segmented_wedge_weights, try_count, try_count_priority,
+    try_count_priority_parallel, try_count_ranked, try_count_ranked_parallel, try_count_recorded,
+    try_count_sharded, tuned_chunk_count, tuned_chunk_count_from_latency, weight_p90, Invariant,
 };
 pub use incremental::IncrementalCounter;
 pub use pair_matrix::PairMatrix;

@@ -167,7 +167,14 @@ pub fn arb_family_graph() -> impl Strategy<Value = BipartiteGraph> {
 /// * **slowness** ([`FaultyReader::with_delay`]): sleep before each
 ///   `read`, modelling a congested pipe or cold storage — combined with
 ///   `with_chunk` this starves a consumer for a controllable wall-clock
-///   span (the stall-watchdog tests drive on it).
+///   span (the stall-watchdog tests drive on it);
+/// * **fault schedules** ([`FaultyReader::with_fault_schedule`],
+///   [`FaultyReader::with_transient_at`]): a deterministic list of
+///   [`ScheduledFault`]s — each arms at a byte offset and fires a fixed
+///   number of times (transient-N-times-then-succeed) or forever — the
+///   vocabulary the retry-policy and kill-and-resume tests drive on;
+///   [`seeded_fault_schedule`] derives a reproducible schedule from a
+///   seed.
 #[derive(Debug, Clone)]
 pub struct FaultyReader {
     data: Vec<u8>,
@@ -177,6 +184,68 @@ pub struct FaultyReader {
     fired: bool,
     truncate_at: Option<usize>,
     delay: Option<std::time::Duration>,
+    schedule: Vec<ScheduledFault>,
+}
+
+/// One entry of a deterministic fault schedule (see
+/// [`FaultyReader::with_fault_schedule`] and [`FaultyWriter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Cursor offset (bytes produced/consumed so far) at which the
+    /// fault arms.
+    pub at: usize,
+    /// The `std::io::ErrorKind` raised. `Interrupted`/`WouldBlock`/
+    /// `TimedOut` model transient faults a retry policy should absorb;
+    /// anything else is a hard failure.
+    pub kind: std::io::ErrorKind,
+    /// How many calls fail once armed before I/O proceeds —
+    /// transient-N-times-then-succeed. `usize::MAX` never stops firing
+    /// (a permanently broken region).
+    pub times: usize,
+}
+
+impl ScheduledFault {
+    /// Transient fault: `Interrupted`, `times` times, at offset `at`.
+    pub fn transient(at: usize, times: usize) -> Self {
+        ScheduledFault {
+            at,
+            kind: std::io::ErrorKind::Interrupted,
+            times,
+        }
+    }
+
+    /// Permanent fault of `kind` at offset `at`.
+    pub fn hard(at: usize, kind: std::io::ErrorKind) -> Self {
+        ScheduledFault {
+            at,
+            kind,
+            times: usize::MAX,
+        }
+    }
+}
+
+/// Derive a reproducible fault schedule from a seed: `count` transient
+/// faults (1–3 firings each) at xorshift-chosen offsets within
+/// `0..len`. Deterministic — the same seed always yields the same
+/// schedule, so a failing chaos test names a replayable scenario.
+pub fn seeded_fault_schedule(seed: u64, len: usize, count: usize) -> Vec<ScheduledFault> {
+    // Golden-ratio mixing keeps adjacent seeds from collapsing into the
+    // same xorshift state (a bare `seed | 1` would alias 2k and 2k+1).
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = if len == 0 { 0 } else { (next() as usize) % len };
+        let times = 1 + (next() as usize) % 3;
+        out.push(ScheduledFault::transient(at, times));
+    }
+    out.sort_by_key(|f| f.at);
+    out
 }
 
 impl FaultyReader {
@@ -191,6 +260,7 @@ impl FaultyReader {
             fired: false,
             truncate_at: None,
             delay: None,
+            schedule: Vec::new(),
         }
     }
 
@@ -219,6 +289,21 @@ impl FaultyReader {
         self.delay = Some(delay);
         self
     }
+
+    /// Install a deterministic fault schedule (entries checked in
+    /// order on every `read`; see [`ScheduledFault`]).
+    pub fn with_fault_schedule(mut self, schedule: Vec<ScheduledFault>) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Shorthand: fail with `Interrupted` `times` times once the cursor
+    /// reaches byte `n`, then succeed — the transient-then-recover
+    /// shape a retry policy must absorb.
+    pub fn with_transient_at(mut self, n: usize, times: usize) -> Self {
+        self.schedule.push(ScheduledFault::transient(n, times));
+        self
+    }
 }
 
 impl std::io::Read for FaultyReader {
@@ -232,6 +317,15 @@ impl std::io::Read for FaultyReader {
                 return Err(std::io::Error::new(kind, "injected fault"));
             }
         }
+        let pos = self.pos;
+        for f in &mut self.schedule {
+            if pos >= f.at && f.times > 0 {
+                if f.times != usize::MAX {
+                    f.times -= 1;
+                }
+                return Err(std::io::Error::new(f.kind, "scheduled fault"));
+            }
+        }
         let end = self.truncate_at.unwrap_or(usize::MAX).min(self.data.len());
         if self.pos >= end || buf.is_empty() {
             return Ok(0);
@@ -242,6 +336,108 @@ impl std::io::Read for FaultyReader {
         buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
         self.pos += take;
         Ok(take)
+    }
+}
+
+/// Fault-injecting [`std::io::Write`] counterpart of [`FaultyReader`]:
+/// collects bytes in memory and fails according to the same
+/// [`ScheduledFault`] vocabulary — how atomic-write paths (converter
+/// assembly, checkpoint persist) are driven through partial-write and
+/// error-mid-write scenarios without touching a real filesystem.
+///
+/// * **scheduled faults** ([`FaultyWriter::with_fault_schedule`],
+///   [`FaultyWriter::with_transient_at`]): arm at a written-byte offset,
+///   fire `times` calls, then let writes proceed;
+/// * **short writes** ([`FaultyWriter::with_chunk`]): accept at most
+///   `chunk` bytes per `write` call, so callers that ignore partial
+///   writes corrupt their output visibly;
+/// * **truncation** ([`FaultyWriter::with_capacity_limit`]): report
+///   `WriteZero`-style disk-full once `n` bytes have been accepted — a
+///   crash/ENOSPC mid-write leaves exactly the accepted prefix, which
+///   is what a torn (non-atomic) output file looks like.
+#[derive(Debug, Clone, Default)]
+pub struct FaultyWriter {
+    data: Vec<u8>,
+    chunk: Option<usize>,
+    capacity: Option<usize>,
+    schedule: Vec<ScheduledFault>,
+}
+
+impl FaultyWriter {
+    /// A well-behaved in-memory writer; compose faults with the builder
+    /// methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accept at most `chunk` bytes per `write` call (`chunk ≥ 1`).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Fail with `WriteZero` ("no space") once `n` bytes are stored.
+    pub fn with_capacity_limit(mut self, n: usize) -> Self {
+        self.capacity = Some(n);
+        self
+    }
+
+    /// Install a deterministic fault schedule (offsets measure bytes
+    /// accepted so far).
+    pub fn with_fault_schedule(mut self, schedule: Vec<ScheduledFault>) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Shorthand: fail with `Interrupted` `times` times once `n` bytes
+    /// are stored, then succeed.
+    pub fn with_transient_at(mut self, n: usize, times: usize) -> Self {
+        self.schedule.push(ScheduledFault::transient(n, times));
+        self
+    }
+
+    /// Bytes accepted so far.
+    pub fn written(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume the writer, returning the accepted bytes.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl std::io::Write for FaultyWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let pos = self.data.len();
+        for f in &mut self.schedule {
+            if pos >= f.at && f.times > 0 {
+                if f.times != usize::MAX {
+                    f.times -= 1;
+                }
+                return Err(std::io::Error::new(f.kind, "scheduled fault"));
+            }
+        }
+        if let Some(cap) = self.capacity {
+            if pos >= cap {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected disk-full",
+                ));
+            }
+            let take = (cap - pos)
+                .min(buf.len())
+                .min(self.chunk.unwrap_or(usize::MAX));
+            self.data.extend_from_slice(&buf[..take]);
+            return Ok(take);
+        }
+        let take = buf.len().min(self.chunk.unwrap_or(usize::MAX));
+        self.data.extend_from_slice(&buf[..take]);
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -282,6 +478,110 @@ mod tests {
         let mut out = Vec::new();
         r.read_to_end(&mut out).unwrap();
         assert_eq!(out, b"abcdef");
+    }
+
+    #[test]
+    fn scheduled_transient_fault_fires_then_clears() {
+        // Two Interrupted firings at byte 3, then the stream completes:
+        // read_to_end retries Interrupted transparently, so the full
+        // payload arrives and the schedule is exhausted.
+        let mut r = FaultyReader::new(&b"abcdef"[..])
+            .with_chunk(2)
+            .with_fault_schedule(vec![ScheduledFault::transient(3, 2)]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abcdef");
+    }
+
+    #[test]
+    fn scheduled_hard_fault_never_clears() {
+        let mut r = FaultyReader::new(&b"abcdef"[..])
+            .with_chunk(2)
+            .with_fault_schedule(vec![ScheduledFault::hard(
+                4,
+                std::io::ErrorKind::UnexpectedEof,
+            )]);
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(out, b"abcd");
+        // Retrying does not help: the fault is permanent.
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn seeded_fault_schedule_is_deterministic() {
+        let a = seeded_fault_schedule(42, 1000, 5);
+        let b = seeded_fault_schedule(42, 1000, 5);
+        assert_eq!(a.len(), 5);
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            assert_eq!(fa.at, fb.at);
+            assert_eq!(fa.times, fb.times);
+            assert!(fa.at < 1000);
+            assert!((1..=3).contains(&fa.times));
+        }
+        // Offsets are sorted so faults fire in stream order.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // A different seed lands different offsets (overwhelmingly likely).
+        let c = seeded_fault_schedule(43, 1000, 5);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.at != y.at));
+    }
+
+    #[test]
+    fn seeded_schedule_streams_survive_retrying_readers() {
+        // A reader carrying a purely-transient seeded schedule always
+        // delivers the full payload through read_to_end's retry loop.
+        let payload: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        for seed in [1u64, 7, 99] {
+            let sched = seeded_fault_schedule(seed, payload.len(), 4);
+            let mut r = FaultyReader::new(&payload[..])
+                .with_chunk(13)
+                .with_fault_schedule(sched);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, payload, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn faulty_writer_collects_bytes_and_honors_chunking() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new().with_chunk(3);
+        w.write_all(b"hello world").unwrap();
+        assert_eq!(w.written(), b"hello world");
+        assert_eq!(w.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn faulty_writer_transient_then_succeeds() {
+        use std::io::Write;
+        // write_all does NOT retry Interrupted for us the way
+        // read_to_end does, so drive it manually like a retry loop would.
+        let mut w = FaultyWriter::new().with_chunk(2).with_transient_at(4, 2);
+        let data = b"abcdefgh";
+        let mut off = 0;
+        let mut interrupts = 0;
+        while off < data.len() {
+            match w.write(&data[off..]) {
+                Ok(n) => off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => interrupts += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(interrupts, 2);
+        assert_eq!(w.written(), data);
+    }
+
+    #[test]
+    fn faulty_writer_disk_full_preserves_prefix() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new().with_capacity_limit(6);
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        // Exactly the accepted prefix survives — what a torn non-atomic
+        // output file looks like after ENOSPC.
+        assert_eq!(w.written(), b"012345");
     }
 
     #[test]

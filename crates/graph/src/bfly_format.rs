@@ -46,10 +46,13 @@
 
 use crate::bipartite::{BipartiteGraph, Side};
 use crate::io::IoError;
+use crate::retry::{with_retries, RetryPolicy, RetryStats};
 use bfly_sparse::Pattern;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Magic bytes at offset 0 of every `.bfly` file.
 pub const BFLY_MAGIC: [u8; 8] = *b"BFLYCSR\0";
@@ -466,11 +469,27 @@ pub fn write_bfly<W: Write>(g: &BipartiteGraph, w: &mut W) -> Result<u64, IoErro
 }
 
 /// Serialize a graph to a `.bfly` file on disk. Returns the byte length.
+///
+/// Crash-safe: bytes go to `<path>.tmp`, are fsynced, and only then
+/// renamed over `path`, so a reader never observes a torn file — either
+/// the old content or the complete new one.
 pub fn write_bfly_file(g: &BipartiteGraph, path: impl AsRef<Path>) -> Result<u64, IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    let n = write_bfly(g, &mut w)?;
-    w.flush()?;
-    Ok(n)
+    let path = path.as_ref();
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let n = write_bfly(g, &mut w)?;
+        w.flush()?;
+        let f = w.into_inner().map_err(|e| IoError::from(e.into_error()))?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(n)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -557,6 +576,61 @@ pub struct SegmentedGraph {
     deg_v2: Vec<u32>,
     idx_v1: Vec<u64>,
     idx_v2: Vec<u64>,
+    retry: RetryPolicy,
+    retry_stats: Arc<RetryStats>,
+    reads: AtomicU64,
+    faults: FaultPlan,
+}
+
+/// Deterministic fault schedule for positioned reads, armed from the
+/// `BFLY_FAULT_READ_*` environment at [`SegmentedGraph::open`] time.
+/// Inert (two branch checks per read) when no variable is set.
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// `BFLY_FAULT_READ_ERROR_AT=N`: the Nth positioned read (1-based)
+    /// fails hard with a permanent (non-retryable) error.
+    error_at_read: Option<u64>,
+    /// `BFLY_FAULT_READ_TRANSIENT=N`: the first N read attempts fail
+    /// with `Interrupted`, then reads succeed — exercises the retry
+    /// path end to end in a real binary.
+    transient: AtomicU64,
+}
+
+impl FaultPlan {
+    fn from_env() -> Self {
+        let env_u64 = |name: &str| -> Option<u64> {
+            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+        };
+        FaultPlan {
+            error_at_read: env_u64("BFLY_FAULT_READ_ERROR_AT"),
+            transient: AtomicU64::new(env_u64("BFLY_FAULT_READ_TRANSIENT").unwrap_or(0)),
+        }
+    }
+
+    /// Raise the scheduled fault for read number `seq`, if any.
+    fn check(&self, seq: u64) -> std::io::Result<()> {
+        if self.error_at_read == Some(seq) {
+            return Err(std::io::Error::other(format!(
+                "injected hard fault at positioned read {seq} (BFLY_FAULT_READ_ERROR_AT)"
+            )));
+        }
+        loop {
+            let left = self.transient.load(Ordering::Relaxed);
+            if left == 0 {
+                return Ok(());
+            }
+            if self
+                .transient
+                .compare_exchange(left, left - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "injected transient fault (BFLY_FAULT_READ_TRANSIENT)",
+                ));
+            }
+        }
+    }
 }
 
 impl SegmentedGraph {
@@ -598,7 +672,25 @@ impl SegmentedGraph {
             deg_v2,
             idx_v1,
             idx_v2,
+            retry: RetryPolicy::default(),
+            retry_stats: Arc::new(RetryStats::new()),
+            reads: AtomicU64::new(0),
+            faults: FaultPlan::from_env(),
         })
+    }
+
+    /// Replace the retry policy applied to positioned payload reads
+    /// (default: [`RetryPolicy::default`]). `RetryPolicy::none()`
+    /// restores fail-on-first-error behaviour.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Snapshot of `(retried attempts, give-ups)` accumulated by
+    /// positioned reads since open. The engine raises the `io_retries` /
+    /// `io_giveups` telemetry counters from before/after deltas of this.
+    pub fn retry_stats(&self) -> (u64, u64) {
+        (self.retry_stats.retries(), self.retry_stats.giveups())
     }
 
     /// Path this graph was opened from.
@@ -645,6 +737,13 @@ impl SegmentedGraph {
         }
     }
 
+    /// FNV-1a 64 checksum of one side's degree array — the exact value
+    /// the `.bfly` header stores for that side. Checkpoint fingerprints
+    /// reuse it to tie a resumable run to this specific graph.
+    pub fn degree_checksum(&self, side: Side) -> u64 {
+        fnv1a_degrees(self.degrees(side))
+    }
+
     /// Number of vertices on `side`.
     #[inline]
     pub fn side_len(&self, side: Side) -> usize {
@@ -673,7 +772,20 @@ impl SegmentedGraph {
         }
     }
 
+    /// Positioned read with fault injection and bounded transient-error
+    /// retries. Every payload access (`segment`, `row_reader`,
+    /// `for_each_row`, `load`) funnels through here, so the retry policy
+    /// and the `BFLY_FAULT_READ_*` chaos hooks cover them all.
     fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let seq = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        with_retries(&self.retry, &self.retry_stats, || {
+            self.faults.check(seq)?;
+            self.raw_read_at(off, buf)
+        })
+        .map_err(IoError::from)
+    }
+
+    fn raw_read_at(&self, off: u64, buf: &mut [u8]) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
@@ -1327,6 +1439,7 @@ pub fn convert_to_bfly_with_buffer(
     let spill_path = PathBuf::from(format!("{}.spill.tmp", out.display()));
     let pay1_path = PathBuf::from(format!("{}.pay1.tmp", out.display()));
     let pay2_path = PathBuf::from(format!("{}.pay2.tmp", out.display()));
+    let final_tmp_path = PathBuf::from(format!("{}.tmp", out.display()));
     let result = convert_inner(
         input,
         format,
@@ -1335,13 +1448,15 @@ pub fn convert_to_bfly_with_buffer(
         &spill_path,
         &pay1_path,
         &pay2_path,
+        &final_tmp_path,
     );
-    for p in [&spill_path, &pay1_path, &pay2_path] {
+    for p in [&spill_path, &pay1_path, &pay2_path, &final_tmp_path] {
         let _ = std::fs::remove_file(p);
     }
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn convert_inner(
     input: &Path,
     format: TextFormat,
@@ -1350,6 +1465,7 @@ fn convert_inner(
     spill_path: &Path,
     pay1_path: &Path,
     pay2_path: &Path,
+    final_tmp_path: &Path,
 ) -> Result<ConvertStats, IoError> {
     // Pass A: stream the text input once, spilling fixed-width edge
     // records and counting pre-dedup degrees.
@@ -1396,7 +1512,10 @@ fn convert_inner(
         pay1_len,
         pay2_len,
     );
-    let mut w = BufWriter::new(File::create(out)?);
+    // Assemble into `<out>.tmp`, fsync, then atomically rename: a crash
+    // (or injected fault) mid-assembly can never leave a torn `.bfly`
+    // under the destination name — the caller's cleanup removes the temp.
+    let mut w = BufWriter::new(File::create(final_tmp_path)?);
     w.write_all(&header.to_bytes())?;
     for &d in &deg1 {
         w.write_all(&d.to_le_bytes())?;
@@ -1413,6 +1532,10 @@ fn convert_inner(
     std::io::copy(&mut File::open(pay1_path)?, &mut w)?;
     std::io::copy(&mut File::open(pay2_path)?, &mut w)?;
     w.flush()?;
+    let f = w.into_inner().map_err(|e| IoError::from(e.into_error()))?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(final_tmp_path, out)?;
 
     Ok(ConvertStats {
         nv1,

@@ -36,6 +36,7 @@ pub mod labeled;
 pub mod matrix_market;
 pub mod ordering;
 pub mod projection;
+pub mod retry;
 pub mod rewire;
 pub mod stats;
 pub mod temporal;
@@ -51,6 +52,7 @@ pub use cores::{butterfly_core, kl_core, CoreResult};
 pub use konect::{DatasetSpec, StandIn};
 pub use labeled::{LabeledGraph, LabeledGraphBuilder};
 pub use projection::Projection;
+pub use retry::{is_transient_io_error, with_retries, RetryPolicy, RetryStats, RetryingReader};
 pub use rewire::double_edge_swaps;
 pub use stats::GraphStats;
 pub use temporal::{TemporalEdge, TemporalStream};

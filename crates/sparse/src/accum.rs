@@ -42,6 +42,24 @@ impl CheckedAccum {
         CheckedAccum { lo: base, spill: 0 }
     }
 
+    /// Reassemble an accumulator from its persisted representation
+    /// (checkpoint restore). Inverse of [`parts`](Self::parts): the pair
+    /// round-trips bitwise, so a resumed shard merge is exactly the
+    /// accumulator the interrupted run held.
+    #[inline]
+    pub fn from_parts(lo: u64, spill: u128) -> Self {
+        CheckedAccum { lo, spill }
+    }
+
+    /// The internal `(lo, spill)` pair for durable persistence. The
+    /// logical value is `spill + lo`; keeping the split (rather than
+    /// collapsing to `value()`) preserves the exact internal state so
+    /// resume is bitwise-identical, not merely value-equal.
+    #[inline]
+    pub fn parts(&self) -> (u64, u128) {
+        (self.lo, self.spill)
+    }
+
     /// Add a term. Never wraps: on `u64` overflow the running total is
     /// promoted into the `u128` spill.
     #[inline]
@@ -138,6 +156,17 @@ mod tests {
         let expected = left.value() + right.value();
         left.merge(right);
         assert_eq!(left.value(), expected);
+    }
+
+    #[test]
+    fn parts_round_trip_is_bitwise() {
+        let mut a = CheckedAccum::with_base(u64::MAX - 1);
+        a.add(1 << 20); // force a spill
+        a.add(7);
+        let (lo, spill) = a.parts();
+        let b = CheckedAccum::from_parts(lo, spill);
+        assert_eq!(a, b);
+        assert_eq!(b.value(), a.value());
     }
 
     #[test]

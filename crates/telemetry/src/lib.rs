@@ -112,12 +112,25 @@ pub enum Counter {
     /// (in-memory or out-of-core); each shard's partial merges exactly
     /// into the total.
     ShardsProcessed,
+    /// Positioned reads retried after a transient `io::Error`
+    /// (`Interrupted`, `WouldBlock`, ...). Each retried *attempt* counts
+    /// once; a read that succeeds first try contributes zero.
+    IoRetries,
+    /// Positioned reads abandoned after exhausting the retry budget; the
+    /// run surfaces the final error with the attempt count.
+    IoGiveups,
+    /// Shard partials durably persisted to a `--checkpoint` directory
+    /// (temp-file + fsync + rename, one per completed shard).
+    CheckpointsWritten,
+    /// Shards skipped on `--resume` because a valid checkpoint already
+    /// held their partial; the persisted partial merges instead.
+    ShardsSkippedResume,
 }
 
 impl Counter {
     /// Single source of truth: every counter with its stable report
     /// name, in discriminant order.
-    const TABLE: [(Counter, &'static str); 16] = [
+    const TABLE: [(Counter, &'static str); 20] = [
         (Counter::WedgesExpanded, "wedges_expanded"),
         (Counter::SpaScatters, "spa_scatters"),
         (Counter::AccumEntries, "accum_entries"),
@@ -134,6 +147,10 @@ impl Counter {
         (Counter::IncWedgeWork, "inc_wedge_work"),
         (Counter::StallsDetected, "stalls_detected"),
         (Counter::ShardsProcessed, "shards_processed"),
+        (Counter::IoRetries, "io_retries"),
+        (Counter::IoGiveups, "io_giveups"),
+        (Counter::CheckpointsWritten, "checkpoints_written"),
+        (Counter::ShardsSkippedResume, "shards_skipped_resume"),
     ];
 
     /// Number of counters (length of [`Counter::ALL`]).

@@ -1,0 +1,299 @@
+//! Crash-safe resume is exact: kill an out-of-core sharded count at
+//! *every* shard boundary, resume from the checkpoint directory, and the
+//! merged count must equal the uninterrupted `count_adaptive` answer bit
+//! for bit — across the whole fixture battery, shard counts 2/4/8, and
+//! thread-pool widths 1/2/4. A checkpoint whose fingerprint no longer
+//! matches the graph/plan must be a typed refusal, never a silent wrong
+//! count.
+//!
+//! The kill uses the deterministic `BFLY_FAULT_SHARD_ERROR` hook (a hard
+//! error injected after N shards have completed and been checkpointed).
+//! Environment variables are process-global, so every test in this file
+//! serialises on one lock; other test files run as separate processes
+//! and never see these variables.
+
+use std::sync::Mutex;
+
+use bfly::core::telemetry::InMemoryRecorder;
+use bfly::core::testkit::fixture_battery;
+use bfly::core::{
+    count_adaptive, count_segmented_checkpointed_recorded, BflyError, CheckpointConfig,
+    ResourceBudget,
+};
+use bfly::graph::io::IoError;
+use bfly::graph::{write_bfly_file, SegmentedGraph};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfly-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn counter(rec: &mut InMemoryRecorder, name: &str) -> u64 {
+    rec.report(vec![])
+        .counters
+        .iter()
+        .find(|(c, _)| c == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn run_checkpointed(
+    sg: &SegmentedGraph,
+    shards: usize,
+    cfg: Option<&CheckpointConfig>,
+    rec: &mut InMemoryRecorder,
+) -> Result<u64, BflyError> {
+    count_segmented_checkpointed_recorded(
+        sg,
+        Some(shards),
+        None,
+        &ResourceBudget::unlimited(),
+        cfg,
+        rec,
+    )
+    .map(|r| {
+        assert!(r.complete);
+        r.value.0
+    })
+}
+
+#[test]
+fn kill_at_every_shard_boundary_then_resume_is_bitwise_exact() {
+    let _guard = env_guard();
+    let dir = tmp_dir("kill");
+    for (name, g) in fixture_battery() {
+        let want = count_adaptive(&g).0;
+        let path = dir.join("g.bfly");
+        write_bfly_file(&g, &path).unwrap();
+        let sg = SegmentedGraph::open(&path).unwrap();
+        for shards in [2usize, 4, 8] {
+            // Discover how many shards the planner actually produces
+            // (tiny fixtures may fold the request down).
+            let mut rec = InMemoryRecorder::new();
+            let xi = run_checkpointed(&sg, shards, None, &mut rec).unwrap();
+            assert_eq!(xi, want, "{name} shards={shards} uncheckpointed");
+            let planned = counter(&mut rec, "shards_processed");
+            for k in 1..planned {
+                let ck = dir.join(format!("ck-{shards}-{k}"));
+                let _ = std::fs::remove_dir_all(&ck);
+
+                // First pass: hard-kill after k shards are durable.
+                std::env::set_var("BFLY_FAULT_SHARD_ERROR", k.to_string());
+                let cfg = CheckpointConfig::new(&ck);
+                let killed =
+                    run_checkpointed(&sg, shards, Some(&cfg), &mut InMemoryRecorder::new());
+                std::env::remove_var("BFLY_FAULT_SHARD_ERROR");
+                assert!(
+                    matches!(killed, Err(BflyError::Io(IoError::Io(_)))),
+                    "{name} shards={shards} k={k}: expected injected kill, got {killed:?}"
+                );
+
+                // Second pass: resume must skip exactly the k durable
+                // shards and land on the uninterrupted answer.
+                let cfg = CheckpointConfig::resume(&ck);
+                let mut rec = InMemoryRecorder::new();
+                let xi = run_checkpointed(&sg, shards, Some(&cfg), &mut rec).unwrap();
+                assert_eq!(xi, want, "{name} shards={shards} k={k} resumed");
+                assert_eq!(
+                    counter(&mut rec, "shards_skipped_resume"),
+                    k,
+                    "{name} shards={shards} k={k}: wrong skip count"
+                );
+                assert_eq!(
+                    counter(&mut rec, "checkpoints_written"),
+                    planned - k,
+                    "{name} shards={shards} k={k}: wrong persist count"
+                );
+                let _ = std::fs::remove_dir_all(&ck);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_is_thread_pool_invariant() {
+    let _guard = env_guard();
+    let dir = tmp_dir("threads");
+    // A fixture with real wedge work on both sides.
+    let (name, g) = fixture_battery()
+        .into_iter()
+        .max_by_key(|(_, g)| g.nedges())
+        .unwrap();
+    let want = count_adaptive(&g).0;
+    let path = dir.join("g.bfly");
+    write_bfly_file(&g, &path).unwrap();
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        for shards in [2usize, 4, 8] {
+            let ck = dir.join(format!("ck-{threads}-{shards}"));
+            let sg = SegmentedGraph::open(&path).unwrap();
+            std::env::set_var("BFLY_FAULT_SHARD_ERROR", "1");
+            let killed = pool.install(|| {
+                run_checkpointed(
+                    &sg,
+                    shards,
+                    Some(&CheckpointConfig::new(&ck)),
+                    &mut InMemoryRecorder::new(),
+                )
+            });
+            std::env::remove_var("BFLY_FAULT_SHARD_ERROR");
+            assert!(killed.is_err(), "{name} threads={threads} shards={shards}");
+            let xi = pool
+                .install(|| {
+                    run_checkpointed(
+                        &sg,
+                        shards,
+                        Some(&CheckpointConfig::resume(&ck)),
+                        &mut InMemoryRecorder::new(),
+                    )
+                })
+                .unwrap();
+            assert_eq!(xi, want, "{name} threads={threads} shards={shards}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fully_checkpointed_run_resumes_by_skipping_everything() {
+    let _guard = env_guard();
+    let dir = tmp_dir("full");
+    let (_, g) = fixture_battery()
+        .into_iter()
+        .max_by_key(|(_, g)| g.nedges())
+        .unwrap();
+    let want = count_adaptive(&g).0;
+    let path = dir.join("g.bfly");
+    write_bfly_file(&g, &path).unwrap();
+    let sg = SegmentedGraph::open(&path).unwrap();
+    let ck = dir.join("ck");
+    let mut rec = InMemoryRecorder::new();
+    let xi = run_checkpointed(&sg, 4, Some(&CheckpointConfig::new(&ck)), &mut rec).unwrap();
+    assert_eq!(xi, want);
+    let planned = counter(&mut rec, "shards_processed");
+    assert!(planned >= 2);
+    // Resume with nothing left to do: every shard merges from disk.
+    let mut rec = InMemoryRecorder::new();
+    let xi = run_checkpointed(&sg, 4, Some(&CheckpointConfig::resume(&ck)), &mut rec).unwrap();
+    assert_eq!(xi, want);
+    assert_eq!(counter(&mut rec, "shards_skipped_resume"), planned);
+    assert_eq!(counter(&mut rec, "shards_processed"), 0);
+    assert_eq!(counter(&mut rec, "wedges_expanded"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_checkpoint_is_a_typed_refusal_never_a_wrong_count() {
+    let _guard = env_guard();
+    let dir = tmp_dir("stale");
+    let battery = fixture_battery();
+    let mut nonempty = battery.iter().filter(|(_, g)| g.nedges() > 20);
+    let (_, g1) = nonempty.next().unwrap();
+    let (_, g2) = nonempty.next_back().unwrap();
+    let path = dir.join("g.bfly");
+    write_bfly_file(g1, &path).unwrap();
+    let sg = SegmentedGraph::open(&path).unwrap();
+    let ck = dir.join("ck");
+    run_checkpointed(
+        &sg,
+        4,
+        Some(&CheckpointConfig::new(&ck)),
+        &mut InMemoryRecorder::new(),
+    )
+    .unwrap();
+
+    // Same directory, different shard layout: fingerprint mismatch.
+    let err = run_checkpointed(
+        &sg,
+        8,
+        Some(&CheckpointConfig::resume(&ck)),
+        &mut InMemoryRecorder::new(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, BflyError::Io(IoError::Format(m)) if m.contains("fingerprint mismatch")),
+        "layout change: got {err:?}"
+    );
+
+    // The graph file was edited underneath the checkpoint: refusal again.
+    write_bfly_file(g2, &path).unwrap();
+    let sg2 = SegmentedGraph::open(&path).unwrap();
+    let err = run_checkpointed(
+        &sg2,
+        4,
+        Some(&CheckpointConfig::resume(&ck)),
+        &mut InMemoryRecorder::new(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, BflyError::Io(IoError::Format(m)) if m.contains("fingerprint mismatch")),
+        "edited graph: got {err:?}"
+    );
+
+    // Dropping --resume starts fresh in the same directory and is exact.
+    let want = count_adaptive(g2).0;
+    let xi = run_checkpointed(
+        &sg2,
+        4,
+        Some(&CheckpointConfig::new(&ck)),
+        &mut InMemoryRecorder::new(),
+    )
+    .unwrap();
+    assert_eq!(xi, want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_shard_records_are_recounted_not_trusted() {
+    let _guard = env_guard();
+    let dir = tmp_dir("corrupt");
+    let (_, g) = fixture_battery()
+        .into_iter()
+        .max_by_key(|(_, g)| g.nedges())
+        .unwrap();
+    let want = count_adaptive(&g).0;
+    let path = dir.join("g.bfly");
+    write_bfly_file(&g, &path).unwrap();
+    let sg = SegmentedGraph::open(&path).unwrap();
+    let ck = dir.join("ck");
+    run_checkpointed(
+        &sg,
+        4,
+        Some(&CheckpointConfig::new(&ck)),
+        &mut InMemoryRecorder::new(),
+    )
+    .unwrap();
+    // Flip one payload byte in every shard record: each fails its
+    // checksum on load, is recounted from the graph, and the final
+    // answer is still exact.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&ck).unwrap() {
+        let p = entry.unwrap().path();
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        if name.starts_with("shard-") {
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mid = bytes.len() - 8;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&p, bytes).unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped >= 2);
+    let mut rec = InMemoryRecorder::new();
+    let xi = run_checkpointed(&sg, 4, Some(&CheckpointConfig::resume(&ck)), &mut rec).unwrap();
+    assert_eq!(xi, want);
+    assert_eq!(counter(&mut rec, "shards_skipped_resume"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
